@@ -1,0 +1,167 @@
+"""Benchmark: §IV — agreement qualification methods on randomized scenarios.
+
+Compares flow-volume targets and cash compensation across a population
+of randomized traffic scenarios (the §IV-C discussion): how often each
+method concludes the agreement, the joint utility it achieves, and the
+fairness of the split.  Also times the two optimizers individually on
+the paper's Fig. 1 worked example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.agreements import AgreementScenario, SegmentTraffic, enumerate_mutuality_agreements
+from repro.economics import ENDHOSTS, FlowVector, default_business_models
+from repro.experiments.reporting import format_table
+from repro.optimization import compare_methods, negotiate_cash_agreement, optimize_flow_volume_targets
+from repro.topology import generate_topology
+
+
+def _random_scenario(agreement, graph, rng) -> AgreementScenario:
+    segments = []
+    rerouted_totals = {party: {} for party in agreement.parties}
+    for segment in agreement.all_segments():
+        rerouted = float(rng.uniform(0.0, 8.0))
+        attracted = float(rng.uniform(0.0, 4.0))
+        providers = sorted(graph.providers(segment.beneficiary))
+        previous = providers[0] if providers else None
+        if previous is not None:
+            totals = rerouted_totals[segment.beneficiary]
+            totals[previous] = totals.get(previous, 0.0) + rerouted
+        segments.append(
+            SegmentTraffic(
+                segment=segment,
+                rerouted={previous: rerouted},
+                attracted={ENDHOSTS: attracted},
+                attracted_limits={ENDHOSTS: attracted * 1.5},
+            )
+        )
+    baseline = {}
+    for party in agreement.parties:
+        flows = {ENDHOSTS: 25.0}
+        for provider, total in rerouted_totals[party].items():
+            flows[provider] = total + 15.0
+        baseline[party] = FlowVector(flows)
+    return AgreementScenario(agreement=agreement, segments=segments, baseline=baseline)
+
+
+def test_method_comparison_population(benchmark):
+    """§IV-C: cash concludes at least as often as flow-volume targets."""
+    topology = generate_topology(
+        num_tier1=4, num_tier2=10, num_tier3=25, num_stubs=60, seed=31
+    )
+    graph = topology.graph
+    businesses = default_business_models(graph)
+    agreements = [
+        a for a in enumerate_mutuality_agreements(graph) if len(a.all_segments()) <= 12
+    ][:30]
+    rng = np.random.default_rng(5)
+    scenarios = [_random_scenario(agreement, graph, rng) for agreement in agreements]
+
+    def run_population():
+        return [
+            compare_methods(scenario, businesses, restarts=2, seed=3)
+            for scenario in scenarios
+        ]
+
+    comparisons = benchmark.pedantic(run_population, rounds=1, iterations=1)
+
+    cash_concluded = sum(1 for c in comparisons if c.cash_concluded)
+    flow_concluded = sum(1 for c in comparisons if c.flow_volume_concluded)
+    cash_only = sum(1 for c in comparisons if c.flexibility_advantage_cash)
+    mean_cash_gap = float(np.mean([c.cash_fairness_gap for c in comparisons]))
+    mean_flow_gap = float(
+        np.mean([c.flow_volume_fairness_gap for c in comparisons if c.flow_volume_concluded] or [0.0])
+    )
+
+    print()
+    print(
+        format_table(
+            ["metric", "cash compensation", "flow-volume targets"],
+            [
+                ["agreements concluded", str(cash_concluded), str(flow_concluded)],
+                ["concluded by this method only", str(cash_only), "0"],
+                ["mean fairness gap", f"{mean_cash_gap:.3f}", f"{mean_flow_gap:.3f}"],
+            ],
+        )
+    )
+
+    # §IV-C claims: cash is at least as flexible, and the Nash split is fair.
+    assert cash_concluded >= flow_concluded
+    assert mean_cash_gap < 1e-9
+
+
+def _figure1_scenario() -> AgreementScenario:
+    """The §III-B2 worked example with the quickstart traffic numbers."""
+    from repro.agreements import figure1_mutuality_agreement
+    from repro.agreements.agreement import PathSegment
+    from repro.topology import AS_A, AS_B, AS_D, AS_E, AS_F, AS_H, AS_I
+
+    agreement = figure1_mutuality_agreement()
+    return AgreementScenario(
+        agreement=agreement,
+        segments=[
+            SegmentTraffic(
+                segment=PathSegment(beneficiary=AS_D, partner=AS_E, target=AS_B),
+                rerouted={AS_A: 10.0},
+                attracted={ENDHOSTS: 5.0, AS_H: 3.0},
+                attracted_limits={ENDHOSTS: 8.0, AS_H: 5.0},
+            ),
+            SegmentTraffic(
+                segment=PathSegment(beneficiary=AS_D, partner=AS_E, target=AS_F),
+                rerouted={AS_A: 4.0},
+                attracted={AS_H: 2.0},
+            ),
+            SegmentTraffic(
+                segment=PathSegment(beneficiary=AS_E, partner=AS_D, target=AS_A),
+                rerouted={AS_B: 8.0},
+                attracted={ENDHOSTS: 4.0, AS_I: 2.0},
+            ),
+        ],
+        baseline={
+            AS_D: FlowVector({AS_A: 30.0, AS_H: 20.0, ENDHOSTS: 10.0, AS_E: 5.0}),
+            AS_E: FlowVector({AS_B: 25.0, AS_I: 15.0, ENDHOSTS: 10.0, AS_D: 5.0}),
+        },
+    )
+
+
+def test_cash_negotiation_speed(benchmark):
+    """Micro-benchmark of the closed-form cash optimization (Eq. 11)."""
+    from repro.topology import figure1_topology
+
+    scenario = _figure1_scenario()
+    businesses = default_business_models(figure1_topology())
+
+    result = benchmark(negotiate_cash_agreement, scenario, businesses)
+    print()
+    print(
+        f"Fig. 1 cash negotiation: concluded = {result.concluded}, "
+        f"transfer = {result.transfer_x_to_y:+.2f}"
+    )
+    assert result.concluded
+    assert abs(result.post_utility_x - result.post_utility_y) < 1e-9
+
+
+def test_flow_volume_optimization_speed(benchmark):
+    """Micro-benchmark of the flow-volume nonlinear program (Eq. 9)."""
+    from repro.topology import figure1_topology
+
+    scenario = _figure1_scenario()
+    businesses = default_business_models(figure1_topology())
+
+    result = benchmark.pedantic(
+        optimize_flow_volume_targets,
+        args=(scenario, businesses),
+        kwargs={"restarts": 3, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"Fig. 1 flow-volume optimization: concluded = {result.concluded}, "
+        f"Nash product = {result.nash_product:.2f}"
+    )
+    assert result.concluded
+    assert result.utility_x >= -1e-6
+    assert result.utility_y >= -1e-6

@@ -1,0 +1,29 @@
+"""Benchmark: Fig. 2 — Price of Dishonesty vs. number of choices.
+
+Regenerates the two series of Fig. 2 (minimum and mean PoD over random
+choice-set trials for the utility distributions U(1) and U(2)) and
+prints them next to the paper's headline reading (PoD flattening out
+around 10 % at W ≈ 50).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig2_pod import run_fig2
+from repro.experiments.reporting import format_comparisons
+
+
+def test_fig2_price_of_dishonesty(benchmark, run_once, fig2_config):
+    result = run_once(run_fig2, fig2_config)
+
+    print()
+    print(format_comparisons("Fig. 2 — Price of Dishonesty", result.comparisons()))
+    print(result.report())
+
+    # Shape assertions: PoD lives in [0, 1], the best configurations at the
+    # largest W are competitive with the paper's ~10%, and more choices help.
+    for row in result.rows:
+        assert 0.0 <= row.min_pod <= row.mean_pod <= 1.0
+    for distribution in ("U(1)", "U(2)"):
+        series = result.series(distribution, "min")
+        assert series[-1][1] <= series[0][1] + 0.05
+        assert result.best_pod(distribution) <= 0.30

@@ -1,0 +1,34 @@
+"""Benchmark: Fig. 3 — length-3 paths per AS under MA conclusion degrees.
+
+Regenerates the six CDF series of Fig. 3 on the synthetic topology and
+prints the per-scenario distribution plus the §VI-A headline statistics
+(average / maximum additional paths per AS).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig3_paths import run_fig3
+from repro.experiments.reporting import format_comparisons
+
+
+def test_fig3_length3_paths(benchmark, run_once, diversity_config):
+    result = run_once(run_fig3, diversity_config)
+
+    print()
+    print(format_comparisons("Fig. 3 — length-3 paths per AS", result.comparisons()))
+    print(result.report())
+
+    diversity = result.diversity
+    grc = diversity.path_cdf("GRC")
+    ma_star = diversity.path_cdf("MA*")
+    ma = diversity.path_cdf("MA")
+    top1 = diversity.path_cdf("MA* (Top 1)")
+
+    # Who wins, and in which order — the qualitative shape of Fig. 3.
+    assert grc.mean < top1.mean <= ma_star.mean <= ma.mean
+    # Concluding all MAs multiplies the number of available length-3 paths.
+    assert ma.mean >= 1.5 * grc.mean
+    # Most of the gain is available from directly negotiated agreements.
+    assert (ma_star.mean - grc.mean) >= 0.5 * (ma.mean - grc.mean)
+    # The single best agreement already gains a substantial share.
+    assert (top1.mean - grc.mean) > 0.0

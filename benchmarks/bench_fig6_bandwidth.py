@@ -1,0 +1,36 @@
+"""Benchmark: Fig. 6 — bandwidth of the additional MA paths.
+
+Regenerates the three condition series of Fig. 6a (MA paths beating the
+maximum / median / minimum GRC path bandwidth per AS pair, under the
+degree-gravity capacity model) and the relative bandwidth-increase CDF
+of Fig. 6b.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig6_bandwidth import run_fig6
+from repro.experiments.reporting import format_comparisons
+
+
+def test_fig6_bandwidth(benchmark, run_once, fig6_config):
+    result = run_once(run_fig6, fig6_config)
+
+    print()
+    print(format_comparisons("Fig. 6 — bandwidth of MA paths", result.comparisons()))
+    print(result.report())
+
+    analysis = result.bandwidth
+    above_max = analysis.fraction_of_pairs_improving("max", 1)
+    above_median = analysis.fraction_of_pairs_improving("median", 1)
+    above_min = analysis.fraction_of_pairs_improving("min", 1)
+
+    # Condition ordering and a substantial share of pairs gaining a path
+    # with more bandwidth than the best GRC path — the Fig. 6a shape.
+    assert above_max <= above_median <= above_min
+    assert above_max >= 0.15
+
+    # Fig. 6b: benefiting pairs gain real bandwidth.
+    increase = analysis.increase_cdf()
+    assert increase.count > 0
+    assert increase.minimum > 0.0
+    assert increase.median >= 0.10

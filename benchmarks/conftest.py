@@ -1,0 +1,79 @@
+"""Shared configuration for the benchmark harness.
+
+Every figure of the paper's evaluation has one benchmark module.  The
+benchmarks run each experiment exactly once (``benchmark.pedantic`` with
+a single round) because the experiments are full analysis passes, not
+micro-kernels; the interesting output is the paper-vs-measured report
+each bench prints (run ``pytest benchmarks/ --benchmark-only -s`` to see
+the reports inline, or read EXPERIMENTS.md for a recorded run).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig2_pod import Fig2Config
+from repro.experiments.fig3_paths import PathDiversityConfig
+from repro.experiments.fig5_geodistance import Fig5Config
+from repro.experiments.fig6_bandwidth import Fig6Config
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run the benchmarks at the paper's trial counts and sample sizes (slow)",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request) -> bool:
+    """Whether to run at full paper scale."""
+    return request.config.getoption("--paper-scale")
+
+
+@pytest.fixture(scope="session")
+def fig2_config(paper_scale) -> Fig2Config:
+    """Fig. 2 configuration (paper scale: 200 trials per cardinality)."""
+    if paper_scale:
+        return Fig2Config(trials=200)
+    return Fig2Config(choice_counts=(10, 20, 30, 40, 50), trials=20)
+
+
+@pytest.fixture(scope="session")
+def diversity_config(paper_scale) -> PathDiversityConfig:
+    """Shared Fig. 3/4 configuration."""
+    if paper_scale:
+        return PathDiversityConfig(sample_size=500)
+    return PathDiversityConfig(
+        num_tier1=6, num_tier2=25, num_tier3=80, num_stubs=250, sample_size=150
+    )
+
+
+@pytest.fixture(scope="session")
+def fig5_config(diversity_config, paper_scale) -> Fig5Config:
+    """Fig. 5 configuration."""
+    return Fig5Config(
+        diversity=diversity_config, pair_sample_size=80 if paper_scale else 40
+    )
+
+
+@pytest.fixture(scope="session")
+def fig6_config(diversity_config, paper_scale) -> Fig6Config:
+    """Fig. 6 configuration."""
+    return Fig6Config(
+        diversity=diversity_config, pair_sample_size=80 if paper_scale else 40
+    )
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(
+            function, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Quickstart: evaluate and qualify the paper's Fig. 1 mutuality agreement.
+
+The script walks through the core API end to end:
+
+1. build the Fig. 1 example topology,
+2. attach a business model (pricing + internal cost) to every AS,
+3. construct the mutuality-based agreement ``a = [D(↑{A}); E(↑{B},→{F})]``
+   of §III-B2 and a traffic scenario for it,
+4. compute both parties' agreement utilities (Eqs. 3–7),
+5. qualify the agreement with the two methods of §IV — flow-volume
+   targets and cash compensation — and compare the outcomes.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.agreements import (
+    AgreementScenario,
+    SegmentTraffic,
+    figure1_mutuality_agreement,
+    joint_utilities,
+)
+from repro.agreements.agreement import PathSegment
+from repro.economics import ENDHOSTS, FlowVector, default_business_models
+from repro.optimization import compare_methods
+from repro.topology import (
+    AS_A,
+    AS_B,
+    AS_D,
+    AS_E,
+    AS_F,
+    AS_H,
+    AS_I,
+    FIGURE1_NAMES,
+    figure1_topology,
+)
+
+
+def build_scenario() -> AgreementScenario:
+    """Traffic expectations for the Fig. 1 agreement.
+
+    D expects to reroute provider traffic over E and to attract new
+    customer traffic onto the better paths; E mostly carries D's traffic
+    towards its own provider B, which costs it money.
+    """
+    agreement = figure1_mutuality_agreement()
+    baseline_d = FlowVector({AS_A: 30.0, AS_H: 20.0, ENDHOSTS: 10.0, AS_E: 5.0})
+    baseline_e = FlowVector({AS_B: 25.0, AS_I: 15.0, ENDHOSTS: 10.0, AS_D: 5.0})
+    segments = [
+        SegmentTraffic(
+            segment=PathSegment(beneficiary=AS_D, partner=AS_E, target=AS_B),
+            rerouted={AS_A: 10.0},
+            attracted={ENDHOSTS: 5.0, AS_H: 3.0},
+            attracted_limits={ENDHOSTS: 8.0, AS_H: 5.0},
+        ),
+        SegmentTraffic(
+            segment=PathSegment(beneficiary=AS_D, partner=AS_E, target=AS_F),
+            rerouted={AS_A: 4.0},
+            attracted={AS_H: 2.0},
+        ),
+        SegmentTraffic(
+            segment=PathSegment(beneficiary=AS_E, partner=AS_D, target=AS_A),
+            rerouted={AS_B: 8.0},
+            attracted={ENDHOSTS: 4.0, AS_I: 2.0},
+        ),
+    ]
+    return AgreementScenario(
+        agreement=agreement,
+        segments=segments,
+        baseline={AS_D: baseline_d, AS_E: baseline_e},
+    )
+
+
+def main() -> None:
+    graph = figure1_topology()
+    businesses = default_business_models(
+        graph, transit_unit_price=1.0, endhost_unit_price=1.5, internal_unit_cost=0.1
+    )
+    scenario = build_scenario()
+    agreement = scenario.agreement
+
+    print("Topology:", graph)
+    print("Agreement:", agreement.notation(FIGURE1_NAMES))
+    print("GRC-conforming (possible under BGP):", agreement.is_grc_conforming(graph))
+    print()
+
+    utilities = joint_utilities(scenario, businesses)
+    print("Raw agreement utilities (no qualification):")
+    for party, value in utilities.items():
+        print(f"  u_{FIGURE1_NAMES[party]} = {value:+.2f}")
+    print(f"  joint surplus = {sum(utilities.values()):+.2f}")
+    print()
+
+    comparison = compare_methods(scenario, businesses, restarts=4, seed=1)
+
+    cash = comparison.cash
+    print("Cash compensation (§IV-B):")
+    print(f"  concluded: {cash.concluded}")
+    print(f"  transfer D→E: {cash.transfer_x_to_y:+.2f}")
+    print(
+        f"  post-transfer utilities: u_D = {cash.post_utility_x:+.2f}, "
+        f"u_E = {cash.post_utility_y:+.2f}"
+    )
+    print()
+
+    flow = comparison.flow_volume
+    print("Flow-volume targets (§IV-A):")
+    print(f"  concluded: {flow.concluded}")
+    for target in flow.targets:
+        names = "".join(FIGURE1_NAMES[asn] for asn in target.path)
+        print(
+            f"  segment {names}: allowance = {target.total_allowance:.1f} "
+            f"(rerouted {target.rerouted_volume:.1f} + attracted {target.attracted_volume:.1f})"
+        )
+    print(
+        f"  utilities at the optimum: u_D = {flow.utility_x:+.2f}, "
+        f"u_E = {flow.utility_y:+.2f}"
+    )
+    print()
+    print(
+        "Comparison (§IV-C): cash joint utility = "
+        f"{comparison.cash_joint_utility:+.2f}, flow-volume joint utility = "
+        f"{comparison.flow_volume_joint_utility:+.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

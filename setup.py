@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The offline build environment has no ``wheel`` package, so PEP 660
+editable installs (which build an editable wheel) are unavailable.  With
+this ``setup.py`` present and no ``[build-system]`` table in
+``pyproject.toml``, ``pip install -e .`` falls back to the legacy
+``setup.py develop`` code path, which works offline.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""Reproduction of *Enabling Novel Interconnection Agreements with
+Path-Aware Networking Architectures* (Scherrer, Legner, Perrig, Schmid —
+DSN 2021).
+
+The package is organized in layers, bottom-up:
+
+- :mod:`repro.topology` — AS-level topology substrate: mixed graphs with
+  provider–customer and peering links, a CAIDA-compatible serialization
+  format, a synthetic Internet-like topology generator, geographic
+  embedding, and degree-gravity link capacities.
+- :mod:`repro.economics` — the AS business model of §III-A: pricing
+  functions, internal-cost functions, traffic vectors, and AS utility.
+- :mod:`repro.agreements` — interconnection agreements (§III-B): classic
+  peering agreements and the paper's novel mutuality-based agreements,
+  together with agreement-utility computation.
+- :mod:`repro.optimization` — Pareto-optimal and fair agreement
+  qualification (§IV): flow-volume targets and cash compensation.
+- :mod:`repro.bargaining` — the BOSCO bargaining mechanism (§V).
+- :mod:`repro.routing` — routing substrates (§II): a BGP path-vector
+  simulator with policy-induced oscillation gadgets and a PAN/SCION-like
+  simulator with source-selected forwarding paths.
+- :mod:`repro.paths` — the path-diversity analyses of §VI.
+- :mod:`repro.experiments` — the harness that regenerates every figure of
+  the paper's evaluation.
+"""
+
+from repro.topology import ASGraph, Relationship
+from repro.agreements import AccessOffer, Agreement
+from repro.economics import ASBusiness, PricingFunction
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ASGraph",
+    "Relationship",
+    "Agreement",
+    "AccessOffer",
+    "ASBusiness",
+    "PricingFunction",
+    "__version__",
+]

@@ -1,0 +1,258 @@
+"""Interconnection agreements between two ASes (§III-B, Eq. 2).
+
+An agreement ``a`` between ASes ``X`` and ``Y`` is written in the paper as
+
+``a = [X(↑π'_X, →ε'_X, ↓γ'_X); Y(↑π'_Y, →ε'_Y, ↓γ'_Y)]``
+
+where ``π'_X ⊆ π(X)``, ``ε'_X ⊆ ε(X)``, ``γ'_X ⊆ γ(X)`` are the
+providers, peers, and customers of ``X`` to which ``Y`` gains access
+through the agreement (and analogously for ``Y``).  The shorthand
+``a_X = π'_X ∪ ε'_X ∪ γ'_X`` collects everything ``X`` offers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.topology.graph import ASGraph
+from repro.topology.relationships import Role
+
+
+class AgreementError(Exception):
+    """Raised when an agreement is malformed or inconsistent with a topology."""
+
+
+@dataclass(frozen=True)
+class AccessOffer:
+    """The neighbors one party makes reachable for the other party.
+
+    ``providers``, ``peers``, ``customers`` are the subsets ``π'``,
+    ``ε'``, ``γ'`` of the offering AS's neighbor sets.
+    """
+
+    providers: frozenset[int] = field(default_factory=frozenset)
+    peers: frozenset[int] = field(default_factory=frozenset)
+    customers: frozenset[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        overlap = (
+            (self.providers & self.peers)
+            | (self.providers & self.customers)
+            | (self.peers & self.customers)
+        )
+        if overlap:
+            raise AgreementError(
+                f"ASes offered in more than one role: {sorted(overlap)}"
+            )
+
+    @classmethod
+    def of(
+        cls,
+        providers: Iterable[int] = (),
+        peers: Iterable[int] = (),
+        customers: Iterable[int] = (),
+    ) -> "AccessOffer":
+        """Convenience constructor accepting any iterables."""
+        return cls(
+            providers=frozenset(providers),
+            peers=frozenset(peers),
+            customers=frozenset(customers),
+        )
+
+    @property
+    def all_targets(self) -> frozenset[int]:
+        """Everything offered: ``a_X = π' ∪ ε' ∪ γ'``."""
+        return self.providers | self.peers | self.customers
+
+    def role_of(self, target: int) -> Role:
+        """Role the target plays for the *offering* AS."""
+        if target in self.providers:
+            return Role.PROVIDER
+        if target in self.peers:
+            return Role.PEER
+        if target in self.customers:
+            return Role.CUSTOMER
+        raise AgreementError(f"AS {target} is not part of this offer")
+
+    def is_empty(self) -> bool:
+        """Whether nothing is offered."""
+        return not self.all_targets
+
+    def notation(self) -> str:
+        """Paper notation fragment, e.g. ``↑{1},→{3}``."""
+        parts = []
+        if self.providers:
+            parts.append("↑{" + ",".join(str(p) for p in sorted(self.providers)) + "}")
+        if self.peers:
+            parts.append("→{" + ",".join(str(p) for p in sorted(self.peers)) + "}")
+        if self.customers:
+            parts.append("↓{" + ",".join(str(p) for p in sorted(self.customers)) + "}")
+        return ",".join(parts) if parts else "∅"
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """A new length-3 path segment created by an agreement.
+
+    ``beneficiary`` is the AS that gains the segment, ``partner`` the AS
+    whose neighbor ``target`` becomes reachable through it.  The AS-level
+    path is ``(beneficiary, partner, target)``.
+    """
+
+    beneficiary: int
+    partner: int
+    target: int
+
+    def __post_init__(self) -> None:
+        if len({self.beneficiary, self.partner, self.target}) != 3:
+            raise AgreementError(
+                f"path segment must involve three distinct ASes, got "
+                f"({self.beneficiary}, {self.partner}, {self.target})"
+            )
+
+    @property
+    def path(self) -> tuple[int, int, int]:
+        """AS-level path of the segment, starting at the beneficiary."""
+        return (self.beneficiary, self.partner, self.target)
+
+    @property
+    def reverse_path(self) -> tuple[int, int, int]:
+        """The same segment seen from the target (the indirect gainer)."""
+        return (self.target, self.partner, self.beneficiary)
+
+
+@dataclass(frozen=True)
+class Agreement:
+    """A bilateral interconnection agreement (Eq. 2).
+
+    ``offer_x`` is what ``party_x`` offers to ``party_y`` and vice versa.
+    """
+
+    party_x: int
+    party_y: int
+    offer_x: AccessOffer = field(default_factory=AccessOffer)
+    offer_y: AccessOffer = field(default_factory=AccessOffer)
+
+    def __post_init__(self) -> None:
+        if self.party_x == self.party_y:
+            raise AgreementError("an agreement needs two distinct parties")
+        for party, offer in ((self.party_x, self.offer_x), (self.party_y, self.offer_y)):
+            if party in offer.all_targets:
+                raise AgreementError(f"AS {party} cannot offer access to itself")
+        if self.party_y in self.offer_x.all_targets or self.party_x in self.offer_y.all_targets:
+            raise AgreementError("parties cannot offer access to each other as a target")
+
+    @property
+    def parties(self) -> tuple[int, int]:
+        """Both parties of the agreement."""
+        return (self.party_x, self.party_y)
+
+    def counterparty(self, party: int) -> int:
+        """The other party of the agreement."""
+        if party == self.party_x:
+            return self.party_y
+        if party == self.party_y:
+            return self.party_x
+        raise AgreementError(f"AS {party} is not a party of this agreement")
+
+    def offer_by(self, party: int) -> AccessOffer:
+        """The access offer made *by* a party."""
+        if party == self.party_x:
+            return self.offer_x
+        if party == self.party_y:
+            return self.offer_y
+        raise AgreementError(f"AS {party} is not a party of this agreement")
+
+    def offer_to(self, party: int) -> AccessOffer:
+        """The access offer made *to* a party (by the counterparty)."""
+        return self.offer_by(self.counterparty(party))
+
+    def segments_for(self, party: int) -> tuple[PathSegment, ...]:
+        """New path segments the given party gains from the agreement.
+
+        Each segment runs ``party – counterparty – target`` where
+        ``target`` is offered by the counterparty.
+        """
+        partner = self.counterparty(party)
+        offer = self.offer_by(partner)
+        segments = []
+        for target in sorted(offer.all_targets):
+            if target == party:
+                continue
+            segments.append(PathSegment(beneficiary=party, partner=partner, target=target))
+        return tuple(segments)
+
+    def all_segments(self) -> tuple[PathSegment, ...]:
+        """All new path segments created by the agreement, both directions."""
+        return self.segments_for(self.party_x) + self.segments_for(self.party_y)
+
+    def is_grc_conforming(self, graph: ASGraph) -> bool:
+        """Whether every created segment would be allowed under the GRC.
+
+        A segment ``B–P–T`` is GRC-conforming (valley-free and
+        exportable) only if the beneficiary ``B`` is a customer of the
+        partner ``P`` or the target ``T`` is a customer of ``P``.  Classic
+        peering agreements conform; mutuality-based agreements generally
+        do not — that is exactly what makes them *novel*.
+        """
+        for segment in self.all_segments():
+            partner_customers = graph.customers(segment.partner)
+            if segment.beneficiary in partner_customers:
+                continue
+            if segment.target in partner_customers:
+                continue
+            return False
+        return True
+
+    def validate_against(self, graph: ASGraph) -> None:
+        """Check the agreement is consistent with a topology.
+
+        The parties must be neighbors (the new segments traverse the link
+        between them), and every offered AS must actually hold the
+        claimed role for the offering party.
+        """
+        if self.party_x not in graph or self.party_y not in graph:
+            raise AgreementError("both parties must exist in the topology")
+        if not graph.has_link(self.party_x, self.party_y):
+            raise AgreementError(
+                f"parties {self.party_x} and {self.party_y} are not interconnected"
+            )
+        for party, offer in ((self.party_x, self.offer_x), (self.party_y, self.offer_y)):
+            wrong_providers = offer.providers - graph.providers(party)
+            wrong_peers = offer.peers - graph.peers(party)
+            wrong_customers = offer.customers - graph.customers(party)
+            problems = []
+            if wrong_providers:
+                problems.append(f"not providers of {party}: {sorted(wrong_providers)}")
+            if wrong_peers:
+                problems.append(f"not peers of {party}: {sorted(wrong_peers)}")
+            if wrong_customers:
+                problems.append(f"not customers of {party}: {sorted(wrong_customers)}")
+            if problems:
+                raise AgreementError("; ".join(problems))
+
+    def notation(self, names: dict[int, str] | None = None) -> str:
+        """Paper notation, e.g. ``[D(↑{A});E(↑{B},→{F})]``."""
+        def label(asn: int) -> str:
+            return names[asn] if names and asn in names else str(asn)
+
+        def offer_text(offer: AccessOffer) -> str:
+            parts = []
+            for symbol, targets in (
+                ("↑", offer.providers),
+                ("→", offer.peers),
+                ("↓", offer.customers),
+            ):
+                if targets:
+                    inner = ",".join(label(t) for t in sorted(targets))
+                    parts.append(f"{symbol}{{{inner}}}")
+            return ",".join(parts) if parts else "∅"
+
+        return (
+            f"[{label(self.party_x)}({offer_text(self.offer_x)});"
+            f"{label(self.party_y)}({offer_text(self.offer_y)})]"
+        )
+
+    def __str__(self) -> str:
+        return self.notation()

@@ -1,0 +1,216 @@
+"""Monitoring of flow-volume agreement conditions (§III / §IV-A).
+
+The paper envisages that mutuality-based agreements "contain conditions
+that must be respected in order to preserve the positive value of the
+agreement for both parties".  For flow-volume agreements those conditions
+are the negotiated per-segment volume targets; their main selling point
+over cash compensation is *predictability* — the parties can enforce the
+limits.  This module provides that enforcement layer:
+
+- :class:`SegmentUsage` — realized traffic on one agreement segment over
+  a billing period,
+- :class:`ComplianceReport` — per-segment comparison of realized volumes
+  against the negotiated targets, with overage volumes and an overall
+  verdict,
+- :func:`check_compliance` — build the report from realized usage,
+- :func:`realized_scenario` — re-evaluate the agreement's utilities with
+  the *realized* traffic instead of the negotiated estimate, which is how
+  a party detects that an agreement has stopped paying off and should be
+  renegotiated.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.agreements.scenario import AgreementScenario, SegmentTraffic
+from repro.optimization.flow_volume import FlowVolumeResult
+
+
+@dataclass(frozen=True)
+class SegmentUsage:
+    """Realized traffic on one agreement segment during a billing period."""
+
+    path: tuple[int, int, int]
+    rerouted_volume: float
+    attracted_volume: float
+
+    def __post_init__(self) -> None:
+        if self.rerouted_volume < 0.0 or self.attracted_volume < 0.0:
+            raise ValueError("realized volumes must be non-negative")
+
+    @property
+    def total_volume(self) -> float:
+        """Total realized volume on the segment."""
+        return self.rerouted_volume + self.attracted_volume
+
+
+@dataclass(frozen=True)
+class SegmentCompliance:
+    """Compliance of one segment against its negotiated target."""
+
+    path: tuple[int, int, int]
+    allowance: float
+    realized: float
+
+    @property
+    def overage(self) -> float:
+        """Volume exceeding the allowance (zero when compliant)."""
+        return max(0.0, self.realized - self.allowance)
+
+    @property
+    def utilization(self) -> float:
+        """Realized volume as a fraction of the allowance (∞ if allowance is 0)."""
+        if self.allowance <= 0.0:
+            return float("inf") if self.realized > 0.0 else 0.0
+        return self.realized / self.allowance
+
+    @property
+    def compliant(self) -> bool:
+        """Whether the realized volume stays within the allowance."""
+        return self.overage <= 1e-9
+
+
+@dataclass
+class ComplianceReport:
+    """Per-segment compliance of an agreement for one billing period."""
+
+    segments: list[SegmentCompliance] = field(default_factory=list)
+
+    @property
+    def compliant(self) -> bool:
+        """Whether every segment respected its allowance."""
+        return all(segment.compliant for segment in self.segments)
+
+    @property
+    def total_overage(self) -> float:
+        """Total volume sent in excess of the negotiated allowances."""
+        return sum(segment.overage for segment in self.segments)
+
+    def violations(self) -> tuple[SegmentCompliance, ...]:
+        """Segments whose allowance was exceeded."""
+        return tuple(segment for segment in self.segments if not segment.compliant)
+
+    def segment(self, path: tuple[int, int, int]) -> SegmentCompliance:
+        """Compliance record of a specific segment."""
+        for segment in self.segments:
+            if segment.path == path:
+                return segment
+        raise KeyError(f"no compliance record for segment {path}")
+
+
+def check_compliance(
+    result: FlowVolumeResult,
+    usage: Mapping[tuple[int, int, int], SegmentUsage] | list[SegmentUsage],
+) -> ComplianceReport:
+    """Compare realized segment usage against negotiated flow-volume targets.
+
+    Segments without any realized usage are treated as carrying zero
+    traffic (trivially compliant); realized usage on segments that are
+    not part of the agreement is rejected, since traffic on such paths
+    is simply not authorized.
+    """
+    if isinstance(usage, list):
+        usage_by_path = {entry.path: entry for entry in usage}
+    else:
+        usage_by_path = dict(usage)
+
+    known_paths = {target.path for target in result.targets}
+    unknown = set(usage_by_path) - known_paths
+    if unknown:
+        raise ValueError(
+            f"realized usage reported for segments outside the agreement: {sorted(unknown)}"
+        )
+
+    report = ComplianceReport()
+    for target in result.targets:
+        realized = usage_by_path.get(target.path)
+        realized_volume = realized.total_volume if realized is not None else 0.0
+        report.segments.append(
+            SegmentCompliance(
+                path=target.path,
+                allowance=target.total_allowance,
+                realized=realized_volume,
+            )
+        )
+    return report
+
+
+def realized_scenario(
+    scenario: AgreementScenario,
+    usage: Mapping[tuple[int, int, int], SegmentUsage] | list[SegmentUsage],
+) -> AgreementScenario:
+    """Rebuild the agreement scenario with realized instead of estimated traffic.
+
+    The rerouted / attracted split of each segment is preserved from the
+    realized usage; per-neighbor attributions are scaled proportionally
+    from the original estimates (the billing systems of the two parties
+    know the aggregate volumes per segment, not the original forecast
+    breakdown).  Re-evaluating the agreement utilities on the returned
+    scenario shows each party what the agreement is *actually* worth.
+    """
+    if isinstance(usage, list):
+        usage_by_path = {entry.path: entry for entry in usage}
+    else:
+        usage_by_path = dict(usage)
+
+    realized_segments: list[SegmentTraffic] = []
+    for traffic in scenario.segments:
+        realized = usage_by_path.get(traffic.segment.path)
+        if realized is None:
+            realized_segments.append(
+                SegmentTraffic(
+                    segment=traffic.segment,
+                    rerouted={},
+                    attracted={},
+                    attracted_limits=dict(traffic.attracted_limits),
+                )
+            )
+            continue
+        rerouted_total = traffic.rerouted_volume
+        attracted_total = traffic.attracted_volume
+        if rerouted_total > 0.0:
+            rerouted = {
+                neighbor: volume / rerouted_total * realized.rerouted_volume
+                for neighbor, volume in traffic.rerouted.items()
+            }
+        else:
+            rerouted = {None: realized.rerouted_volume} if realized.rerouted_volume else {}
+        if attracted_total > 0.0:
+            attracted = {
+                customer: volume / attracted_total * realized.attracted_volume
+                for customer, volume in traffic.attracted.items()
+            }
+        else:
+            from repro.economics.traffic import ENDHOSTS
+
+            attracted = (
+                {ENDHOSTS: realized.attracted_volume} if realized.attracted_volume else {}
+            )
+        realized_segments.append(
+            SegmentTraffic(
+                segment=traffic.segment,
+                rerouted=rerouted,
+                attracted=attracted,
+                attracted_limits=dict(traffic.attracted_limits),
+            )
+        )
+    return scenario.with_segments(realized_segments)
+
+
+def overage_charge(
+    report: ComplianceReport,
+    *,
+    unit_price: float,
+) -> float:
+    """Money owed for exceeding the negotiated allowances.
+
+    A simple linear overage tariff: agreements in practice either police
+    excess traffic (drop it) or bill it at a penalty rate; this helper
+    supports the latter so that compliance monitoring can feed directly
+    into settlement.
+    """
+    if unit_price < 0.0:
+        raise ValueError("the overage unit price must be non-negative")
+    return unit_price * report.total_overage

@@ -1,0 +1,108 @@
+"""Mutuality-based agreements (MAs) — the paper's novel agreement type.
+
+A mutuality-based agreement lets two peering ASes exchange access to
+neighbors that the Gao–Rexford conditions would keep off limits: each
+party grants the other access to (a subset of) its providers and peers,
+in exchange for the symmetric favour.  The resulting path segments
+violate the GRC (a peer's traffic is forwarded towards a provider or
+another peer) but are safe in a path-aware network (§II) and can be made
+economically attractive through the qualification methods of §IV.
+
+The enumeration rule of §VI is implemented by
+:func:`enumerate_mutuality_agreements`: for every pair of peers ``(A, B)``
+generate the MA in which ``A`` gives ``B`` access to all of ``A``'s
+providers and peers that are not customers of ``B``, and vice versa.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.agreements.agreement import AccessOffer, Agreement, AgreementError
+from repro.topology.fixtures import AS_A, AS_B, AS_D, AS_E, AS_F
+from repro.topology.graph import ASGraph
+
+
+def mutuality_agreement(
+    graph: ASGraph,
+    left: int,
+    right: int,
+    *,
+    include_peers: bool = True,
+    include_providers: bool = True,
+) -> Agreement | None:
+    """Build the maximal mutuality-based agreement between two peers.
+
+    ``left`` offers ``right`` access to all of its providers and peers
+    that are not already customers of ``right`` (reaching them through
+    ``right``'s own customer links would be pointless), and vice versa.
+    Returns ``None`` when neither side has anything to offer.
+    """
+    if left not in graph or right not in graph:
+        raise AgreementError("both parties must exist in the topology")
+    if right not in graph.peers(left):
+        raise AgreementError(
+            f"mutuality-based agreements are concluded between peers; "
+            f"ASes {left} and {right} are not peers"
+        )
+
+    def build_offer(owner: int, beneficiary: int) -> AccessOffer:
+        excluded = graph.customers(beneficiary) | {owner, beneficiary}
+        providers = graph.providers(owner) - excluded if include_providers else frozenset()
+        peers = graph.peers(owner) - excluded if include_peers else frozenset()
+        return AccessOffer.of(providers=providers, peers=peers)
+
+    offer_left = build_offer(left, right)
+    offer_right = build_offer(right, left)
+    if offer_left.is_empty() and offer_right.is_empty():
+        return None
+    return Agreement(party_x=left, party_y=right, offer_x=offer_left, offer_y=offer_right)
+
+
+def enumerate_mutuality_agreements(
+    graph: ASGraph,
+    *,
+    include_peers: bool = True,
+    include_providers: bool = True,
+) -> Iterator[Agreement]:
+    """Yield the maximal MA for every peering link of the topology (§VI)."""
+    seen: set[frozenset[int]] = set()
+    for asn in graph:
+        for peer in graph.peers(asn):
+            key = frozenset((asn, peer))
+            if key in seen:
+                continue
+            seen.add(key)
+            agreement = mutuality_agreement(
+                graph,
+                asn,
+                peer,
+                include_peers=include_peers,
+                include_providers=include_providers,
+            )
+            if agreement is not None:
+                yield agreement
+
+
+def figure1_mutuality_agreement(graph: ASGraph | None = None) -> Agreement:
+    """The worked example of §III-B2 on the Fig. 1 topology.
+
+    ``a = [D(↑{A}); E(↑{B}, →{F})]``: D offers E access to its provider
+    A, E in return offers D access to its provider B and its peer F.
+    """
+    agreement = Agreement(
+        party_x=AS_D,
+        party_y=AS_E,
+        offer_x=AccessOffer.of(providers={AS_A}),
+        offer_y=AccessOffer.of(providers={AS_B}, peers={AS_F}),
+    )
+    if graph is not None:
+        agreement.validate_against(graph)
+    return agreement
+
+
+def agreements_involving(
+    agreements: list[Agreement], asn: int
+) -> list[Agreement]:
+    """Filter a list of agreements to those with the given AS as a party."""
+    return [a for a in agreements if asn in a.parties]

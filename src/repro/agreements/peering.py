@@ -1,0 +1,61 @@
+"""Classic peering agreements (§III-B1).
+
+In a classic peering agreement two ASes provide each other access to all
+of their respective customers: ``a_p = [D(↓γ(D)); E(↓γ(E))]``.  Such
+agreements conform to the Gao–Rexford conditions and exist in today's
+Internet; the module exists both as a baseline against the novel
+mutuality-based agreements and because the paper's worked example
+(Fig. 1, ASes D and E) is a peering agreement.
+"""
+
+from __future__ import annotations
+
+from repro.agreements.agreement import AccessOffer, Agreement, AgreementError
+from repro.topology.graph import ASGraph
+
+
+def classic_peering_agreement(
+    graph: ASGraph,
+    left: int,
+    right: int,
+    *,
+    require_peering_link: bool = True,
+) -> Agreement:
+    """Build the classic peering agreement between two ASes.
+
+    Each party offers access to all of its direct customers.  By default
+    the two ASes must already be connected by a peering link (the
+    agreement governs how that link is used); pass
+    ``require_peering_link=False`` to model the *negotiation* of a new
+    peering link between currently unconnected ASes.
+    """
+    if left not in graph or right not in graph:
+        raise AgreementError("both parties must exist in the topology")
+    if require_peering_link:
+        if not graph.has_link(left, right):
+            raise AgreementError(f"ASes {left} and {right} are not interconnected")
+        if right not in graph.peers(left):
+            raise AgreementError(
+                f"ASes {left} and {right} are not peers; a classic peering agreement "
+                "governs a peering link"
+            )
+    offer_left = AccessOffer.of(customers=graph.customers(left) - {right})
+    offer_right = AccessOffer.of(customers=graph.customers(right) - {left})
+    return Agreement(
+        party_x=left, party_y=right, offer_x=offer_left, offer_y=offer_right
+    )
+
+
+def is_classic_peering(agreement: Agreement, graph: ASGraph) -> bool:
+    """Whether an agreement only exchanges access to customers.
+
+    Such agreements are exactly the GRC-conforming ones a peering link
+    enables today (both offers consist of customers only).
+    """
+    for party in agreement.parties:
+        offer = agreement.offer_by(party)
+        if offer.providers or offer.peers:
+            return False
+        if not offer.customers <= graph.customers(party):
+            return False
+    return True

@@ -1,0 +1,185 @@
+"""Traffic scenarios for agreement evaluation (§III-B2, Eq. 7).
+
+Whether an agreement is worth concluding depends on how traffic changes
+once it is in force.  The paper distinguishes, per new path segment,
+
+- *rerouted* existing traffic ``f↕`` — traffic the beneficiary already
+  exchanged with the target but previously forwarded through one of its
+  providers (or a peer) and now sends over the agreement partner, and
+- *newly attracted* customer traffic ``Δf`` — additional traffic from
+  the beneficiary's customers (including its end-hosts) drawn in by the
+  more attractive new path.
+
+A :class:`SegmentTraffic` captures both for a single segment; an
+:class:`AgreementScenario` bundles the segments of an agreement together
+with the baseline traffic distributions of the two parties.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping
+from dataclasses import dataclass, field
+
+from repro.agreements.agreement import Agreement, AgreementError, PathSegment
+from repro.economics.traffic import FlowVector
+
+
+@dataclass(frozen=True)
+class SegmentTraffic:
+    """Expected traffic on one new path segment of an agreement.
+
+    Parameters
+    ----------
+    segment:
+        The new path segment ``beneficiary – partner – target``.
+    rerouted:
+        Existing traffic the beneficiary shifts onto the segment, keyed
+        by the neighbor it previously used for that traffic (a provider
+        AS number, or ``None`` when the previous path went over a peer
+        and therefore saved no transit charge).
+    attracted:
+        Newly attracted customer traffic, keyed by the beneficiary's
+        customer that originates it (an AS number or
+        :data:`repro.economics.traffic.ENDHOSTS`).
+    attracted_limits:
+        Optional per-customer ceilings ``Δf_max`` on attracted traffic,
+        used by the flow-volume optimization (constraint III).
+    """
+
+    segment: PathSegment
+    rerouted: Mapping[int | None, float] = field(default_factory=dict)
+    attracted: Mapping[Hashable, float] = field(default_factory=dict)
+    attracted_limits: Mapping[Hashable, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for label, volumes in (("rerouted", self.rerouted), ("attracted", self.attracted)):
+            for key, volume in volumes.items():
+                if volume < 0.0:
+                    raise ValueError(
+                        f"{label} volume for {key!r} must be non-negative, got {volume}"
+                    )
+        for key, limit in self.attracted_limits.items():
+            if limit < 0.0:
+                raise ValueError(f"attracted limit for {key!r} must be non-negative")
+        object.__setattr__(self, "rerouted", dict(self.rerouted))
+        object.__setattr__(self, "attracted", dict(self.attracted))
+        object.__setattr__(self, "attracted_limits", dict(self.attracted_limits))
+
+    @property
+    def rerouted_volume(self) -> float:
+        """Total rerouted volume ``f↕`` on the segment."""
+        return sum(self.rerouted.values())
+
+    @property
+    def attracted_volume(self) -> float:
+        """Total newly attracted volume ``Δf`` on the segment."""
+        return sum(self.attracted.values())
+
+    @property
+    def total_volume(self) -> float:
+        """Total volume ``f^(a)`` on the segment."""
+        return self.rerouted_volume + self.attracted_volume
+
+    def attracted_limit(self, customer: Hashable) -> float:
+        """Demand ceiling ``Δf_max`` for a customer (default: its attracted volume)."""
+        if customer in self.attracted_limits:
+            return float(self.attracted_limits[customer])
+        return float(self.attracted.get(customer, 0.0))
+
+    def scaled(
+        self,
+        *,
+        rerouted_factor: float = 1.0,
+        attracted_factor: float = 1.0,
+    ) -> "SegmentTraffic":
+        """Return a copy with rerouted/attracted volumes scaled.
+
+        Used by the flow-volume optimization to explore different volume
+        allowances without rebuilding the scenario.
+        """
+        if rerouted_factor < 0.0 or attracted_factor < 0.0:
+            raise ValueError("scaling factors must be non-negative")
+        return SegmentTraffic(
+            segment=self.segment,
+            rerouted={k: v * rerouted_factor for k, v in self.rerouted.items()},
+            attracted={k: v * attracted_factor for k, v in self.attracted.items()},
+            attracted_limits=dict(self.attracted_limits),
+        )
+
+
+@dataclass
+class AgreementScenario:
+    """An agreement plus the traffic changes it is expected to induce."""
+
+    agreement: Agreement
+    segments: list[SegmentTraffic] = field(default_factory=list)
+    baseline: dict[int, FlowVector] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        valid_segments = {s.path for s in self.agreement.all_segments()}
+        for traffic in self.segments:
+            if traffic.segment.path not in valid_segments:
+                raise AgreementError(
+                    f"segment {traffic.segment.path} is not created by agreement "
+                    f"{self.agreement}"
+                )
+        for party in self.agreement.parties:
+            self.baseline.setdefault(party, FlowVector())
+        self._check_rerouted_against_baseline()
+
+    def _check_rerouted_against_baseline(self) -> None:
+        """Rerouted traffic must exist in the baseline it is rerouted from.
+
+        For every party and every previously used neighbor, the total
+        volume declared as rerouted over the agreement partner cannot
+        exceed the baseline flow the party exchanges with that neighbor —
+        otherwise the scenario claims savings on traffic that does not
+        exist.
+        """
+        for party in self.agreement.parties:
+            rerouted_per_neighbor: dict[int, float] = {}
+            for traffic in self.segments_used_by(party):
+                for neighbor, volume in traffic.rerouted.items():
+                    if neighbor is None or volume <= 0.0:
+                        continue
+                    rerouted_per_neighbor[neighbor] = (
+                        rerouted_per_neighbor.get(neighbor, 0.0) + volume
+                    )
+            baseline = self.baseline[party]
+            for neighbor, volume in rerouted_per_neighbor.items():
+                available = baseline.get(neighbor)
+                if volume > available + 1e-9:
+                    raise AgreementError(
+                        f"party {party} reroutes {volume:.3f} units away from "
+                        f"neighbor {neighbor} but its baseline only carries "
+                        f"{available:.3f} units on that link"
+                    )
+
+    def baseline_flows(self, party: int) -> FlowVector:
+        """Baseline traffic distribution ``f_X`` of a party."""
+        if party not in self.agreement.parties:
+            raise AgreementError(f"AS {party} is not a party of this agreement")
+        return self.baseline[party]
+
+    def segments_used_by(self, party: int) -> tuple[SegmentTraffic, ...]:
+        """Segments on which the given party is the beneficiary."""
+        return tuple(s for s in self.segments if s.segment.beneficiary == party)
+
+    def segments_carried_by(self, party: int) -> tuple[SegmentTraffic, ...]:
+        """Segments on which the given party is the forwarding partner."""
+        return tuple(s for s in self.segments if s.segment.partner == party)
+
+    def segment_traffic(self, path: tuple[int, int, int]) -> SegmentTraffic:
+        """Traffic description of a specific segment path."""
+        for traffic in self.segments:
+            if traffic.segment.path == path:
+                return traffic
+        raise KeyError(f"no traffic defined for segment {path}")
+
+    def with_segments(self, segments: list[SegmentTraffic]) -> "AgreementScenario":
+        """Return a copy of the scenario with a different segment list."""
+        return AgreementScenario(
+            agreement=self.agreement,
+            segments=list(segments),
+            baseline={party: flows.copy() for party, flows in self.baseline.items()},
+        )

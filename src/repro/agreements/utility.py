@@ -1,0 +1,134 @@
+"""Agreement-utility computation (§III-B, Eqs. 3–7).
+
+The utility of an agreement ``a`` to a party ``X`` is the change in its
+profit caused by the agreement-induced change of its traffic
+distribution:
+
+``u_X(a) = U_X(f^(a)_X) − U_X(f_X) = Δr_X − Δc_X``                (Eq. 3)
+
+This module turns an :class:`~repro.agreements.scenario.AgreementScenario`
+into post-agreement flow vectors (Eq. 7c) and evaluates Δr, Δc, and the
+agreement utility against each party's
+:class:`~repro.economics.business.ASBusiness` model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agreements.agreement import AgreementError
+from repro.agreements.scenario import AgreementScenario
+from repro.economics.business import ASBusiness
+from repro.economics.traffic import FlowVector
+
+
+@dataclass(frozen=True)
+class UtilityBreakdown:
+    """Decomposition of an agreement's utility for one party."""
+
+    party: int
+    revenue_change: float
+    cost_change: float
+
+    @property
+    def utility(self) -> float:
+        """Agreement utility ``u = Δr − Δc``."""
+        return self.revenue_change - self.cost_change
+
+
+def flows_with_agreement(scenario: AgreementScenario, party: int) -> FlowVector:
+    """Post-agreement traffic distribution ``f^(a)_X`` of a party (Eq. 7c).
+
+    Three effects are applied on top of the baseline:
+
+    1. Segments the party *uses* (it is the beneficiary): the segment's
+       total volume now crosses the link to the agreement partner;
+       rerouted volume leaves the previously used provider/peer link;
+       newly attracted volume additionally enters through the customer
+       that originates it.
+    2. Segments the party *carries* (it is the forwarding partner): the
+       segment's total volume crosses both the link to the beneficiary
+       and the link to the target.
+    3. Everything else stays at the baseline.
+    """
+    agreement = scenario.agreement
+    if party not in agreement.parties:
+        raise AgreementError(f"AS {party} is not a party of agreement {agreement}")
+    partner = agreement.counterparty(party)
+    flows = scenario.baseline_flows(party).copy()
+
+    for traffic in scenario.segments_used_by(party):
+        flows.add(partner, traffic.total_volume)
+        for previous_neighbor, volume in traffic.rerouted.items():
+            if previous_neighbor is not None and volume > 0.0:
+                flows.add(previous_neighbor, -volume)
+        for customer, volume in traffic.attracted.items():
+            if volume > 0.0:
+                flows.add(customer, volume)
+
+    for traffic in scenario.segments_carried_by(party):
+        flows.add(traffic.segment.beneficiary, traffic.total_volume)
+        flows.add(traffic.segment.target, traffic.total_volume)
+
+    return flows
+
+
+def utility_breakdown(
+    scenario: AgreementScenario,
+    party: int,
+    business: ASBusiness,
+) -> UtilityBreakdown:
+    """Δr, Δc, and utility of the agreement for one party (Eqs. 3, 7a, 7b)."""
+    if business.asn != party:
+        raise AgreementError(
+            f"business model belongs to AS {business.asn}, not to party {party}"
+        )
+    before = scenario.baseline_flows(party)
+    after = flows_with_agreement(scenario, party)
+    revenue_change = business.revenue(after) - business.revenue(before)
+    cost_change = business.cost(after) - business.cost(before)
+    return UtilityBreakdown(
+        party=party, revenue_change=revenue_change, cost_change=cost_change
+    )
+
+
+def agreement_utility(
+    scenario: AgreementScenario,
+    party: int,
+    business: ASBusiness,
+) -> float:
+    """Agreement utility ``u_X(a)`` of one party."""
+    return utility_breakdown(scenario, party, business).utility
+
+
+def joint_utilities(
+    scenario: AgreementScenario,
+    businesses: dict[int, ASBusiness],
+) -> dict[int, float]:
+    """Agreement utility of both parties, keyed by AS number."""
+    utilities = {}
+    for party in scenario.agreement.parties:
+        if party not in businesses:
+            raise AgreementError(f"no business model for party {party}")
+        utilities[party] = agreement_utility(scenario, party, businesses[party])
+    return utilities
+
+
+def is_mutually_beneficial(
+    scenario: AgreementScenario,
+    businesses: dict[int, ASBusiness],
+) -> bool:
+    """Whether both parties obtain non-negative utility (conclusion condition)."""
+    return all(value >= 0.0 for value in joint_utilities(scenario, businesses).values())
+
+
+def joint_surplus(
+    scenario: AgreementScenario,
+    businesses: dict[int, ASBusiness],
+) -> float:
+    """Total surplus ``u_X(a) + u_Y(a)``.
+
+    A cash-compensation agreement can be concluded if and only if this
+    surplus is non-negative (§IV-B).
+    """
+    return sum(joint_utilities(scenario, businesses).values())

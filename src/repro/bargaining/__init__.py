@@ -1,0 +1,84 @@
+"""The BOSCO bargaining mechanism (§V).
+
+Utility distributions, choice sets, threshold strategies and the
+best-response computation of Algorithm 1, Nash equilibria of the
+bargaining game, bargaining-efficiency metrics (expected Nash product,
+Price of Dishonesty), and the BOSCO service that configures and
+supervises automated inter-AS negotiations.
+"""
+
+from repro.bargaining.baselines import (
+    PostedPriceMechanism,
+    PostedPriceOutcome,
+    optimal_posted_price,
+)
+from repro.bargaining.choices import (
+    CANCEL,
+    ChoiceSet,
+    quantile_choice_set,
+    random_choice_set,
+)
+from repro.bargaining.distributions import (
+    JointUtilityDistribution,
+    TruncatedNormalUtilityDistribution,
+    UniformUtilityDistribution,
+    UtilityDistribution,
+    paper_distribution_u1,
+    paper_distribution_u2,
+)
+from repro.bargaining.efficiency import (
+    expected_nash_product,
+    expected_truthful_nash_product,
+    nash_product_value,
+    price_of_dishonesty,
+)
+from repro.bargaining.game import (
+    BargainingGame,
+    EquilibriumError,
+    StrategyProfile,
+    choice_probabilities,
+    response_lines,
+)
+from repro.bargaining.mechanism import (
+    BoscoService,
+    ChoiceSetTrialResult,
+    MechanismInformation,
+    NegotiationOutcome,
+)
+from repro.bargaining.strategy import (
+    ThresholdStrategy,
+    compute_best_response,
+    truthful_like_strategy,
+)
+
+__all__ = [
+    "UtilityDistribution",
+    "UniformUtilityDistribution",
+    "TruncatedNormalUtilityDistribution",
+    "JointUtilityDistribution",
+    "paper_distribution_u1",
+    "paper_distribution_u2",
+    "CANCEL",
+    "ChoiceSet",
+    "random_choice_set",
+    "quantile_choice_set",
+    "ThresholdStrategy",
+    "truthful_like_strategy",
+    "compute_best_response",
+    "BargainingGame",
+    "StrategyProfile",
+    "EquilibriumError",
+    "choice_probabilities",
+    "response_lines",
+    "nash_product_value",
+    "expected_nash_product",
+    "expected_truthful_nash_product",
+    "price_of_dishonesty",
+    "BoscoService",
+    "MechanismInformation",
+    "NegotiationOutcome",
+    "ChoiceSetTrialResult",
+    "PostedPriceMechanism",
+    "PostedPriceOutcome",
+    "optimal_posted_price",
+]

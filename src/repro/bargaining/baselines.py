@@ -1,0 +1,144 @@
+"""Baseline bargaining mechanisms to compare against BOSCO (§V-B).
+
+The paper motivates BOSCO by arguing that perfectly incentive-compatible
+mechanisms often pay for truthfulness with cancelled negotiations (e.g.
+Myerson's randomized arbitration), so a mechanism that tolerates small,
+structured deviations from truthfulness can be *more* efficient.  To make
+that comparison concrete, this module implements the classic
+**posted-price arbitration** baseline:
+
+- the arbitrator draws (or optimizes) a single cash transfer ``Π``,
+- each party simultaneously accepts or rejects; accepting is a dominant
+  strategy exactly when the party's after-transfer utility is
+  non-negative, so the mechanism is dominant-strategy incentive
+  compatible (DSIC),
+- the agreement is concluded iff both accept, with transfer ``Π``.
+
+The mechanism is budget-balanced and ex-post individually rational, but
+it is not ex-post efficient: agreements whose surplus is positive but
+"straddles" the posted price are cancelled.  Its efficiency can be
+evaluated with the same expected-Nash-product / Price-of-Dishonesty
+machinery used for BOSCO, which is what the comparison benchmark does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bargaining.distributions import JointUtilityDistribution
+from repro.bargaining.efficiency import expected_truthful_nash_product
+
+
+@dataclass(frozen=True)
+class PostedPriceOutcome:
+    """Result of one posted-price arbitration."""
+
+    price: float
+    accepted_x: bool
+    accepted_y: bool
+    true_utility_x: float
+    true_utility_y: float
+
+    @property
+    def concluded(self) -> bool:
+        """Whether both parties accepted the posted transfer."""
+        return self.accepted_x and self.accepted_y
+
+    @property
+    def post_utility_x(self) -> float:
+        """After-arbitration utility of party X."""
+        return self.true_utility_x - self.price if self.concluded else 0.0
+
+    @property
+    def post_utility_y(self) -> float:
+        """After-arbitration utility of party Y."""
+        return self.true_utility_y + self.price if self.concluded else 0.0
+
+    @property
+    def nash_product(self) -> float:
+        """Nash product of the after-arbitration utilities."""
+        return self.post_utility_x * self.post_utility_y
+
+
+class PostedPriceMechanism:
+    """Posted-price (take-it-or-leave-it) arbitration between two ASes."""
+
+    def __init__(self, price: float) -> None:
+        self.price = float(price)
+
+    def arbitrate(self, true_utility_x: float, true_utility_y: float) -> PostedPriceOutcome:
+        """Run one arbitration with the truthful dominant strategies."""
+        accepted_x = true_utility_x - self.price >= 0.0
+        accepted_y = true_utility_y + self.price >= 0.0
+        return PostedPriceOutcome(
+            price=self.price,
+            accepted_x=accepted_x,
+            accepted_y=accepted_y,
+            true_utility_x=true_utility_x,
+            true_utility_y=true_utility_y,
+        )
+
+    def expected_nash_product(
+        self, distribution: JointUtilityDistribution
+    ) -> float:
+        """Expected Nash product under the joint utility distribution.
+
+        The acceptance region is the product set
+        ``{u_X ≥ Π} × {u_Y ≥ −Π}``, so for independent marginals the
+        integral factorizes into partial moments of the marginals —
+        the same decomposition used for BOSCO's threshold strategies.
+        """
+        marginal_x = distribution.marginal_x
+        marginal_y = distribution.marginal_y
+        low_x = max(self.price, marginal_x.lower)
+        low_y = max(-self.price, marginal_y.lower)
+        if low_x >= marginal_x.upper or low_y >= marginal_y.upper:
+            return 0.0
+        mass_x = marginal_x.mass(low_x, marginal_x.upper)
+        mean_x = marginal_x.partial_mean(low_x, marginal_x.upper)
+        mass_y = marginal_y.mass(low_y, marginal_y.upper)
+        mean_y = marginal_y.partial_mean(low_y, marginal_y.upper)
+        return (mean_x - self.price * mass_x) * (mean_y + self.price * mass_y)
+
+    def efficiency_loss(self, distribution: JointUtilityDistribution) -> float:
+        """Efficiency loss relative to universal truthfulness (PoD analogue)."""
+        truthful = expected_truthful_nash_product(distribution)
+        if truthful <= 0.0:
+            raise ValueError(
+                "the efficiency loss is undefined when the truthful expected Nash "
+                "product is zero"
+            )
+        value = self.expected_nash_product(distribution)
+        return min(1.0, max(0.0, 1.0 - value / truthful))
+
+
+def optimal_posted_price(
+    distribution: JointUtilityDistribution,
+    *,
+    grid_size: int = 201,
+) -> PostedPriceMechanism:
+    """The posted price maximizing the expected Nash product.
+
+    The price is searched on a grid spanning the range of transfers that
+    could possibly be accepted by both parties; the expected Nash product
+    is piecewise smooth in the price, so a grid search is adequate.
+    """
+    marginal_x = distribution.marginal_x
+    marginal_y = distribution.marginal_y
+    low = max(marginal_x.lower, -marginal_y.upper)
+    high = min(marginal_x.upper, -marginal_y.lower)
+    if high <= low:
+        # Any price in the feasible band works equally (nothing concludes);
+        # return the midpoint of the parties' supports as a neutral choice.
+        return PostedPriceMechanism((marginal_x.mean - marginal_y.mean) / 2.0)
+    prices = np.linspace(low, high, grid_size)
+    best_price = float(prices[0])
+    best_value = -np.inf
+    for price in prices:
+        value = PostedPriceMechanism(float(price)).expected_nash_product(distribution)
+        if value > best_value:
+            best_value = value
+            best_price = float(price)
+    return PostedPriceMechanism(best_price)

@@ -1,0 +1,115 @@
+"""Choice sets of the BOSCO bargaining game (§V-C2 and §V-E).
+
+Each party commits to one *choice* (a utility claim) from a finite
+choice set constructed by the BOSCO service.  Every choice set contains
+the sentinel ``−∞`` with which a party can cancel the negotiation, which
+is what gives the mechanism strong individual rationality.
+
+§V-E finds that *randomly sampling* the finite choices from the party's
+utility distribution works well in practice; the quantile-spaced
+construction is provided as the ablation alternative.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bargaining.distributions import UtilityDistribution
+
+CANCEL: float = float("-inf")
+
+
+@dataclass(frozen=True)
+class ChoiceSet:
+    """A finite, ordered set of claims available to one party.
+
+    The first entry is always the cancel option ``−∞``; the remaining
+    entries are finite and strictly increasing.
+    """
+
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("a choice set cannot be empty")
+        if self.values[0] != CANCEL:
+            raise ValueError("the first choice must be the cancel option −∞")
+        finite = self.values[1:]
+        if any(not math.isfinite(value) for value in finite):
+            raise ValueError("all choices besides the cancel option must be finite")
+        if any(b <= a for a, b in zip(finite, finite[1:])):
+            raise ValueError("choices must be strictly increasing")
+
+    @classmethod
+    def from_values(cls, values: list[float] | tuple[float, ...]) -> "ChoiceSet":
+        """Build a choice set from finite values; the cancel option is added."""
+        finite = sorted(set(float(v) for v in values))
+        if any(not math.isfinite(v) for v in finite):
+            raise ValueError("values must be finite; the cancel option is added automatically")
+        return cls(values=(CANCEL, *finite))
+
+    @property
+    def cardinality(self) -> int:
+        """Number of choices ``W`` including the cancel option."""
+        return len(self.values)
+
+    @property
+    def finite_values(self) -> tuple[float, ...]:
+        """All choices except the cancel option."""
+        return self.values[1:]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, index: int) -> float:
+        return self.values[index]
+
+    def index_of(self, value: float) -> int:
+        """Index of a choice value."""
+        return self.values.index(value)
+
+
+def random_choice_set(
+    distribution: UtilityDistribution,
+    size: int,
+    rng: np.random.Generator,
+) -> ChoiceSet:
+    """Sample ``size`` finite choices from a utility distribution (§V-E)."""
+    if size < 1:
+        raise ValueError("a choice set needs at least one finite choice")
+    samples: set[float] = set()
+    # Re-draw on collisions so the requested cardinality is reached even
+    # for small supports (collisions have probability zero anyway for
+    # continuous distributions, but floating-point duplicates can occur).
+    attempts = 0
+    while len(samples) < size and attempts < 100:
+        draw = distribution.sample(rng, size=size - len(samples))
+        samples.update(float(v) for v in np.atleast_1d(draw))
+        attempts += 1
+    return ChoiceSet.from_values(sorted(samples))
+
+
+def quantile_choice_set(distribution: UtilityDistribution, size: int) -> ChoiceSet:
+    """Deterministic choice set at evenly spaced quantiles of the distribution.
+
+    Used as the ablation alternative to the paper's random construction.
+    For distributions with an analytic mass function, the quantiles are
+    found by bisection over the support.
+    """
+    if size < 1:
+        raise ValueError("a choice set needs at least one finite choice")
+    values = []
+    for k in range(1, size + 1):
+        target = k / (size + 1)
+        low, high = distribution.lower, distribution.upper
+        for _ in range(60):
+            mid = (low + high) / 2.0
+            if distribution.mass(distribution.lower, mid) < target:
+                low = mid
+            else:
+                high = mid
+        values.append((low + high) / 2.0)
+    return ChoiceSet.from_values(values)

@@ -1,0 +1,220 @@
+"""The BOSCO bargaining game and its Nash equilibria (§V-C3–C5).
+
+Both parties simultaneously commit one choice from their choice set to
+the BOSCO service.  If the apparent utility surplus ``v_X + v_Y`` is
+non-negative, the agreement is concluded with cash compensation
+``Π_{X→Y} = (v_X − v_Y)/2``; otherwise the negotiation is cancelled and
+both parties obtain zero utility.
+
+Given the opponent's (threshold) strategy and utility distribution, the
+expected after-negotiation utility of committing choice ``v_{X,i}`` is
+linear in the true utility, ``m_i · u_X + q_i`` (Eqs. 14–17), so best
+responses are computed with Algorithm 1.  A Nash equilibrium is a pair
+of strategies that are mutual best responses; it is found by alternating
+best-response dynamics, which converged in all of the paper's
+simulations (and in ours).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.bargaining.choices import ChoiceSet
+from repro.bargaining.distributions import UtilityDistribution
+from repro.bargaining.strategy import (
+    ThresholdStrategy,
+    compute_best_response,
+    truthful_like_strategy,
+)
+
+
+class EquilibriumError(Exception):
+    """Raised when best-response dynamics fail to converge."""
+
+
+@dataclass(frozen=True)
+class StrategyProfile:
+    """A pair of strategies, one per party."""
+
+    strategy_x: ThresholdStrategy
+    strategy_y: ThresholdStrategy
+
+
+def choice_probabilities(
+    strategy: ThresholdStrategy, distribution: UtilityDistribution
+) -> list[float]:
+    """Probability that each choice is played, ``P[v_Z = v_{Z,i}]`` (Eq. 15).
+
+    The probability of choice ``i`` is the mass the utility distribution
+    assigns to the strategy's interval for ``i``.
+    """
+    probabilities = []
+    for index in range(len(strategy.choices)):
+        low, high = strategy.interval(index)
+        low = max(low, distribution.lower)
+        high = min(high, distribution.upper)
+        probabilities.append(distribution.mass(low, high) if high > low else 0.0)
+    return probabilities
+
+
+def response_lines(
+    own_choices: ChoiceSet,
+    opponent_choices: ChoiceSet,
+    opponent_probabilities: list[float],
+) -> tuple[list[float], list[float]]:
+    """Slopes ``m_i`` and intercepts ``q_i`` of the expected-utility lines.
+
+    ``m_i`` is the probability that the opponent's claim satisfies
+    ``v_Y ≥ −v_{X,i}`` (conclusion probability, Eq. 16); ``q_i`` is the
+    expected cash term over the concluding opponent claims (Eq. 17).
+    """
+    slopes: list[float] = []
+    intercepts: list[float] = []
+    for own_value in own_choices.values:
+        if math.isinf(own_value):
+            # The cancel option never concludes: zero expected utility.
+            slopes.append(0.0)
+            intercepts.append(0.0)
+            continue
+        slope = 0.0
+        intercept = 0.0
+        for opponent_value, probability in zip(
+            opponent_choices.values, opponent_probabilities
+        ):
+            if math.isinf(opponent_value):
+                continue
+            if opponent_value >= -own_value:
+                slope += probability
+                intercept += probability * (opponent_value - own_value) / 2.0
+        slopes.append(slope)
+        intercepts.append(intercept)
+    return slopes, intercepts
+
+
+@dataclass
+class BargainingGame:
+    """The one-shot bargaining game between two parties."""
+
+    distribution_x: UtilityDistribution
+    distribution_y: UtilityDistribution
+    choices_x: ChoiceSet
+    choices_y: ChoiceSet
+
+    def best_response(
+        self, party: str, opponent_strategy: ThresholdStrategy
+    ) -> ThresholdStrategy:
+        """Best-response strategy of a party against the opponent's strategy."""
+        if party == "x":
+            own_choices = self.choices_x
+            opponent_choices = self.choices_y
+            opponent_distribution = self.distribution_y
+        elif party == "y":
+            own_choices = self.choices_y
+            opponent_choices = self.choices_x
+            opponent_distribution = self.distribution_x
+        else:
+            raise ValueError(f"party must be 'x' or 'y', got {party!r}")
+        probabilities = choice_probabilities(opponent_strategy, opponent_distribution)
+        slopes, intercepts = response_lines(own_choices, opponent_choices, probabilities)
+        return compute_best_response(own_choices, slopes, intercepts)
+
+    def find_equilibrium(
+        self,
+        *,
+        initial_x: ThresholdStrategy | None = None,
+        initial_y: ThresholdStrategy | None = None,
+        max_iterations: int = 200,
+        tolerance: float = 1e-12,
+    ) -> StrategyProfile:
+        """Find a Nash equilibrium by alternating best-response dynamics.
+
+        The game is not a potential game, so convergence is not guaranteed
+        in theory.  In practice the dynamics converge within a few
+        iterations (as in the paper's simulations); when they enter a
+        cycle, the search restarts from a different initial strategy pair.
+        An :class:`EquilibriumError` is raised when every starting point
+        cycles.
+        """
+        if initial_x is not None or initial_y is not None:
+            starts = [
+                (
+                    initial_x or truthful_like_strategy(self.choices_x),
+                    initial_y or truthful_like_strategy(self.choices_y),
+                )
+            ]
+        else:
+            starts = self._default_starting_profiles()
+        for start_x, start_y in starts:
+            profile = self._iterate_best_responses(
+                start_x, start_y, max_iterations=max_iterations, tolerance=tolerance
+            )
+            if profile is not None:
+                return profile
+        raise EquilibriumError(
+            f"best-response dynamics did not converge within {max_iterations} "
+            "iterations from any starting profile"
+        )
+
+    def _default_starting_profiles(
+        self,
+    ) -> list[tuple[ThresholdStrategy, ThresholdStrategy]]:
+        """Starting strategy pairs tried by the equilibrium search."""
+        infinity = float("inf")
+
+        def always_cancel(choices: ChoiceSet) -> ThresholdStrategy:
+            thresholds = (float("-inf"),) + (infinity,) * (len(choices) - 1)
+            return ThresholdStrategy(choices=choices, thresholds=thresholds)
+
+        def always_maximal(choices: ChoiceSet) -> ThresholdStrategy:
+            thresholds = (float("-inf"),) * len(choices)
+            return ThresholdStrategy(choices=choices, thresholds=thresholds)
+
+        truthful_x = truthful_like_strategy(self.choices_x)
+        truthful_y = truthful_like_strategy(self.choices_y)
+        return [
+            (truthful_x, truthful_y),
+            (truthful_x, always_cancel(self.choices_y)),
+            (always_cancel(self.choices_x), truthful_y),
+            (always_maximal(self.choices_x), always_maximal(self.choices_y)),
+        ]
+
+    def _iterate_best_responses(
+        self,
+        strategy_x: ThresholdStrategy,
+        strategy_y: ThresholdStrategy,
+        *,
+        max_iterations: int,
+        tolerance: float,
+    ) -> StrategyProfile | None:
+        """Run best-response dynamics; None when a cycle is detected."""
+        seen: set[tuple[tuple[float, ...], tuple[float, ...]]] = set()
+        for _ in range(max_iterations):
+            next_x = self.best_response("x", strategy_y)
+            next_y = self.best_response("y", next_x)
+            converged = next_x.approximately_equal(
+                strategy_x, tolerance
+            ) and next_y.approximately_equal(strategy_y, tolerance)
+            strategy_x, strategy_y = next_x, next_y
+            if converged:
+                return StrategyProfile(strategy_x=strategy_x, strategy_y=strategy_y)
+            signature = (strategy_x.thresholds, strategy_y.thresholds)
+            if signature in seen:
+                return None
+            seen.add(signature)
+        return None
+
+    def is_equilibrium(
+        self, profile: StrategyProfile, tolerance: float = 1e-9
+    ) -> bool:
+        """Verify that a strategy profile is a pair of mutual best responses.
+
+        This is the check the negotiating parties themselves run on the
+        mechanism-information set before following the assigned
+        equilibrium strategies (§V-C6).
+        """
+        best_x = self.best_response("x", profile.strategy_y)
+        best_y = self.best_response("y", profile.strategy_x)
+        return best_x.approximately_equal(
+            profile.strategy_x, tolerance
+        ) and best_y.approximately_equal(profile.strategy_y, tolerance)

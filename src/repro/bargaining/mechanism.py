@@ -1,0 +1,243 @@
+"""The BOSCO service: choice-set construction and automated negotiation (§V).
+
+BOSCO (Bargaining in One Shot with Choice Optimization) works in three
+stages:
+
+1. *Configuration*: given utility-distribution estimates for both
+   parties, the service constructs choice sets (by random sampling from
+   the distributions, §V-E), computes a Nash equilibrium of the induced
+   bargaining game, and rates it by the Price of Dishonesty.  Several
+   random trials are performed and the best configuration is kept.
+2. *Publication*: the mechanism-information set (distributions, choice
+   sets, equilibrium) is communicated to the parties, which can verify
+   that the published profile really is an equilibrium.
+3. *Negotiation*: each party applies its equilibrium strategy to its
+   private true utility and commits the resulting claim; the service
+   concludes the agreement iff the apparent surplus is non-negative and
+   settles the cash compensation ``Π = (v_X − v_Y)/2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bargaining.choices import ChoiceSet, quantile_choice_set, random_choice_set
+from repro.bargaining.distributions import JointUtilityDistribution
+from repro.bargaining.efficiency import (
+    expected_nash_product,
+    expected_truthful_nash_product,
+    price_of_dishonesty,
+)
+from repro.bargaining.game import BargainingGame, EquilibriumError, StrategyProfile
+
+
+@dataclass(frozen=True)
+class MechanismInformation:
+    """The mechanism-information set published to the negotiating parties."""
+
+    distribution: JointUtilityDistribution
+    choices_x: ChoiceSet
+    choices_y: ChoiceSet
+    equilibrium: StrategyProfile
+    price_of_dishonesty: float
+    expected_nash_product: float
+
+    def game(self) -> BargainingGame:
+        """The bargaining game induced by this configuration."""
+        return BargainingGame(
+            distribution_x=self.distribution.marginal_x,
+            distribution_y=self.distribution.marginal_y,
+            choices_x=self.choices_x,
+            choices_y=self.choices_y,
+        )
+
+    def verify_equilibrium(self) -> bool:
+        """Party-side check that the published profile is a Nash equilibrium."""
+        return self.game().is_equilibrium(self.equilibrium)
+
+
+@dataclass(frozen=True)
+class NegotiationOutcome:
+    """Result of one BOSCO-mediated negotiation."""
+
+    claim_x: float
+    claim_y: float
+    concluded: bool
+    transfer_x_to_y: float
+    true_utility_x: float
+    true_utility_y: float
+
+    @property
+    def post_utility_x(self) -> float:
+        """After-negotiation utility of party X."""
+        if not self.concluded:
+            return 0.0
+        return self.true_utility_x - self.transfer_x_to_y
+
+    @property
+    def post_utility_y(self) -> float:
+        """After-negotiation utility of party Y."""
+        if not self.concluded:
+            return 0.0
+        return self.true_utility_y + self.transfer_x_to_y
+
+    @property
+    def nash_product(self) -> float:
+        """Nash product of the after-negotiation utilities."""
+        return self.post_utility_x * self.post_utility_y
+
+
+@dataclass(frozen=True)
+class ChoiceSetTrialResult:
+    """Outcome of one random choice-set trial during configuration."""
+
+    information: MechanismInformation | None
+    converged: bool
+
+
+class BoscoService:
+    """Configures and supervises BOSCO negotiations."""
+
+    def __init__(
+        self,
+        distribution: JointUtilityDistribution,
+        *,
+        seed: int = 0,
+        choice_construction: str = "random",
+    ) -> None:
+        if choice_construction not in ("random", "quantile"):
+            raise ValueError(
+                f"choice_construction must be 'random' or 'quantile', got "
+                f"{choice_construction!r}"
+            )
+        self.distribution = distribution
+        self.choice_construction = choice_construction
+        self._rng = np.random.default_rng(seed)
+        self._truthful_value = expected_truthful_nash_product(distribution)
+
+    @property
+    def truthful_expected_nash_product(self) -> float:
+        """``E[N | σ⊤]`` under the configured distribution."""
+        return self._truthful_value
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def run_trial(self, num_choices_x: int, num_choices_y: int) -> ChoiceSetTrialResult:
+        """Run one choice-set construction trial and evaluate its equilibrium."""
+        if self.choice_construction == "random":
+            choices_x = random_choice_set(
+                self.distribution.marginal_x, num_choices_x, self._rng
+            )
+            choices_y = random_choice_set(
+                self.distribution.marginal_y, num_choices_y, self._rng
+            )
+        else:
+            choices_x = quantile_choice_set(self.distribution.marginal_x, num_choices_x)
+            choices_y = quantile_choice_set(self.distribution.marginal_y, num_choices_y)
+        game = BargainingGame(
+            distribution_x=self.distribution.marginal_x,
+            distribution_y=self.distribution.marginal_y,
+            choices_x=choices_x,
+            choices_y=choices_y,
+        )
+        try:
+            equilibrium = game.find_equilibrium()
+        except EquilibriumError:
+            return ChoiceSetTrialResult(information=None, converged=False)
+        pod = price_of_dishonesty(
+            equilibrium, self.distribution, truthful_value=self._truthful_value
+        )
+        information = MechanismInformation(
+            distribution=self.distribution,
+            choices_x=choices_x,
+            choices_y=choices_y,
+            equilibrium=equilibrium,
+            price_of_dishonesty=pod,
+            expected_nash_product=expected_nash_product(equilibrium, self.distribution),
+        )
+        return ChoiceSetTrialResult(information=information, converged=True)
+
+    def configure(
+        self,
+        num_choices: int,
+        *,
+        trials: int = 20,
+    ) -> MechanismInformation:
+        """Pick the best configuration out of several random trials.
+
+        ``num_choices`` is the number of finite choices per party (the
+        paper's ``W_X = W_Y``); the configuration with the lowest Price
+        of Dishonesty is returned.
+        """
+        if trials < 1:
+            raise ValueError("at least one trial is required")
+        best: MechanismInformation | None = None
+        for _ in range(trials):
+            result = self.run_trial(num_choices, num_choices)
+            if result.information is None:
+                continue
+            if best is None or result.information.price_of_dishonesty < best.price_of_dishonesty:
+                best = result.information
+        if best is None:
+            raise EquilibriumError(
+                "no choice-set trial produced a converging equilibrium"
+            )
+        return best
+
+    def pod_statistics(
+        self,
+        num_choices: int,
+        *,
+        trials: int = 200,
+    ) -> dict[str, float]:
+        """Minimum and mean PoD over random choice-set trials (Fig. 2 data)."""
+        pods = []
+        equilibrium_choice_counts = []
+        for _ in range(trials):
+            result = self.run_trial(num_choices, num_choices)
+            if result.information is None:
+                continue
+            pods.append(result.information.price_of_dishonesty)
+            profile = result.information.equilibrium
+            equilibrium_choice_counts.append(
+                (
+                    len(profile.strategy_x.equilibrium_choice_indices())
+                    + len(profile.strategy_y.equilibrium_choice_indices())
+                )
+                / 2.0
+            )
+        if not pods:
+            raise EquilibriumError("no trial converged; cannot compute PoD statistics")
+        return {
+            "min": float(np.min(pods)),
+            "mean": float(np.mean(pods)),
+            "max": float(np.max(pods)),
+            "trials": float(len(pods)),
+            "mean_equilibrium_choices": float(np.mean(equilibrium_choice_counts)),
+        }
+
+    # ------------------------------------------------------------------
+    # Negotiation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def negotiate(
+        information: MechanismInformation,
+        true_utility_x: float,
+        true_utility_y: float,
+    ) -> NegotiationOutcome:
+        """Execute the bargaining game with the published equilibrium strategies."""
+        claim_x = information.equilibrium.strategy_x(true_utility_x)
+        claim_y = information.equilibrium.strategy_y(true_utility_y)
+        concluded = claim_x + claim_y >= 0.0
+        transfer = (claim_x - claim_y) / 2.0 if concluded else 0.0
+        return NegotiationOutcome(
+            claim_x=claim_x,
+            claim_y=claim_y,
+            concluded=concluded,
+            transfer_x_to_y=transfer,
+            true_utility_x=true_utility_x,
+            true_utility_y=true_utility_y,
+        )

@@ -1,0 +1,139 @@
+"""Command-line interface of the reproduction.
+
+Three subcommands cover the workflows a downstream user needs:
+
+``repro topology``
+    Generate a synthetic Internet-like AS topology and write it in the
+    CAIDA ``as-rel`` format (so it can be inspected, edited, or replaced
+    by a real CAIDA snapshot).
+
+``repro diversity``
+    Run the §VI path-diversity analysis on a topology file (or on a
+    freshly generated one) and print the Fig. 3/4-style summary.
+
+``repro experiments``
+    Run the full experiment harness (every figure) and print the
+    paper-vs-measured report — the same output as
+    ``python -m repro.experiments.runner``.
+
+Invoke as ``python -m repro.cli <subcommand> …``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.agreements import enumerate_mutuality_agreements
+from repro.experiments.runner import RunnerConfig, run_all
+from repro.paths import analyze_path_diversity
+from repro.topology import generate_topology, load_as_rel, save_as_rel
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Enabling Novel Interconnection Agreements "
+        "with Path-Aware Networking Architectures' (DSN 2021)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    topology = subparsers.add_parser(
+        "topology", help="generate a synthetic AS topology in CAIDA as-rel format"
+    )
+    topology.add_argument("output", help="path of the as-rel file to write")
+    topology.add_argument("--tier1", type=int, default=8, help="number of tier-1 ASes")
+    topology.add_argument("--tier2", type=int, default=60, help="number of tier-2 ASes")
+    topology.add_argument("--tier3", type=int, default=200, help="number of tier-3 ASes")
+    topology.add_argument("--stubs", type=int, default=800, help="number of stub ASes")
+    topology.add_argument("--seed", type=int, default=2021, help="generator seed")
+
+    diversity = subparsers.add_parser(
+        "diversity", help="run the §VI path-diversity analysis"
+    )
+    diversity.add_argument(
+        "--topology",
+        help="CAIDA as-rel file to analyze (a synthetic topology is generated "
+        "when omitted)",
+    )
+    diversity.add_argument(
+        "--sample-size", type=int, default=200, help="number of ASes to sample"
+    )
+    diversity.add_argument("--seed", type=int, default=2021, help="sampling seed")
+
+    experiments = subparsers.add_parser(
+        "experiments", help="run the full experiment harness (every figure)"
+    )
+    experiments.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's trial counts and sample sizes (slower)",
+    )
+
+    return parser
+
+
+def _run_topology(args: argparse.Namespace) -> int:
+    topology = generate_topology(
+        num_tier1=args.tier1,
+        num_tier2=args.tier2,
+        num_tier3=args.tier3,
+        num_stubs=args.stubs,
+        seed=args.seed,
+    )
+    save_as_rel(topology.graph, args.output)
+    print(
+        f"wrote {topology.graph} to {args.output} "
+        f"({topology.graph.num_transit_links()} transit links, "
+        f"{topology.graph.num_peering_links()} peering links)"
+    )
+    return 0
+
+
+def _run_diversity(args: argparse.Namespace) -> int:
+    if args.topology:
+        graph = load_as_rel(args.topology)
+        print(f"loaded {graph} from {args.topology}")
+    else:
+        graph = generate_topology(seed=args.seed).graph
+        print(f"generated synthetic topology: {graph}")
+    agreements = list(enumerate_mutuality_agreements(graph))
+    print(f"mutuality-based agreements: {len(agreements)}")
+    result = analyze_path_diversity(
+        graph, agreements=agreements, sample_size=args.sample_size, seed=args.seed
+    )
+    for scenario in ("GRC", "MA* (Top 1)", "MA* (Top 5)", "MA*", "MA"):
+        paths = result.path_cdf(scenario)
+        destinations = result.destination_cdf(scenario)
+        print(
+            f"{scenario:<12} mean length-3 paths = {paths.mean:9.0f}   "
+            f"mean destinations = {destinations.mean:7.0f}"
+        )
+    extra = result.additional_path_summary()
+    print(f"additional paths per AS: mean {extra['mean']:.0f}, max {extra['max']:.0f}")
+    return 0
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    print(run_all(RunnerConfig(full=args.full)))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "topology":
+        return _run_topology(args)
+    if args.command == "diversity":
+        return _run_diversity(args)
+    if args.command == "experiments":
+        return _run_experiments(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""Interconnection economics: the AS business model of §III-A.
+
+Pricing functions ``p(f) = α·f^β`` for provider–customer links,
+internal-cost functions, traffic/flow abstractions, and the AS utility
+calculation ``U_X = r_X − c_X``.
+"""
+
+from repro.economics.business import ASBusiness, default_business_models
+from repro.economics.cost import (
+    AffineCost,
+    InternalCostFunction,
+    LinearCost,
+    PiecewiseLinearCost,
+    PowerLawCost,
+    SteppedCapacityCost,
+    ZeroCost,
+)
+from repro.economics.pricing import (
+    CongestionPricing,
+    FlatRatePricing,
+    NinetyFifthPercentileBilling,
+    PerUsagePricing,
+    PowerLawPricing,
+    PricingFunction,
+    SettlementFree,
+)
+from repro.economics.timeseries import (
+    BillingRule,
+    DiurnalTrafficModel,
+    billed_volume,
+    simulate_billing_period,
+)
+from repro.economics.traffic import (
+    ENDHOSTS,
+    FlowVector,
+    NetworkFlows,
+    SegmentFlows,
+    TrafficMatrix,
+    assign_demands,
+)
+
+__all__ = [
+    "PricingFunction",
+    "PowerLawPricing",
+    "FlatRatePricing",
+    "PerUsagePricing",
+    "CongestionPricing",
+    "SettlementFree",
+    "NinetyFifthPercentileBilling",
+    "InternalCostFunction",
+    "ZeroCost",
+    "LinearCost",
+    "AffineCost",
+    "PowerLawCost",
+    "SteppedCapacityCost",
+    "PiecewiseLinearCost",
+    "ENDHOSTS",
+    "FlowVector",
+    "SegmentFlows",
+    "TrafficMatrix",
+    "NetworkFlows",
+    "assign_demands",
+    "ASBusiness",
+    "default_business_models",
+    "BillingRule",
+    "DiurnalTrafficModel",
+    "billed_volume",
+    "simulate_billing_period",
+]

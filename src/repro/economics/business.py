@@ -1,0 +1,123 @@
+"""AS business calculation: revenue, cost, and utility (§III-A).
+
+The utility (profit) of an AS ``X`` for a traffic distribution ``f_X`` is
+
+``U_X(f_X) = r_X(f_X) − c_X(f_X)``                              (Eq. 1)
+
+with revenue ``r_X = Σ_{Y ∈ γ(X)} p_XY(f_XY)`` (charges to customers,
+including the virtual end-host stub) and cost
+``c_X = i_X(f_X) + Σ_{Y ∈ π(X)} p_YX(f_XY)`` (internal cost plus charges
+from providers).  Peering links are settlement-free and contribute
+neither revenue nor link charges.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass, field
+
+from repro.economics.cost import InternalCostFunction, ZeroCost
+from repro.economics.pricing import PerUsagePricing, PricingFunction
+from repro.economics.traffic import ENDHOSTS, FlowVector
+from repro.topology.graph import ASGraph
+
+
+@dataclass
+class ASBusiness:
+    """Business parameters and profit calculation of a single AS.
+
+    Parameters
+    ----------
+    asn:
+        The AS number this business model belongs to.
+    customer_pricing:
+        Pricing function per customer (how this AS bills each customer);
+        the key :data:`ENDHOSTS` prices the AS's own end-host customers.
+    provider_pricing:
+        Pricing function per provider (how each provider bills this AS).
+    internal_cost:
+        Internal forwarding-cost function ``i_X``.
+    """
+
+    asn: int
+    customer_pricing: dict[Hashable, PricingFunction] = field(default_factory=dict)
+    provider_pricing: dict[int, PricingFunction] = field(default_factory=dict)
+    internal_cost: InternalCostFunction = field(default_factory=ZeroCost)
+
+    def set_customer_pricing(self, customer: Hashable, pricing: PricingFunction) -> None:
+        """Define how this AS charges one of its customers."""
+        self.customer_pricing[customer] = pricing
+
+    def set_provider_pricing(self, provider: int, pricing: PricingFunction) -> None:
+        """Define how a provider charges this AS."""
+        self.provider_pricing[provider] = pricing
+
+    # ------------------------------------------------------------------
+    # Eq. (1)
+    # ------------------------------------------------------------------
+    def revenue(self, flows: FlowVector) -> float:
+        """Revenue ``r_X(f_X)``: charges collected from customers."""
+        total = 0.0
+        for customer, pricing in self.customer_pricing.items():
+            total += pricing(flows.get(customer))
+        return total
+
+    def cost(self, flows: FlowVector) -> float:
+        """Cost ``c_X(f_X)``: internal cost plus provider charges."""
+        total = self.internal_cost(flows.total_flow())
+        for provider, pricing in self.provider_pricing.items():
+            total += pricing(flows.get(provider))
+        return total
+
+    def utility(self, flows: FlowVector) -> float:
+        """Utility (profit) ``U_X(f_X) = r_X − c_X``."""
+        return self.revenue(flows) - self.cost(flows)
+
+    def utility_delta(self, before: FlowVector, after: FlowVector) -> float:
+        """Change in utility between two traffic distributions."""
+        return self.utility(after) - self.utility(before)
+
+
+def default_business_models(
+    graph: ASGraph,
+    *,
+    transit_unit_price: float = 1.0,
+    endhost_unit_price: float = 1.5,
+    internal_unit_cost: float = 0.1,
+    tier_discount: float = 0.0,
+) -> dict[int, ASBusiness]:
+    """Build a plausible business model for every AS of a topology.
+
+    Every provider–customer link is billed pay-per-usage at
+    ``transit_unit_price`` (optionally discounted per provider-degree to
+    mimic economies of scale), end-host customers are billed at
+    ``endhost_unit_price``, and every AS has a linear internal cost.
+    This is the default parameterization used by examples, tests, and
+    the agreement-optimization benchmarks; all knobs can be overridden
+    per AS afterwards.
+    """
+    if transit_unit_price < 0.0 or endhost_unit_price < 0.0:
+        raise ValueError("prices must be non-negative")
+    if internal_unit_cost < 0.0:
+        raise ValueError("internal cost must be non-negative")
+    if not 0.0 <= tier_discount < 1.0:
+        raise ValueError("tier discount must be in [0, 1)")
+
+    from repro.economics.cost import LinearCost
+
+    models: dict[int, ASBusiness] = {}
+    for asn in graph:
+        business = ASBusiness(asn=asn, internal_cost=LinearCost(internal_unit_cost))
+        business.set_customer_pricing(ENDHOSTS, PerUsagePricing(endhost_unit_price))
+        for customer in graph.customers(asn):
+            discount = 1.0 - tier_discount * min(1.0, len(graph.customers(asn)) / 100.0)
+            business.set_customer_pricing(
+                customer, PerUsagePricing(transit_unit_price * discount)
+            )
+        for provider in graph.providers(asn):
+            discount = 1.0 - tier_discount * min(1.0, len(graph.customers(provider)) / 100.0)
+            business.set_provider_pricing(
+                provider, PerUsagePricing(transit_unit_price * discount)
+            )
+        models[asn] = business
+    return models

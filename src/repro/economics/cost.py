@@ -1,0 +1,159 @@
+"""Internal-cost functions of ASes (§III-A).
+
+An AS ``X`` incurs an internal cost ``i_X(f_X)`` for carrying traffic
+through its network.  The paper only requires the internal-cost function
+to be non-negative and monotonically increasing in the total flow
+``f_X``; this module provides the common concrete shapes (linear,
+affine, piecewise-linear with capacity steps, and power-law).
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+from dataclasses import dataclass
+
+
+class InternalCostFunction(abc.ABC):
+    """Maps the total flow through an AS to the internal forwarding cost."""
+
+    @abc.abstractmethod
+    def __call__(self, total_flow: float) -> float:
+        """Internal cost of carrying ``total_flow`` units of traffic."""
+
+    def _check(self, total_flow: float) -> None:
+        if total_flow < 0.0:
+            raise ValueError(f"flow must be non-negative, got {total_flow}")
+
+
+@dataclass(frozen=True)
+class ZeroCost(InternalCostFunction):
+    """No internal cost — useful for isolating pricing effects in tests."""
+
+    def __call__(self, total_flow: float) -> float:
+        self._check(total_flow)
+        return 0.0
+
+
+@dataclass(frozen=True)
+class LinearCost(InternalCostFunction):
+    """Cost proportional to carried traffic."""
+
+    unit_cost: float
+
+    def __post_init__(self) -> None:
+        if self.unit_cost < 0.0:
+            raise ValueError(f"unit cost must be non-negative, got {self.unit_cost}")
+
+    def __call__(self, total_flow: float) -> float:
+        self._check(total_flow)
+        return self.unit_cost * total_flow
+
+
+@dataclass(frozen=True)
+class AffineCost(InternalCostFunction):
+    """Fixed operating cost plus a per-unit forwarding cost."""
+
+    fixed_cost: float
+    unit_cost: float
+
+    def __post_init__(self) -> None:
+        if self.fixed_cost < 0.0:
+            raise ValueError(f"fixed cost must be non-negative, got {self.fixed_cost}")
+        if self.unit_cost < 0.0:
+            raise ValueError(f"unit cost must be non-negative, got {self.unit_cost}")
+
+    def __call__(self, total_flow: float) -> float:
+        self._check(total_flow)
+        return self.fixed_cost + self.unit_cost * total_flow
+
+
+@dataclass(frozen=True)
+class PowerLawCost(InternalCostFunction):
+    """Cost ``a · f^b`` with ``a ≥ 0`` and ``b ≥ 1`` (convex congestion cost)."""
+
+    scale: float
+    exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scale < 0.0:
+            raise ValueError(f"scale must be non-negative, got {self.scale}")
+        if self.exponent < 1.0:
+            raise ValueError(
+                f"exponent must be at least 1 for a convex cost, got {self.exponent}"
+            )
+
+    def __call__(self, total_flow: float) -> float:
+        self._check(total_flow)
+        return self.scale * total_flow**self.exponent
+
+
+@dataclass(frozen=True)
+class SteppedCapacityCost(InternalCostFunction):
+    """Piecewise-linear cost with capacity upgrade steps.
+
+    Network operators provision capacity in discrete steps (line cards,
+    transit port upgrades).  The cost is linear within a step and jumps
+    by ``step_cost`` every ``step_capacity`` units of traffic, which
+    makes the marginal cost of agreement-induced traffic lumpy — a
+    realistic stress case for the agreement-optimization code.
+    """
+
+    unit_cost: float
+    step_capacity: float
+    step_cost: float
+
+    def __post_init__(self) -> None:
+        if self.unit_cost < 0.0:
+            raise ValueError(f"unit cost must be non-negative, got {self.unit_cost}")
+        if self.step_capacity <= 0.0:
+            raise ValueError(f"step capacity must be positive, got {self.step_capacity}")
+        if self.step_cost < 0.0:
+            raise ValueError(f"step cost must be non-negative, got {self.step_cost}")
+
+    def __call__(self, total_flow: float) -> float:
+        self._check(total_flow)
+        steps = int(total_flow // self.step_capacity)
+        return self.unit_cost * total_flow + self.step_cost * steps
+
+
+@dataclass(frozen=True)
+class PiecewiseLinearCost(InternalCostFunction):
+    """General monotone piecewise-linear cost given as breakpoints.
+
+    ``breakpoints`` is a sorted tuple of (flow, cost) pairs; the cost is
+    linearly interpolated between breakpoints and extrapolated with the
+    last segment's slope beyond the final breakpoint.
+    """
+
+    breakpoints: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.breakpoints) < 2:
+            raise ValueError("at least two breakpoints are required")
+        flows = [flow for flow, _ in self.breakpoints]
+        costs = [cost for _, cost in self.breakpoints]
+        if flows != sorted(flows) or len(set(flows)) != len(flows):
+            raise ValueError("breakpoint flows must be strictly increasing")
+        if costs != sorted(costs):
+            raise ValueError("breakpoint costs must be non-decreasing (monotone cost)")
+        if flows[0] != 0.0:
+            raise ValueError("the first breakpoint must be at flow 0")
+        if any(cost < 0.0 for cost in costs):
+            raise ValueError("costs must be non-negative")
+
+    def __call__(self, total_flow: float) -> float:
+        self._check(total_flow)
+        flows = [flow for flow, _ in self.breakpoints]
+        costs = [cost for _, cost in self.breakpoints]
+        if total_flow >= flows[-1]:
+            if len(flows) >= 2:
+                slope = (costs[-1] - costs[-2]) / (flows[-1] - flows[-2])
+            else:
+                slope = 0.0
+            return costs[-1] + slope * (total_flow - flows[-1])
+        index = bisect.bisect_right(flows, total_flow) - 1
+        index = max(0, index)
+        span = flows[index + 1] - flows[index]
+        fraction = (total_flow - flows[index]) / span
+        return costs[index] + fraction * (costs[index + 1] - costs[index])

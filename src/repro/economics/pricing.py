@@ -1,0 +1,144 @@
+"""Pricing functions for provider–customer links (§III-A).
+
+Every provider–customer link ``l = (X, Y)`` has a pricing function
+``p_l(f_l) = α_l · f_l^β_l`` that maps the billed flow volume on the link
+to the amount of money the provider receives from the customer:
+
+- ``β = 0`` is flat-rate pricing with flow-independent fee ``α``,
+- ``β = 1`` is pay-per-usage pricing with per-traffic-unit cost ``α``,
+- ``β > 1`` is superlinear (congestion) pricing.
+
+Peering links are settlement-free, which is represented by the
+:class:`SettlementFree` pricing function (always zero).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+class PricingFunction(abc.ABC):
+    """Maps a billed flow volume to a monetary charge."""
+
+    @abc.abstractmethod
+    def __call__(self, volume: float) -> float:
+        """Charge for a given flow volume (volume must be non-negative)."""
+
+    def marginal(self, volume: float, epsilon: float = 1e-6) -> float:
+        """Numerical marginal price at a given volume."""
+        if volume < 0.0:
+            raise ValueError(f"volume must be non-negative, got {volume}")
+        return (self(volume + epsilon) - self(max(0.0, volume - epsilon))) / (
+            2.0 * epsilon if volume >= epsilon else epsilon
+        )
+
+
+@dataclass(frozen=True)
+class PowerLawPricing(PricingFunction):
+    """The paper's pricing form ``p(f) = α · f^β`` with ``α, β ≥ 0``."""
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0.0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+        if self.beta < 0.0:
+            raise ValueError(f"beta must be non-negative, got {self.beta}")
+
+    def __call__(self, volume: float) -> float:
+        if volume < 0.0:
+            raise ValueError(f"volume must be non-negative, got {volume}")
+        if self.beta == 0.0:
+            # Flat rate applies even at zero volume: the fee is flow-independent.
+            return self.alpha
+        return self.alpha * volume**self.beta
+
+
+@dataclass(frozen=True)
+class FlatRatePricing(PricingFunction):
+    """Flat-rate pricing: a fixed fee regardless of volume (``β = 0``)."""
+
+    fee: float
+
+    def __post_init__(self) -> None:
+        if self.fee < 0.0:
+            raise ValueError(f"fee must be non-negative, got {self.fee}")
+
+    def __call__(self, volume: float) -> float:
+        if volume < 0.0:
+            raise ValueError(f"volume must be non-negative, got {volume}")
+        return self.fee
+
+
+@dataclass(frozen=True)
+class PerUsagePricing(PricingFunction):
+    """Pay-per-usage pricing: linear in volume (``β = 1``)."""
+
+    unit_price: float
+
+    def __post_init__(self) -> None:
+        if self.unit_price < 0.0:
+            raise ValueError(f"unit price must be non-negative, got {self.unit_price}")
+
+    def __call__(self, volume: float) -> float:
+        if volume < 0.0:
+            raise ValueError(f"volume must be non-negative, got {volume}")
+        return self.unit_price * volume
+
+
+@dataclass(frozen=True)
+class CongestionPricing(PricingFunction):
+    """Superlinear pricing (``β > 1``), e.g. congestion-based billing."""
+
+    alpha: float
+    beta: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0.0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+        if self.beta <= 1.0:
+            raise ValueError(f"congestion pricing requires beta > 1, got {self.beta}")
+
+    def __call__(self, volume: float) -> float:
+        if volume < 0.0:
+            raise ValueError(f"volume must be non-negative, got {volume}")
+        return self.alpha * volume**self.beta
+
+
+@dataclass(frozen=True)
+class SettlementFree(PricingFunction):
+    """Settlement-free (peering) pricing: always zero."""
+
+    def __call__(self, volume: float) -> float:
+        if volume < 0.0:
+            raise ValueError(f"volume must be non-negative, got {volume}")
+        return 0.0
+
+
+@dataclass(frozen=True)
+class NinetyFifthPercentileBilling:
+    """95th-percentile billing wrapper.
+
+    The paper notes that the billed volume ``f_l`` can be interpreted as
+    the median, average, or 95th percentile of traffic over a billing
+    period.  This helper reduces a traffic time series to a billable
+    volume which can then be fed to any :class:`PricingFunction`.
+    """
+
+    percentile: float = 95.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.percentile <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {self.percentile}")
+
+    def billable_volume(self, samples: list[float]) -> float:
+        """Billable volume of a traffic time series."""
+        if not samples:
+            return 0.0
+        if any(sample < 0.0 for sample in samples):
+            raise ValueError("traffic samples must be non-negative")
+        ordered = sorted(samples)
+        rank = max(0, int(round(self.percentile / 100.0 * len(ordered))) - 1)
+        return ordered[rank]

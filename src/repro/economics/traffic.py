@@ -1,0 +1,230 @@
+"""Traffic distributions: flows through ASes and along path segments.
+
+The business model of §III-A reasons about three kinds of quantities:
+
+- ``f_X`` — the total flow through an AS ``X``,
+- ``f_XY`` — the share of ``f_X`` exchanged directly with neighbor ``Y``
+  (collected in the flow vector ``f_X`` of the paper),
+- ``f_XYZ`` — the flow on the path segment ``X–Y–Z``, independent of
+  direction.
+
+Customer end-hosts of ``X`` are modelled as a virtual stub ``Γ_X``
+connected over a virtual provider–customer link; the sentinel
+:data:`ENDHOSTS` plays that role here.
+
+The module also contains a small demand/assignment layer
+(:class:`TrafficMatrix`, :func:`assign_demands`) that turns end-to-end
+demands routed over AS-level paths into per-AS flow vectors and
+segment flows — the inputs agreement-utility computations need.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+from dataclasses import dataclass, field
+
+#: Sentinel neighbor representing the customer end-hosts of an AS (the
+#: virtual stub ``Γ_X`` of the paper).
+ENDHOSTS: str = "__endhosts__"
+
+
+class FlowVector:
+    """Per-neighbor flow volumes of a single AS (the paper's ``f_X``).
+
+    Keys are neighbor AS numbers or :data:`ENDHOSTS`; values are
+    non-negative volumes.  Because every unit of traffic through an AS
+    enters via one neighbor and leaves via another (possibly the
+    end-host stub), the total flow through the AS is half the sum of the
+    per-neighbor volumes.
+    """
+
+    def __init__(self, flows: Mapping[Hashable, float] | None = None) -> None:
+        self._flows: dict[Hashable, float] = {}
+        if flows:
+            for neighbor, volume in flows.items():
+                self.set(neighbor, volume)
+
+    def set(self, neighbor: Hashable, volume: float) -> None:
+        """Set the flow exchanged with a neighbor."""
+        if volume < 0.0:
+            raise ValueError(f"flow volume must be non-negative, got {volume}")
+        if volume == 0.0:
+            self._flows.pop(neighbor, None)
+        else:
+            self._flows[neighbor] = float(volume)
+
+    def add(self, neighbor: Hashable, volume: float) -> None:
+        """Add volume to the flow exchanged with a neighbor."""
+        updated = self.get(neighbor) + volume
+        if updated < -1e-9:
+            raise ValueError(
+                f"flow with neighbor {neighbor} would become negative ({updated})"
+            )
+        self.set(neighbor, max(0.0, updated))
+
+    def get(self, neighbor: Hashable) -> float:
+        """Flow exchanged with a neighbor (zero if unknown)."""
+        return self._flows.get(neighbor, 0.0)
+
+    def neighbors(self) -> frozenset[Hashable]:
+        """Neighbors with non-zero flow."""
+        return frozenset(self._flows)
+
+    def total_flow(self) -> float:
+        """Total flow ``f_X`` through the AS."""
+        return sum(self._flows.values()) / 2.0
+
+    def copy(self) -> "FlowVector":
+        """Deep copy of the flow vector."""
+        return FlowVector(dict(self._flows))
+
+    def as_dict(self) -> dict[Hashable, float]:
+        """Plain-dict view of the per-neighbor flows."""
+        return dict(self._flows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FlowVector):
+            return NotImplemented
+        return self._flows == other._flows
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}: {v:.3g}" for k, v in sorted(self._flows.items(), key=str))
+        return f"FlowVector({{{inner}}})"
+
+
+@dataclass
+class SegmentFlows:
+    """Flow volumes on three-AS path segments (the paper's ``f_XYZ``).
+
+    A segment is stored direction-independently: ``(X, Y, Z)`` and
+    ``(Z, Y, X)`` refer to the same volume.
+    """
+
+    _volumes: dict[tuple[int, int, int], float] = field(default_factory=dict)
+
+    @staticmethod
+    def _key(segment: tuple[int, int, int]) -> tuple[int, int, int]:
+        first, middle, last = segment
+        if last < first:
+            return (last, middle, first)
+        return (first, middle, last)
+
+    def set(self, segment: tuple[int, int, int], volume: float) -> None:
+        """Set the flow volume on a segment."""
+        if volume < 0.0:
+            raise ValueError(f"flow volume must be non-negative, got {volume}")
+        key = self._key(segment)
+        if volume == 0.0:
+            self._volumes.pop(key, None)
+        else:
+            self._volumes[key] = float(volume)
+
+    def add(self, segment: tuple[int, int, int], volume: float) -> None:
+        """Add flow volume to a segment."""
+        self.set(segment, self.get(segment) + volume)
+
+    def get(self, segment: tuple[int, int, int]) -> float:
+        """Flow volume on a segment (zero if unknown)."""
+        return self._volumes.get(self._key(segment), 0.0)
+
+    def segments(self) -> frozenset[tuple[int, int, int]]:
+        """All segments with non-zero flow (in normalized orientation)."""
+        return frozenset(self._volumes)
+
+    def through(self, middle: int) -> float:
+        """Total transit flow passing *through* an AS over all segments."""
+        return sum(v for (_, m, _), v in self._volumes.items() if m == middle)
+
+    def copy(self) -> "SegmentFlows":
+        """Deep copy of the segment flows."""
+        clone = SegmentFlows()
+        clone._volumes = dict(self._volumes)
+        return clone
+
+
+@dataclass
+class TrafficMatrix:
+    """End-to-end traffic demands between AS pairs."""
+
+    demands: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    def set_demand(self, source: int, destination: int, volume: float) -> None:
+        """Set the demand from a source AS to a destination AS."""
+        if volume < 0.0:
+            raise ValueError(f"demand must be non-negative, got {volume}")
+        if source == destination:
+            raise ValueError("demand source and destination must differ")
+        if volume == 0.0:
+            self.demands.pop((source, destination), None)
+        else:
+            self.demands[(source, destination)] = float(volume)
+
+    def demand(self, source: int, destination: int) -> float:
+        """Demand from a source AS to a destination AS (zero if unknown)."""
+        return self.demands.get((source, destination), 0.0)
+
+    def total_demand(self) -> float:
+        """Total demanded volume."""
+        return sum(self.demands.values())
+
+    def pairs(self) -> tuple[tuple[int, int], ...]:
+        """All (source, destination) pairs with non-zero demand."""
+        return tuple(sorted(self.demands))
+
+
+@dataclass
+class NetworkFlows:
+    """Per-AS flow vectors and segment flows for an entire network."""
+
+    vectors: dict[int, FlowVector] = field(default_factory=dict)
+    segments: SegmentFlows = field(default_factory=SegmentFlows)
+
+    def vector(self, asn: int) -> FlowVector:
+        """Flow vector of an AS, created lazily."""
+        if asn not in self.vectors:
+            self.vectors[asn] = FlowVector()
+        return self.vectors[asn]
+
+    def total_flow(self, asn: int) -> float:
+        """Total flow through an AS."""
+        if asn not in self.vectors:
+            return 0.0
+        return self.vectors[asn].total_flow()
+
+
+def assign_demands(
+    routes: Mapping[tuple[int, int], Iterable[int]],
+    matrix: TrafficMatrix,
+    *,
+    endhost_terminated: bool = True,
+) -> NetworkFlows:
+    """Route every demand along its AS-level path and accumulate flows.
+
+    ``routes`` maps (source, destination) pairs to the AS-level path used
+    for that demand (a sequence starting at the source and ending at the
+    destination).  When ``endhost_terminated`` is true, the demand is
+    assumed to originate at and be destined to customer end-hosts of the
+    terminal ASes, so those ASes additionally see the volume on their
+    virtual end-host link — which is what makes the traffic billable at
+    the edges.
+    """
+    flows = NetworkFlows()
+    for pair, volume in matrix.demands.items():
+        if pair not in routes:
+            raise KeyError(f"no route for demand {pair}")
+        path = tuple(routes[pair])
+        if len(path) < 2:
+            raise ValueError(f"route for {pair} must contain at least two ASes: {path}")
+        if path[0] != pair[0] or path[-1] != pair[1]:
+            raise ValueError(f"route {path} does not connect demand pair {pair}")
+        for index, asn in enumerate(path):
+            vector = flows.vector(asn)
+            if index > 0:
+                vector.add(path[index - 1], volume)
+            if index < len(path) - 1:
+                vector.add(path[index + 1], volume)
+            if endhost_terminated and index in (0, len(path) - 1):
+                vector.add(ENDHOSTS, volume)
+        for index in range(1, len(path) - 1):
+            flows.segments.add((path[index - 1], path[index], path[index + 1]), volume)
+    return flows

@@ -1,0 +1,37 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+Each module exposes a ``run_*`` function producing a structured result
+with a ``report()`` method (the figure's series as text tables) and a
+``comparisons()`` method (paper-quoted numbers next to the reproduced
+measurements).  :mod:`repro.experiments.runner` runs everything at once.
+"""
+
+from repro.experiments.fig2_pod import Fig2Config, Fig2Result, run_fig2
+from repro.experiments.fig3_paths import Fig3Result, PathDiversityConfig, run_fig3
+from repro.experiments.fig4_destinations import Fig4Result, run_fig4
+from repro.experiments.fig5_geodistance import Fig5Config, Fig5Result, run_fig5
+from repro.experiments.fig6_bandwidth import Fig6Config, Fig6Result, run_fig6
+from repro.experiments.reporting import PaperComparison, format_comparisons, format_table
+from repro.experiments.runner import RunnerConfig, run_all
+
+__all__ = [
+    "Fig2Config",
+    "Fig2Result",
+    "run_fig2",
+    "PathDiversityConfig",
+    "Fig3Result",
+    "run_fig3",
+    "Fig4Result",
+    "run_fig4",
+    "Fig5Config",
+    "Fig5Result",
+    "run_fig5",
+    "Fig6Config",
+    "Fig6Result",
+    "run_fig6",
+    "PaperComparison",
+    "format_table",
+    "format_comparisons",
+    "RunnerConfig",
+    "run_all",
+]

@@ -1,0 +1,129 @@
+"""Experiment: Fig. 3 — length-3 paths per AS under MA conclusion degrees.
+
+Builds a synthetic Internet-like topology (the CAIDA substitution, see
+DESIGN.md), enumerates all maximal mutuality-based agreements, and
+computes, for a random sample of ASes, the number of length-3 paths
+under the six conclusion scenarios of the paper (GRC, MA* Top 1/5/50,
+MA*, MA).  The §VI-A headline statistics (average / maximum additional
+paths) are reported alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agreements.mutuality import enumerate_mutuality_agreements
+from repro.experiments.reporting import PaperComparison, format_cdf_series, format_table
+from repro.paths.diversity import DEFAULT_SCENARIOS, DiversityResult, analyze_path_diversity
+from repro.topology.generator import GeneratedTopology, TopologyParameters, generate_topology
+
+
+@dataclass(frozen=True)
+class PathDiversityConfig:
+    """Parameters shared by the Fig. 3 and Fig. 4 experiments."""
+
+    num_tier1: int = 8
+    num_tier2: int = 30
+    num_tier3: int = 100
+    num_stubs: int = 350
+    sample_size: int = 200
+    seed: int = 2021
+
+    def topology_parameters(self) -> TopologyParameters:
+        """Topology-generator parameters for this configuration."""
+        return TopologyParameters(
+            num_tier1=self.num_tier1,
+            num_tier2=self.num_tier2,
+            num_tier3=self.num_tier3,
+            num_stubs=self.num_stubs,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class Fig3Result:
+    """Full result of the Fig. 3 experiment."""
+
+    diversity: DiversityResult
+    topology: GeneratedTopology
+    num_agreements: int
+    scenarios: tuple[str, ...] = field(default=DEFAULT_SCENARIOS)
+
+    def comparisons(self) -> list[PaperComparison]:
+        """Headline paper-vs-measured comparisons (shape, not absolute scale)."""
+        grc_max = self.diversity.path_cdf("GRC").maximum
+        ma_cdf = self.diversity.path_cdf("MA")
+        ma_star_cdf = self.diversity.path_cdf("MA*")
+        top1_cdf = self.diversity.path_cdf("MA* (Top 1)")
+        summary = self.diversity.additional_path_summary()
+        fraction_exceeding_grc_max = ma_cdf.fraction_above(grc_max)
+        return [
+            PaperComparison(
+                metric="ASes exceeding the GRC maximum path count once all MAs concluded",
+                paper_value="20% exceed 45k (the GRC max)",
+                measured_value=f"{fraction_exceeding_grc_max:.0%} exceed {grc_max:.0f}",
+                note="absolute counts differ on the synthetic topology",
+            ),
+            PaperComparison(
+                metric="average additional length-3 paths per AS",
+                paper_value="22,891 (max 196,796)",
+                measured_value=f"{summary['mean']:.0f} (max {summary['max']:.0f})",
+            ),
+            PaperComparison(
+                metric="MA* close to MA (most gains are directly negotiated)",
+                paper_value="CDFs nearly coincide",
+                measured_value=(
+                    f"mean MA* = {ma_star_cdf.mean:.0f} vs mean MA = {ma_cdf.mean:.0f}"
+                ),
+            ),
+            PaperComparison(
+                metric="a single MA already yields large gains",
+                paper_value="Top-1 gains several thousand paths",
+                measured_value=(
+                    f"mean Top-1 gain = "
+                    f"{top1_cdf.mean - self.diversity.path_cdf('GRC').mean:.0f} paths"
+                ),
+            ),
+        ]
+
+    def report(self) -> str:
+        """Text report with the per-scenario distribution and the CDF series."""
+        rows = []
+        for scenario in self.scenarios:
+            cdf = self.diversity.path_cdf(scenario)
+            rows.append(
+                [
+                    scenario,
+                    f"{cdf.mean:.0f}",
+                    f"{cdf.median:.0f}",
+                    f"{cdf.maximum:.0f}",
+                ]
+            )
+        table = format_table(["scenario", "mean paths", "median paths", "max paths"], rows)
+        series = "\n".join(
+            format_cdf_series(scenario, *self.diversity.path_cdf(scenario).series())
+            for scenario in self.scenarios
+        )
+        return f"{table}\n\nCDF series (paths, fraction of ASes):\n{series}"
+
+
+def run_fig3(config: PathDiversityConfig | None = None) -> Fig3Result:
+    """Run the Fig. 3 experiment."""
+    config = config or PathDiversityConfig()
+    topology = generate_topology(
+        num_tier1=config.num_tier1,
+        num_tier2=config.num_tier2,
+        num_tier3=config.num_tier3,
+        num_stubs=config.num_stubs,
+        seed=config.seed,
+    )
+    agreements = list(enumerate_mutuality_agreements(topology.graph))
+    diversity = analyze_path_diversity(
+        topology.graph,
+        agreements=agreements,
+        sample_size=config.sample_size,
+        seed=config.seed,
+    )
+    return Fig3Result(
+        diversity=diversity, topology=topology, num_agreements=len(agreements)
+    )

@@ -1,0 +1,118 @@
+"""Experiment: Fig. 4 — destinations reachable over length-3 paths.
+
+Same workload as Fig. 3 (the two figures share the analysis pass in the
+paper as well); the reported quantity is the number of destinations
+reachable over length-3 paths under the six MA-conclusion scenarios,
+plus the §VI-A headline statistics on additionally reachable
+destinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agreements.mutuality import enumerate_mutuality_agreements
+from repro.experiments.fig3_paths import PathDiversityConfig
+from repro.experiments.reporting import PaperComparison, format_cdf_series, format_table
+from repro.paths.diversity import DEFAULT_SCENARIOS, DiversityResult, analyze_path_diversity
+from repro.topology.generator import GeneratedTopology, generate_topology
+
+
+@dataclass
+class Fig4Result:
+    """Full result of the Fig. 4 experiment."""
+
+    diversity: DiversityResult
+    topology: GeneratedTopology
+    num_agreements: int
+    scenarios: tuple[str, ...] = field(default=DEFAULT_SCENARIOS)
+
+    def comparisons(self) -> list[PaperComparison]:
+        """Headline paper-vs-measured comparisons."""
+        grc_cdf = self.diversity.destination_cdf("GRC")
+        ma_cdf = self.diversity.destination_cdf("MA")
+        summary = self.diversity.additional_destination_summary()
+        # The paper anchors the comparison at 5,000 destinations on the
+        # real topology; on the synthetic topology the analogous anchor
+        # is the GRC median.
+        anchor = grc_cdf.median
+        return [
+            PaperComparison(
+                metric="ASes reaching more destinations than the GRC median once all MAs concluded",
+                paper_value="40% → 57% reach >5,000 destinations",
+                measured_value=(
+                    f"{grc_cdf.fraction_above(anchor):.0%} → "
+                    f"{ma_cdf.fraction_above(anchor):.0%} reach >{anchor:.0f}"
+                ),
+                note="anchor rescaled to the synthetic topology",
+            ),
+            PaperComparison(
+                metric="average additionally reachable destinations per AS",
+                paper_value="2,181 (max 7,144)",
+                measured_value=f"{summary['mean']:.0f} (max {summary['max']:.0f})",
+            ),
+            PaperComparison(
+                metric="destination gains are more broadly distributed than path gains",
+                paper_value="yes",
+                measured_value=(
+                    "yes"
+                    if _relative_spread(self.diversity, "destinations")
+                    <= _relative_spread(self.diversity, "paths")
+                    else "no"
+                ),
+                note="compared via max/mean ratio of the additional gains",
+            ),
+        ]
+
+    def report(self) -> str:
+        """Text report with the per-scenario distribution and the CDF series."""
+        rows = []
+        for scenario in self.scenarios:
+            cdf = self.diversity.destination_cdf(scenario)
+            rows.append(
+                [scenario, f"{cdf.mean:.0f}", f"{cdf.median:.0f}", f"{cdf.maximum:.0f}"]
+            )
+        table = format_table(
+            ["scenario", "mean destinations", "median destinations", "max destinations"],
+            rows,
+        )
+        series = "\n".join(
+            format_cdf_series(
+                scenario, *self.diversity.destination_cdf(scenario).series()
+            )
+            for scenario in self.scenarios
+        )
+        return f"{table}\n\nCDF series (destinations, fraction of ASes):\n{series}"
+
+
+def _relative_spread(diversity: DiversityResult, kind: str) -> float:
+    """Max/mean ratio of the additional gains (a simple spread measure)."""
+    if kind == "paths":
+        summary = diversity.additional_path_summary()
+    else:
+        summary = diversity.additional_destination_summary()
+    if summary["mean"] <= 0.0:
+        return float("inf")
+    return summary["max"] / summary["mean"]
+
+
+def run_fig4(config: PathDiversityConfig | None = None) -> Fig4Result:
+    """Run the Fig. 4 experiment."""
+    config = config or PathDiversityConfig()
+    topology = generate_topology(
+        num_tier1=config.num_tier1,
+        num_tier2=config.num_tier2,
+        num_tier3=config.num_tier3,
+        num_stubs=config.num_stubs,
+        seed=config.seed,
+    )
+    agreements = list(enumerate_mutuality_agreements(topology.graph))
+    diversity = analyze_path_diversity(
+        topology.graph,
+        agreements=agreements,
+        sample_size=config.sample_size,
+        seed=config.seed,
+    )
+    return Fig4Result(
+        diversity=diversity, topology=topology, num_agreements=len(agreements)
+    )

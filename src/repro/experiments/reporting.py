@@ -1,0 +1,64 @@
+"""Reporting helpers for the experiment harness.
+
+Every experiment module produces (a) the raw series that correspond to a
+figure of the paper and (b) a small set of *headline comparisons*:
+quantities the paper states in the text, next to the value measured in
+this reproduction.  Because the path-diversity experiments run on a
+synthetic topology (see DESIGN.md), absolute values differ; the
+comparisons are about the qualitative shape — who wins, and roughly by
+how much.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperComparison:
+    """One paper-quoted quantity next to the reproduced measurement."""
+
+    metric: str
+    paper_value: str
+    measured_value: str
+    note: str = ""
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Render a simple fixed-width text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_comparisons(title: str, comparisons: list[PaperComparison]) -> str:
+    """Render the paper-vs-measured comparison table of an experiment."""
+    rows = [
+        [c.metric, c.paper_value, c.measured_value, c.note] for c in comparisons
+    ]
+    table = format_table(["metric", "paper", "measured", "note"], rows)
+    return f"== {title} ==\n{table}"
+
+
+def format_cdf_series(
+    name: str, xs: tuple[float, ...], ys: tuple[float, ...], *, max_points: int = 12
+) -> str:
+    """Render a down-sampled CDF series as one table row block."""
+    if not xs:
+        return f"{name}: (empty)"
+    count = len(xs)
+    if count <= max_points:
+        indices = list(range(count))
+    else:
+        step = (count - 1) / (max_points - 1)
+        indices = sorted({int(round(i * step)) for i in range(max_points)})
+    points = ", ".join(f"({xs[i]:.3g}, {ys[i]:.2f})" for i in indices)
+    return f"{name}: {points}"

@@ -1,0 +1,42 @@
+"""Optimization of mutuality-based agreements (§IV).
+
+Two qualification methods make an agreement Pareto-optimal and fair:
+flow-volume targets (a nonlinear program, §IV-A) and cash compensation
+(the Nash bargaining solution, §IV-B), plus a comparison harness for the
+trade-offs discussed in §IV-C.
+"""
+
+from repro.optimization.cash import (
+    CashCompensationResult,
+    negotiate_cash_agreement,
+    optimize_cash_compensation,
+)
+from repro.optimization.compare import MethodComparison, compare_methods
+from repro.optimization.flow_volume import (
+    FlowVolumeResult,
+    SegmentTargets,
+    optimize_flow_volume_targets,
+)
+from repro.optimization.nash import (
+    BargainingOutcome,
+    is_pareto_improvement,
+    nash_bargaining_solution,
+    nash_bargaining_transfer,
+    nash_product,
+)
+
+__all__ = [
+    "nash_product",
+    "nash_bargaining_transfer",
+    "nash_bargaining_solution",
+    "BargainingOutcome",
+    "is_pareto_improvement",
+    "CashCompensationResult",
+    "optimize_cash_compensation",
+    "negotiate_cash_agreement",
+    "SegmentTargets",
+    "FlowVolumeResult",
+    "optimize_flow_volume_targets",
+    "MethodComparison",
+    "compare_methods",
+]

@@ -1,0 +1,110 @@
+"""Agreement optimization via cash compensation (§IV-B).
+
+Instead of limiting flow volumes, the two parties agree on a cash
+payment ``Π_{D→E}`` that compensates the party benefiting less (or even
+losing) from the agreement.  The optimization problem (Eq. 10)
+
+``max (u_D − Π)(u_E + Π)  s.t.  u_D − Π ≥ 0,  u_E + Π ≥ 0``
+
+has a solution if and only if the joint surplus ``u_D + u_E`` is
+non-negative, in which case the Nash bargaining solution (Eq. 11)
+
+``Π_{D→E} = u_D − (u_D + u_E)/2``
+
+is optimal: both parties end up with exactly half the surplus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agreements.scenario import AgreementScenario
+from repro.agreements.utility import joint_utilities
+from repro.economics.business import ASBusiness
+from repro.optimization.nash import nash_bargaining_transfer
+
+
+@dataclass(frozen=True)
+class CashCompensationResult:
+    """Outcome of a cash-compensation negotiation between two parties."""
+
+    party_x: int
+    party_y: int
+    utility_x: float
+    utility_y: float
+    concluded: bool
+    transfer_x_to_y: float
+
+    @property
+    def joint_surplus(self) -> float:
+        """Joint surplus ``u_X + u_Y`` of the agreement."""
+        return self.utility_x + self.utility_y
+
+    @property
+    def post_utility_x(self) -> float:
+        """X's utility after the transfer (zero when not concluded)."""
+        if not self.concluded:
+            return 0.0
+        return self.utility_x - self.transfer_x_to_y
+
+    @property
+    def post_utility_y(self) -> float:
+        """Y's utility after the transfer (zero when not concluded)."""
+        if not self.concluded:
+            return 0.0
+        return self.utility_y + self.transfer_x_to_y
+
+    @property
+    def nash_product(self) -> float:
+        """Nash product of the post-transfer utilities."""
+        return self.post_utility_x * self.post_utility_y
+
+
+def optimize_cash_compensation(
+    party_x: int,
+    party_y: int,
+    utility_x: float,
+    utility_y: float,
+) -> CashCompensationResult:
+    """Solve Eq. (10) for known agreement utilities.
+
+    The agreement is concluded exactly when the joint surplus is
+    non-negative; the optimal transfer is the Nash bargaining solution.
+    """
+    surplus = utility_x + utility_y
+    if surplus < 0.0:
+        return CashCompensationResult(
+            party_x=party_x,
+            party_y=party_y,
+            utility_x=utility_x,
+            utility_y=utility_y,
+            concluded=False,
+            transfer_x_to_y=0.0,
+        )
+    transfer = nash_bargaining_transfer(utility_x, utility_y)
+    return CashCompensationResult(
+        party_x=party_x,
+        party_y=party_y,
+        utility_x=utility_x,
+        utility_y=utility_y,
+        concluded=True,
+        transfer_x_to_y=transfer,
+    )
+
+
+def negotiate_cash_agreement(
+    scenario: AgreementScenario,
+    businesses: dict[int, ASBusiness],
+) -> CashCompensationResult:
+    """Evaluate a scenario's utilities and apply cash-compensation optimization.
+
+    The utilities entering the negotiation are the expected agreement
+    utilities of the two parties given the scenario's traffic estimates
+    (the paper notes these are *estimates* — the flow-volume method of
+    §IV-A trades this flexibility for predictability).
+    """
+    utilities = joint_utilities(scenario, businesses)
+    party_x, party_y = scenario.agreement.parties
+    return optimize_cash_compensation(
+        party_x, party_y, utilities[party_x], utilities[party_y]
+    )

@@ -1,0 +1,102 @@
+"""Comparison of the two agreement-qualification methods (§IV-C).
+
+The paper compares flow-volume targets and cash compensation along three
+axes: predictability (enforceable volume limits), flexibility (cash
+agreements conclude whenever the joint surplus is non-negative, volume
+agreements may collapse to zero), and achievable joint utility.  This
+module runs both methods on the same scenario and reports the
+comparison, which is also the basis of the method-comparison ablation
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agreements.scenario import AgreementScenario
+from repro.economics.business import ASBusiness
+from repro.optimization.cash import CashCompensationResult, negotiate_cash_agreement
+from repro.optimization.flow_volume import FlowVolumeResult, optimize_flow_volume_targets
+
+
+@dataclass(frozen=True)
+class MethodComparison:
+    """Side-by-side outcome of the two qualification methods on one scenario."""
+
+    cash: CashCompensationResult
+    flow_volume: FlowVolumeResult
+
+    @property
+    def cash_concluded(self) -> bool:
+        """Whether the cash-compensation agreement is concluded."""
+        return self.cash.concluded
+
+    @property
+    def flow_volume_concluded(self) -> bool:
+        """Whether the flow-volume agreement is concluded."""
+        return self.flow_volume.concluded
+
+    @property
+    def cash_joint_utility(self) -> float:
+        """Joint post-transfer utility under cash compensation."""
+        if not self.cash.concluded:
+            return 0.0
+        return self.cash.post_utility_x + self.cash.post_utility_y
+
+    @property
+    def flow_volume_joint_utility(self) -> float:
+        """Joint utility at the flow-volume optimum."""
+        if not self.flow_volume.concluded:
+            return 0.0
+        return self.flow_volume.joint_utility
+
+    @property
+    def cash_fairness_gap(self) -> float:
+        """|u_X − u_Y| after the cash transfer (0 under the Nash solution)."""
+        if not self.cash.concluded:
+            return 0.0
+        return abs(self.cash.post_utility_x - self.cash.post_utility_y)
+
+    @property
+    def flow_volume_fairness_gap(self) -> float:
+        """|u_X − u_Y| at the flow-volume optimum."""
+        if not self.flow_volume.concluded:
+            return 0.0
+        return abs(self.flow_volume.utility_x - self.flow_volume.utility_y)
+
+    @property
+    def flexibility_advantage_cash(self) -> bool:
+        """True when only the cash method manages to conclude the agreement.
+
+        This is the §IV-C observation: a cash agreement can always be
+        concluded when the joint surplus is positive, whereas the
+        flow-volume program may only admit the all-zero solution.
+        """
+        return self.cash_concluded and not self.flow_volume_concluded
+
+    def summary(self) -> dict[str, float | bool]:
+        """Flat summary dictionary, convenient for benchmark reporting."""
+        return {
+            "cash_concluded": self.cash_concluded,
+            "flow_volume_concluded": self.flow_volume_concluded,
+            "cash_joint_utility": self.cash_joint_utility,
+            "flow_volume_joint_utility": self.flow_volume_joint_utility,
+            "cash_fairness_gap": self.cash_fairness_gap,
+            "flow_volume_fairness_gap": self.flow_volume_fairness_gap,
+            "flexibility_advantage_cash": self.flexibility_advantage_cash,
+        }
+
+
+def compare_methods(
+    scenario: AgreementScenario,
+    businesses: dict[int, ASBusiness],
+    *,
+    restarts: int = 4,
+    seed: int = 0,
+) -> MethodComparison:
+    """Run both qualification methods on the same scenario."""
+    cash = negotiate_cash_agreement(scenario, businesses)
+    flow_volume = optimize_flow_volume_targets(
+        scenario, businesses, restarts=restarts, seed=seed
+    )
+    return MethodComparison(cash=cash, flow_volume=flow_volume)

@@ -1,0 +1,86 @@
+"""Nash bargaining primitives (§IV).
+
+The paper qualifies agreements so that the *Nash product* of the two
+parties' utilities is maximized, which yields Pareto-optimal and fair
+outcomes, and uses the *Nash bargaining solution* to split the joint
+surplus of cash-compensation agreements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def nash_product(utility_x: float, utility_y: float) -> float:
+    """The Nash product ``u_X · u_Y`` of two agreement utilities.
+
+    The product is only meaningful on the bargaining set where both
+    utilities are non-negative; callers enforce that constraint.
+    """
+    return utility_x * utility_y
+
+
+def nash_bargaining_transfer(utility_x: float, utility_y: float) -> float:
+    """Cash transfer ``Π_{X→Y}`` of the Nash bargaining solution (Eq. 11).
+
+    ``Π_{X→Y} = u_X − (u_X + u_Y) / 2``: the party that gains more pays
+    the other so both end up with exactly half of the joint surplus.  A
+    negative value means ``Y`` pays ``X``.
+    """
+    return utility_x - (utility_x + utility_y) / 2.0
+
+
+@dataclass(frozen=True)
+class BargainingOutcome:
+    """Post-bargaining utilities of the two parties plus the transfer."""
+
+    utility_x: float
+    utility_y: float
+    transfer_x_to_y: float
+
+    @property
+    def post_utility_x(self) -> float:
+        """Utility of X after paying/receiving the transfer."""
+        return self.utility_x - self.transfer_x_to_y
+
+    @property
+    def post_utility_y(self) -> float:
+        """Utility of Y after paying/receiving the transfer."""
+        return self.utility_y + self.transfer_x_to_y
+
+    @property
+    def nash_product(self) -> float:
+        """Nash product of the post-transfer utilities."""
+        return self.post_utility_x * self.post_utility_y
+
+    @property
+    def is_individually_rational(self) -> bool:
+        """Whether both parties end up with non-negative utility."""
+        return self.post_utility_x >= 0.0 and self.post_utility_y >= 0.0
+
+    @property
+    def fairness_gap(self) -> float:
+        """Absolute difference of the post-transfer utilities (0 = perfectly fair)."""
+        return abs(self.post_utility_x - self.post_utility_y)
+
+
+def nash_bargaining_solution(utility_x: float, utility_y: float) -> BargainingOutcome:
+    """Apply the Nash bargaining solution to a pair of agreement utilities."""
+    transfer = nash_bargaining_transfer(utility_x, utility_y)
+    return BargainingOutcome(
+        utility_x=utility_x, utility_y=utility_y, transfer_x_to_y=transfer
+    )
+
+
+def is_pareto_improvement(
+    candidate: tuple[float, float], reference: tuple[float, float]
+) -> bool:
+    """Whether ``candidate`` Pareto-dominates ``reference``.
+
+    True when no party is worse off and at least one is strictly better
+    off.  Used in tests to certify that optimized agreements are
+    Pareto-optimal (no feasible candidate dominates them).
+    """
+    no_worse = candidate[0] >= reference[0] and candidate[1] >= reference[1]
+    strictly_better = candidate[0] > reference[0] or candidate[1] > reference[1]
+    return no_worse and strictly_better

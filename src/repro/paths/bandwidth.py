@@ -1,0 +1,146 @@
+"""Bandwidth analysis of MA paths (§VI-C, Fig. 6).
+
+The analysis mirrors the geodistance analysis with the degree-gravity
+capacity model: for every analyzed AS pair connected by at least one
+length-3 GRC path, it counts the MA paths whose (bottleneck) bandwidth
+exceeds the maximum, median, and minimum bandwidth of the GRC paths, and
+reports the relative bandwidth increase for the pairs whose best path
+improves.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.agreements.agreement import Agreement
+from repro.agreements.mutuality import enumerate_mutuality_agreements
+from repro.paths.diversity import sample_ases
+from repro.paths.grc import iter_grc_length3_paths
+from repro.paths.ma_paths import MAPathIndex, build_ma_path_index
+from repro.paths.metrics import EmpiricalCDF
+from repro.topology.bandwidth import LinkCapacityModel
+from repro.topology.graph import ASGraph
+
+
+@dataclass(frozen=True)
+class PairBandwidthRecord:
+    """Bandwidth comparison for one (source, destination) AS pair."""
+
+    source: int
+    destination: int
+    grc_min: float
+    grc_median: float
+    grc_max: float
+    ma_bandwidths: tuple[float, ...]
+
+    @property
+    def paths_above_grc_max(self) -> int:
+        """MA paths with more bandwidth than the best GRC path."""
+        return sum(1 for b in self.ma_bandwidths if b > self.grc_max)
+
+    @property
+    def paths_above_grc_median(self) -> int:
+        """MA paths with more bandwidth than the median GRC path."""
+        return sum(1 for b in self.ma_bandwidths if b > self.grc_median)
+
+    @property
+    def paths_above_grc_min(self) -> int:
+        """MA paths with more bandwidth than the worst GRC path."""
+        return sum(1 for b in self.ma_bandwidths if b > self.grc_min)
+
+    @property
+    def best_ma_bandwidth(self) -> float:
+        """Bandwidth of the best MA path (0 when there is none)."""
+        return max(self.ma_bandwidths) if self.ma_bandwidths else 0.0
+
+    @property
+    def relative_increase(self) -> float | None:
+        """Relative bandwidth increase over the best GRC path, if any."""
+        best = self.best_ma_bandwidth
+        if best <= self.grc_max or self.grc_max <= 0.0:
+            return None
+        return (best - self.grc_max) / self.grc_max
+
+
+@dataclass
+class BandwidthResult:
+    """Full result of the Fig. 6 analysis."""
+
+    records: list[PairBandwidthRecord] = field(default_factory=list)
+
+    def count_cdf(self, condition: str) -> EmpiricalCDF:
+        """CDF over AS pairs of the number of MA paths meeting a condition.
+
+        ``condition`` is ``"max"``, ``"median"``, or ``"min"``
+        (Fig. 6a's three series).
+        """
+        attribute = {
+            "max": "paths_above_grc_max",
+            "median": "paths_above_grc_median",
+            "min": "paths_above_grc_min",
+        }[condition]
+        return EmpiricalCDF(tuple(getattr(r, attribute) for r in self.records))
+
+    def increase_cdf(self) -> EmpiricalCDF:
+        """CDF of the relative bandwidth increase among benefiting pairs (Fig. 6b)."""
+        increases = [
+            r.relative_increase for r in self.records if r.relative_increase is not None
+        ]
+        return EmpiricalCDF(tuple(increases))
+
+    def fraction_of_pairs_improving(self, condition: str = "max", at_least: int = 1) -> float:
+        """Fraction of AS pairs gaining ``at_least`` paths meeting the condition."""
+        if not self.records:
+            return 0.0
+        return self.count_cdf(condition).fraction_at_least(at_least)
+
+
+def path_bandwidths(
+    paths: frozenset[tuple[int, int, int]] | set[tuple[int, int, int]],
+    capacities: LinkCapacityModel,
+) -> dict[tuple[int, int], list[float]]:
+    """Group a set of length-3 paths by (source, destination) with their bandwidths."""
+    grouped: dict[tuple[int, int], list[float]] = defaultdict(list)
+    for path in paths:
+        grouped[(path[0], path[2])].append(capacities.path_bandwidth(path))
+    return grouped
+
+
+def analyze_bandwidth(
+    graph: ASGraph,
+    capacities: LinkCapacityModel,
+    *,
+    agreements: list[Agreement] | None = None,
+    index: MAPathIndex | None = None,
+    sample_size: int = 100,
+    seed: int = 0,
+) -> BandwidthResult:
+    """Run the Fig. 6 analysis over a sample of source ASes."""
+    if index is None:
+        if agreements is None:
+            agreements = list(enumerate_mutuality_agreements(graph))
+        index = build_ma_path_index(agreements)
+    result = BandwidthResult()
+    for source in sample_ases(graph, sample_size, seed=seed):
+        grc_paths = set(iter_grc_length3_paths(graph, source))
+        if not grc_paths:
+            continue
+        grc_by_pair = path_bandwidths(grc_paths, capacities)
+        ma_paths = index.all_paths(source) - frozenset(grc_paths)
+        ma_by_pair = path_bandwidths(ma_paths, capacities)
+        for (src, dst), grc_values in grc_by_pair.items():
+            values = np.array(grc_values)
+            result.records.append(
+                PairBandwidthRecord(
+                    source=src,
+                    destination=dst,
+                    grc_min=float(np.min(values)),
+                    grc_median=float(np.median(values)),
+                    grc_max=float(np.max(values)),
+                    ma_bandwidths=tuple(ma_by_pair.get((src, dst), ())),
+                )
+            )
+    return result

@@ -1,0 +1,111 @@
+"""Path diversity from extension agreements (§III-B3).
+
+Once a mutuality-based agreement is in force, the path segments it
+creates can themselves be offered to further ASes: in the paper's
+example, E gains the segment ``EDA`` from its agreement with D and can
+offer that segment to its peer F, giving F the length-4 path ``FEDA``.
+The paper leaves the quantitative analysis of such extensions open; this
+module provides it as the natural next step of the §VI study:
+
+- enumerate the extension agreements available on top of a set of base
+  MAs (every peer of a segment's beneficiary can be offered the segment,
+  unless it already sits on it),
+- count the additional length-4 paths per AS, analogous to Fig. 3.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.agreements.agreement import Agreement
+from repro.agreements.extension import ExtensionAgreement, SegmentOffer
+from repro.paths.metrics import EmpiricalCDF, summarize
+from repro.topology.graph import ASGraph
+
+
+@dataclass
+class ExtensionPathIndex:
+    """Per-AS index of the length-4 paths gained from extension agreements."""
+
+    paths: dict[int, set[tuple[int, ...]]] = field(
+        default_factory=lambda: defaultdict(set)
+    )
+
+    def paths_of(self, asn: int) -> frozenset[tuple[int, ...]]:
+        """Length-4 paths starting at an AS."""
+        return frozenset(self.paths.get(asn, set()))
+
+    def count(self, asn: int) -> int:
+        """Number of length-4 extension paths of an AS."""
+        return len(self.paths.get(asn, set()))
+
+    def cdf(self, sample: tuple[int, ...]) -> EmpiricalCDF:
+        """CDF of the per-AS extension-path counts over a sample of ASes."""
+        return EmpiricalCDF(tuple(self.count(asn) for asn in sample))
+
+    def summary(self, sample: tuple[int, ...]) -> dict[str, float]:
+        """Mean / median / max extension paths over a sample of ASes."""
+        return summarize([self.count(asn) for asn in sample])
+
+
+def enumerate_extension_agreements(
+    graph: ASGraph,
+    base_agreements: list[Agreement],
+) -> list[ExtensionAgreement]:
+    """All single-segment extension agreements enabled by the base MAs.
+
+    For every segment a base agreement creates for a beneficiary, the
+    beneficiary can offer that segment to each of its peers that is not
+    already on the segment.  (In practice the peer would offer something
+    in return; for the diversity analysis only the offered side matters,
+    mirroring how §VI treats the base MAs.)
+    """
+    extensions: list[ExtensionAgreement] = []
+    for agreement in base_agreements:
+        for party in agreement.parties:
+            for segment in agreement.segments_for(party):
+                for peer in sorted(graph.peers(party)):
+                    if peer in segment.path:
+                        continue
+                    offer = SegmentOffer(
+                        owner=party, segment=segment, base_agreement=agreement
+                    )
+                    extensions.append(
+                        ExtensionAgreement(
+                            party_x=party,
+                            party_y=peer,
+                            segment_offers_x=(offer,),
+                        )
+                    )
+    return extensions
+
+
+def build_extension_path_index(
+    extensions: list[ExtensionAgreement],
+) -> ExtensionPathIndex:
+    """Index the length-4 paths created by extension agreements."""
+    index = ExtensionPathIndex()
+    for extension in extensions:
+        for party in (extension.party_x, extension.party_y):
+            for path in extension.extended_paths_for(party):
+                index.paths[party].add(path)
+    return index
+
+
+def analyze_extension_diversity(
+    graph: ASGraph,
+    base_agreements: list[Agreement],
+    sample: tuple[int, ...],
+) -> dict[str, float]:
+    """Summary of the extra length-4 paths extension agreements provide.
+
+    Returns the summary statistics over the sampled ASes plus the number
+    of extension agreements considered, which is what the extension
+    benchmark reports.
+    """
+    extensions = enumerate_extension_agreements(graph, base_agreements)
+    index = build_extension_path_index(extensions)
+    summary = index.summary(sample)
+    summary["num_extension_agreements"] = float(len(extensions))
+    return summary

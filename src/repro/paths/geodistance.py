@@ -1,0 +1,156 @@
+"""Geodistance analysis of MA paths (§VI-B, Fig. 5).
+
+For every analyzed AS pair connected by at least one length-3 GRC path,
+the analysis determines the maximum, median, and minimum geodistance of
+the GRC paths, and counts how many of the additional MA paths between
+the pair undercut each of those thresholds.  For the pairs whose minimum
+geodistance improves, it also reports the relative reduction.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.agreements.agreement import Agreement
+from repro.agreements.mutuality import enumerate_mutuality_agreements
+from repro.paths.diversity import sample_ases
+from repro.paths.grc import iter_grc_length3_paths
+from repro.paths.ma_paths import MAPathIndex, build_ma_path_index
+from repro.paths.metrics import EmpiricalCDF
+from repro.topology.geography import GeographicEmbedding
+from repro.topology.graph import ASGraph
+
+
+@dataclass(frozen=True)
+class PairGeodistanceRecord:
+    """Geodistance comparison for one (source, destination) AS pair."""
+
+    source: int
+    destination: int
+    grc_min: float
+    grc_median: float
+    grc_max: float
+    ma_distances: tuple[float, ...]
+
+    @property
+    def paths_below_grc_min(self) -> int:
+        """MA paths shorter than the best GRC path."""
+        return sum(1 for d in self.ma_distances if d < self.grc_min)
+
+    @property
+    def paths_below_grc_median(self) -> int:
+        """MA paths shorter than the median GRC path."""
+        return sum(1 for d in self.ma_distances if d < self.grc_median)
+
+    @property
+    def paths_below_grc_max(self) -> int:
+        """MA paths shorter than the worst GRC path."""
+        return sum(1 for d in self.ma_distances if d < self.grc_max)
+
+    @property
+    def best_ma_distance(self) -> float:
+        """Geodistance of the best MA path (inf when there is none)."""
+        return min(self.ma_distances) if self.ma_distances else float("inf")
+
+    @property
+    def relative_reduction(self) -> float | None:
+        """Relative reduction of the minimum geodistance, if any.
+
+        ``(grc_min − best_ma) / grc_min`` for pairs whose best MA path
+        beats the best GRC path; ``None`` otherwise.
+        """
+        best = self.best_ma_distance
+        if best >= self.grc_min or self.grc_min <= 0.0:
+            return None
+        return (self.grc_min - best) / self.grc_min
+
+
+@dataclass
+class GeodistanceResult:
+    """Full result of the Fig. 5 analysis."""
+
+    records: list[PairGeodistanceRecord] = field(default_factory=list)
+
+    def count_cdf(self, condition: str) -> EmpiricalCDF:
+        """CDF over AS pairs of the number of MA paths meeting a condition.
+
+        ``condition`` is ``"min"``, ``"median"``, or ``"max"``
+        (Fig. 5a's three series).
+        """
+        attribute = {
+            "min": "paths_below_grc_min",
+            "median": "paths_below_grc_median",
+            "max": "paths_below_grc_max",
+        }[condition]
+        return EmpiricalCDF(tuple(getattr(r, attribute) for r in self.records))
+
+    def reduction_cdf(self) -> EmpiricalCDF:
+        """CDF of the relative geodistance reduction among benefiting pairs (Fig. 5b)."""
+        reductions = [
+            r.relative_reduction
+            for r in self.records
+            if r.relative_reduction is not None
+        ]
+        return EmpiricalCDF(tuple(reductions))
+
+    def fraction_of_pairs_improving(self, condition: str = "min", at_least: int = 1) -> float:
+        """Fraction of AS pairs gaining ``at_least`` paths meeting the condition."""
+        if not self.records:
+            return 0.0
+        cdf = self.count_cdf(condition)
+        return cdf.fraction_at_least(at_least)
+
+
+def path_geodistances(
+    paths: frozenset[tuple[int, int, int]] | set[tuple[int, int, int]],
+    embedding: GeographicEmbedding,
+) -> dict[tuple[int, int], list[float]]:
+    """Group a set of length-3 paths by (source, destination) with their geodistances."""
+    grouped: dict[tuple[int, int], list[float]] = defaultdict(list)
+    for path in paths:
+        grouped[(path[0], path[2])].append(embedding.path_geodistance(path))
+    return grouped
+
+
+def analyze_geodistance(
+    graph: ASGraph,
+    embedding: GeographicEmbedding,
+    *,
+    agreements: list[Agreement] | None = None,
+    index: MAPathIndex | None = None,
+    sample_size: int = 100,
+    seed: int = 0,
+) -> GeodistanceResult:
+    """Run the Fig. 5 analysis over a sample of source ASes.
+
+    For every sampled source AS, every destination reachable via at least
+    one GRC length-3 path contributes one AS pair to the analysis.
+    """
+    if index is None:
+        if agreements is None:
+            agreements = list(enumerate_mutuality_agreements(graph))
+        index = build_ma_path_index(agreements)
+    result = GeodistanceResult()
+    for source in sample_ases(graph, sample_size, seed=seed):
+        grc_paths = set(iter_grc_length3_paths(graph, source))
+        if not grc_paths:
+            continue
+        grc_by_pair = path_geodistances(grc_paths, embedding)
+        ma_paths = index.all_paths(source) - frozenset(grc_paths)
+        ma_by_pair = path_geodistances(ma_paths, embedding)
+        for (src, dst), grc_distances in grc_by_pair.items():
+            distances = np.array(grc_distances)
+            result.records.append(
+                PairGeodistanceRecord(
+                    source=src,
+                    destination=dst,
+                    grc_min=float(np.min(distances)),
+                    grc_median=float(np.median(distances)),
+                    grc_max=float(np.max(distances)),
+                    ma_distances=tuple(ma_by_pair.get((src, dst), ())),
+                )
+            )
+    return result

@@ -1,0 +1,69 @@
+"""GRC-conforming (valley-free) length-3 paths (§VI).
+
+The paper's path-diversity analysis counts, per AS, the *length-3 paths*
+(three ASes, two inter-AS links) available under the Gao–Rexford
+conditions, and the destinations those paths reach ("nearby
+destinations").  A path ``A – B – C`` is GRC-conforming exactly when the
+transit AS ``B`` is willing to forward between ``A`` and ``C`` under a
+GRC-conforming export policy, i.e. when at least one of ``A`` and ``C``
+is a customer of ``B``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.topology.graph import ASGraph
+
+
+def is_grc_conforming_segment(graph: ASGraph, first: int, transit: int, last: int) -> bool:
+    """Whether the transit AS would forward between ``first`` and ``last`` under the GRC."""
+    customers = graph.customers(transit)
+    return first in customers or last in customers
+
+
+def iter_grc_length3_paths(graph: ASGraph, source: int) -> Iterator[tuple[int, int, int]]:
+    """Yield every GRC-conforming length-3 path starting at ``source``.
+
+    Paths are tuples ``(source, transit, destination)`` with three
+    distinct ASes and two existing links.
+    """
+    for transit in graph.neighbors(source):
+        transit_customers = graph.customers(transit)
+        source_is_customer = source in transit_customers
+        for destination in graph.neighbors(transit):
+            if destination == source:
+                continue
+            if source_is_customer or destination in transit_customers:
+                yield (source, transit, destination)
+
+
+def grc_length3_paths(graph: ASGraph, source: int) -> frozenset[tuple[int, int, int]]:
+    """All GRC-conforming length-3 paths starting at ``source``."""
+    return frozenset(iter_grc_length3_paths(graph, source))
+
+
+def grc_length3_destinations(graph: ASGraph, source: int) -> frozenset[int]:
+    """Destinations reachable from ``source`` over GRC-conforming length-3 paths."""
+    return frozenset(path[2] for path in iter_grc_length3_paths(graph, source))
+
+
+def grc_paths_between(
+    graph: ASGraph, source: int, destination: int
+) -> frozenset[tuple[int, int, int]]:
+    """GRC-conforming length-3 paths between a specific AS pair.
+
+    By definition all length-3 paths between a fixed source and
+    destination are disjoint (they only share the endpoints), a property
+    the paper points out and the path-diversity tests verify.
+    """
+    return frozenset(
+        path
+        for path in iter_grc_length3_paths(graph, source)
+        if path[2] == destination
+    )
+
+
+def count_grc_length3_paths(graph: ASGraph, source: int) -> int:
+    """Number of GRC-conforming length-3 paths starting at ``source``."""
+    return sum(1 for _ in iter_grc_length3_paths(graph, source))

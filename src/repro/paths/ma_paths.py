@@ -1,0 +1,108 @@
+"""Length-3 paths created by mutuality-based agreements (§VI).
+
+An MA can provide an AS with new paths in two ways:
+
+- *directly*: the AS is a party of the MA and gains the segment
+  ``AS – partner – target`` (e.g. D gains ``D E B`` from the Fig. 1
+  agreement), or
+- *indirectly*: the AS is the *subject* (target) of an MA between two
+  other ASes and gains the reverse path towards the beneficiary (e.g.
+  B and F gain paths to D from the MA between D and E).
+
+The paper's series ``MA`` counts both kinds, ``MA*`` only the directly
+gained paths, and ``MA* (Top n)`` the directly gained paths of the ``n``
+most attractive agreements of the AS.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.agreements.agreement import Agreement
+from repro.paths.grc import grc_length3_paths
+from repro.topology.graph import ASGraph
+
+
+@dataclass
+class MAPathIndex:
+    """Per-AS index of the length-3 paths created by a set of MAs.
+
+    ``direct[asn]`` are paths gained as an agreement party, mapped to the
+    agreements that provide them (an AS may gain the same path from at
+    most one maximal MA, but the mapping keeps the analysis general);
+    ``indirect[asn]`` are paths gained as the subject of other ASes'
+    agreements.
+    """
+
+    direct: dict[int, dict[tuple[int, int, int], Agreement]] = field(
+        default_factory=lambda: defaultdict(dict)
+    )
+    indirect: dict[int, set[tuple[int, int, int]]] = field(
+        default_factory=lambda: defaultdict(set)
+    )
+
+    def direct_paths(self, asn: int) -> frozenset[tuple[int, int, int]]:
+        """Directly gained MA paths starting at ``asn`` (the MA* series)."""
+        return frozenset(self.direct.get(asn, {}))
+
+    def indirect_paths(self, asn: int) -> frozenset[tuple[int, int, int]]:
+        """Indirectly gained MA paths starting at ``asn``."""
+        return frozenset(self.indirect.get(asn, set()))
+
+    def all_paths(self, asn: int) -> frozenset[tuple[int, int, int]]:
+        """All MA paths starting at ``asn`` (the MA series)."""
+        return self.direct_paths(asn) | self.indirect_paths(asn)
+
+    def top_n_paths(
+        self, asn: int, n: int, graph: ASGraph | None = None
+    ) -> frozenset[tuple[int, int, int]]:
+        """Directly gained paths from the AS's ``n`` most attractive MAs.
+
+        Agreements are ranked by the number of *new* directly gained
+        paths they provide to the AS (paths that are not already
+        GRC-conforming are new; when a topology is supplied the GRC
+        paths are excluded from the ranking and the result, matching the
+        paper's "additional paths" notion).
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        grc = grc_length3_paths(graph, asn) if graph is not None else frozenset()
+        per_agreement: dict[int, set[tuple[int, int, int]]] = defaultdict(set)
+        for path, agreement in self.direct.get(asn, {}).items():
+            if path in grc:
+                continue
+            per_agreement[id(agreement)].add(path)
+        ranked = sorted(per_agreement.values(), key=len, reverse=True)
+        selected: set[tuple[int, int, int]] = set()
+        for paths in ranked[:n]:
+            selected.update(paths)
+        return frozenset(selected)
+
+
+def agreement_paths(agreement: Agreement) -> dict[int, set[tuple[int, int, int]]]:
+    """Length-3 paths created by one agreement, keyed by the AS that gains them."""
+    gained: dict[int, set[tuple[int, int, int]]] = defaultdict(set)
+    for segment in agreement.all_segments():
+        gained[segment.beneficiary].add(segment.path)
+        gained[segment.target].add(segment.reverse_path)
+    return gained
+
+
+def build_ma_path_index(agreements: list[Agreement]) -> MAPathIndex:
+    """Index the paths created by a collection of MAs."""
+    index = MAPathIndex()
+    for agreement in agreements:
+        for segment in agreement.all_segments():
+            index.direct[segment.beneficiary][segment.path] = agreement
+            index.indirect[segment.target].add(segment.reverse_path)
+    return index
+
+
+def new_ma_paths(
+    graph: ASGraph, index: MAPathIndex, asn: int, *, directly_gained_only: bool = False
+) -> frozenset[tuple[int, int, int]]:
+    """MA paths of an AS that are not already available under the GRC."""
+    grc = grc_length3_paths(graph, asn)
+    paths = index.direct_paths(asn) if directly_gained_only else index.all_paths(asn)
+    return frozenset(path for path in paths if path not in grc)

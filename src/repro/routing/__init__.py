@@ -1,0 +1,60 @@
+"""Routing substrates (§II).
+
+A BGP-style path-vector simulator with configurable policies (the GRC
+policy and the explicit-preference gadget policies), convergence /
+oscillation analysis of the classical gadgets, and a PAN/SCION-like
+substrate with agreement-governed segment authorization and forwarding
+along source-selected paths embedded in packet headers.
+"""
+
+from repro.routing.beaconing import (
+    BeaconingProcess,
+    PathConstructionBeacon,
+    PathServer,
+    SegmentStore,
+)
+from repro.routing.bgp import BGPOutcome, BGPSimulator
+from repro.routing.convergence import (
+    ConvergenceReport,
+    analyze_gadget,
+    analyze_grc,
+    degrade_by_link_failure,
+)
+from repro.routing.forwarding import (
+    DropReason,
+    ForwardingEngine,
+    ForwardingResult,
+    Packet,
+)
+from repro.routing.pan import AuthorizedSegment, PathAwareNetwork
+from repro.routing.policies import (
+    GaoRexfordPolicy,
+    PreferenceListPolicy,
+    RoutingPolicy,
+    gadget_policies,
+    gao_rexford_policies,
+)
+
+__all__ = [
+    "RoutingPolicy",
+    "GaoRexfordPolicy",
+    "PreferenceListPolicy",
+    "gao_rexford_policies",
+    "gadget_policies",
+    "BGPSimulator",
+    "BGPOutcome",
+    "ConvergenceReport",
+    "analyze_gadget",
+    "analyze_grc",
+    "degrade_by_link_failure",
+    "PathAwareNetwork",
+    "AuthorizedSegment",
+    "ForwardingEngine",
+    "ForwardingResult",
+    "Packet",
+    "DropReason",
+    "PathConstructionBeacon",
+    "SegmentStore",
+    "BeaconingProcess",
+    "PathServer",
+]

@@ -1,0 +1,273 @@
+"""SCION-style path discovery: beaconing and segment registration (§II).
+
+The paper's stability argument relies on how PANs *discover* paths:
+"paths in PAN architectures are discovered similarly as in BGP, namely by
+communicating path information to neighboring ASes", but forwarding uses
+the path in the packet header.  This module provides that discovery
+substrate in the style of SCION:
+
+- **Core beaconing**: the provider-free core ASes (tier-1) originate
+  path-construction beacons (PCBs) that travel *down* provider–customer
+  links; every AS extends the beacon with its own hop and forwards it to
+  its customers.  The recorded reverse paths are **up-segments** (from an
+  AS up to the core) and, read forwards, **down-segments** (from the core
+  down to an AS).
+- **Core segments**: paths among core ASes over their peering mesh.
+- **Segment registration**: each AS registers its best segments at a
+  :class:`PathServer`, where sources look them up.
+- **Path construction**: an end-to-end forwarding path is built by
+  combining an up-segment of the source, optionally a core segment, and a
+  down-segment of the destination — or, when an interconnection
+  agreement authorizes it, a *shortcut* over a peering link between the
+  two segments (exactly the kind of path mutuality-based agreements
+  create).
+
+The constructed paths can be handed directly to
+:class:`repro.routing.forwarding.ForwardingEngine`, closing the loop
+between path discovery, agreements, and data-plane forwarding.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.routing.pan import PathAwareNetwork
+from repro.topology.graph import ASGraph
+
+
+@dataclass(frozen=True)
+class PathConstructionBeacon:
+    """A path-construction beacon: the AS-level path from a core AS downwards."""
+
+    path: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.path) < 1:
+            raise ValueError("a beacon needs at least the originating core AS")
+        if len(set(self.path)) != len(self.path):
+            raise ValueError(f"beacon path contains a loop: {self.path}")
+
+    @property
+    def core_as(self) -> int:
+        """The core AS that originated the beacon."""
+        return self.path[0]
+
+    @property
+    def last_as(self) -> int:
+        """The AS that most recently extended the beacon."""
+        return self.path[-1]
+
+    def extended(self, next_as: int) -> "PathConstructionBeacon":
+        """The beacon after the next AS appends its hop."""
+        if next_as in self.path:
+            raise ValueError(f"extending beacon {self.path} with {next_as} creates a loop")
+        return PathConstructionBeacon(path=(*self.path, next_as))
+
+
+@dataclass
+class SegmentStore:
+    """Up-, down-, and core-segments discovered by beaconing.
+
+    Segments are stored as AS-level paths.  A *down-segment* for AS ``X``
+    runs from a core AS to ``X``; the corresponding *up-segment* is the
+    reverse.  A *core-segment* connects two core ASes.
+    """
+
+    down_segments: dict[int, set[tuple[int, ...]]] = field(
+        default_factory=lambda: defaultdict(set)
+    )
+    core_segments: dict[frozenset[int], set[tuple[int, ...]]] = field(
+        default_factory=lambda: defaultdict(set)
+    )
+
+    def register_down_segment(self, segment: tuple[int, ...]) -> None:
+        """Register a down-segment ending at its last AS."""
+        self.down_segments[segment[-1]].add(segment)
+
+    def register_core_segment(self, segment: tuple[int, ...]) -> None:
+        """Register a core-segment between its two end ASes."""
+        self.core_segments[frozenset((segment[0], segment[-1]))].add(segment)
+
+    def down_segments_of(self, asn: int) -> frozenset[tuple[int, ...]]:
+        """Down-segments reaching an AS."""
+        return frozenset(self.down_segments.get(asn, set()))
+
+    def up_segments_of(self, asn: int) -> frozenset[tuple[int, ...]]:
+        """Up-segments of an AS (reversed down-segments)."""
+        return frozenset(tuple(reversed(s)) for s in self.down_segments.get(asn, set()))
+
+    def core_segments_between(self, left: int, right: int) -> frozenset[tuple[int, ...]]:
+        """Core-segments between two core ASes, oriented from ``left`` to ``right``."""
+        oriented = set()
+        for segment in self.core_segments.get(frozenset((left, right)), set()):
+            if segment[0] == left:
+                oriented.add(segment)
+            else:
+                oriented.add(tuple(reversed(segment)))
+        return frozenset(oriented)
+
+
+class BeaconingProcess:
+    """Disseminates PCBs from the core and registers the resulting segments."""
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        *,
+        max_segment_length: int = 5,
+        beacons_per_as: int = 8,
+    ) -> None:
+        if max_segment_length < 1:
+            raise ValueError("segments need at least one AS")
+        if beacons_per_as < 1:
+            raise ValueError("each AS must be allowed to keep at least one beacon")
+        self.graph = graph
+        self.max_segment_length = max_segment_length
+        self.beacons_per_as = beacons_per_as
+
+    def run(self) -> SegmentStore:
+        """Run beaconing to completion and return the discovered segments."""
+        store = SegmentStore()
+        core = sorted(self.graph.tier1_ases())
+
+        # Core segments: paths within the core (over core peering links),
+        # found by breadth-limited search on the core subgraph.
+        core_set = set(core)
+        for origin in core:
+            frontier: list[tuple[int, ...]] = [(origin,)]
+            while frontier:
+                path = frontier.pop()
+                current = path[-1]
+                if len(path) > 1:
+                    store.register_core_segment(path)
+                if len(path) >= self.max_segment_length:
+                    continue
+                for neighbor in sorted(self.graph.peers(current) & core_set):
+                    if neighbor in path:
+                        continue
+                    frontier.append((*path, neighbor))
+
+        # Down-segments: beacons travel down provider->customer links.
+        # Each AS keeps a bounded number of the shortest beacons it has seen
+        # and propagates them to its customers.
+        best_beacons: dict[int, list[PathConstructionBeacon]] = {
+            asn: [PathConstructionBeacon(path=(asn,))] for asn in core
+        }
+        # Process ASes in topological order of the provider->customer DAG so
+        # every provider's beacons are final before its customers receive them.
+        order = self._topological_order()
+        for asn in order:
+            for beacon in best_beacons.get(asn, []):
+                if len(beacon.path) > 1:
+                    store.register_down_segment(beacon.path)
+                if len(beacon.path) >= self.max_segment_length:
+                    continue
+                for customer in sorted(self.graph.customers(asn)):
+                    if customer in beacon.path:
+                        continue
+                    extended = beacon.extended(customer)
+                    bucket = best_beacons.setdefault(customer, [])
+                    bucket.append(extended)
+                    bucket.sort(key=lambda b: (len(b.path), b.path))
+                    del bucket[self.beacons_per_as :]
+        return store
+
+    def _topological_order(self) -> list[int]:
+        """ASes ordered so that providers come before their customers."""
+        indegree = {asn: len(self.graph.providers(asn)) for asn in self.graph}
+        ready = sorted(asn for asn, degree in indegree.items() if degree == 0)
+        order: list[int] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for customer in sorted(self.graph.customers(current)):
+                indegree[customer] -= 1
+                if indegree[customer] == 0:
+                    ready.append(customer)
+        return order
+
+
+@dataclass
+class PathServer:
+    """Combines registered segments into end-to-end forwarding paths."""
+
+    graph: ASGraph
+    store: SegmentStore
+    network: PathAwareNetwork | None = None
+
+    def lookup(
+        self,
+        source: int,
+        destination: int,
+        *,
+        max_paths: int = 20,
+    ) -> tuple[tuple[int, ...], ...]:
+        """End-to-end AS-level paths from segment combination.
+
+        Three combinations are attempted, mirroring SCION: up+down
+        segments sharing a core AS, up+core+down segments, and — when a
+        :class:`PathAwareNetwork` with agreement-authorized segments is
+        attached — shortcut paths that cross directly from the source's
+        up-segment to the destination over an authorized peering detour.
+        Paths are deduplicated, checked for loops, and validated against
+        the authorization registry when one is attached.
+        """
+        if source == destination:
+            raise ValueError("source and destination must differ")
+        candidates: set[tuple[int, ...]] = set()
+
+        up_segments = set(self.store.up_segments_of(source))
+        down_segments = set(self.store.down_segments_of(destination))
+        # Core endpoints have no up/down segments of their own; they act as
+        # their own trivial segment so core↔edge paths can be constructed.
+        if not self.graph.providers(source):
+            up_segments.add((source,))
+        if not self.graph.providers(destination):
+            down_segments.add((destination,))
+
+        for up in up_segments:
+            for down in down_segments:
+                if up[-1] == down[0]:
+                    candidates.add(self._join(up, down[1:]))
+                else:
+                    for core in self.store.core_segments_between(up[-1], down[0]):
+                        candidates.add(self._join(up, core[1:], down[1:]))
+
+        if self.network is not None:
+            candidates.update(self._shortcut_paths(source, destination))
+
+        valid = []
+        for path in sorted(candidates, key=lambda p: (len(p), p)):
+            if len(set(path)) != len(path):
+                continue
+            if not all(
+                self.graph.has_link(path[i], path[i + 1]) for i in range(len(path) - 1)
+            ):
+                continue
+            if self.network is not None and not self.network.is_valid_path(path):
+                continue
+            valid.append(path)
+            if len(valid) >= max_paths:
+                break
+        return tuple(valid)
+
+    def _shortcut_paths(self, source: int, destination: int) -> set[tuple[int, ...]]:
+        """Length-3 shortcuts over agreement-authorized peering detours."""
+        shortcuts: set[tuple[int, ...]] = set()
+        assert self.network is not None
+        for middle in self.graph.neighbors(source):
+            if destination in self.graph.neighbors(middle) and self.network.is_authorized(
+                source, middle, destination
+            ):
+                shortcuts.add((source, middle, destination))
+        if self.graph.has_link(source, destination):
+            shortcuts.add((source, destination))
+        return shortcuts
+
+    @staticmethod
+    def _join(*parts: tuple[int, ...]) -> tuple[int, ...]:
+        joined: list[int] = []
+        for part in parts:
+            joined.extend(part)
+        return tuple(joined)

@@ -1,0 +1,187 @@
+"""A BGP-style path-vector routing simulator (§II).
+
+The simulator implements the standard "stable paths problem" activation
+model: ASes are activated one at a time (according to a configurable
+schedule); an activated AS looks at the routes its neighbors currently
+select and export to it, picks its most preferred loop-free route, and
+adopts it.  The network has converged when a full activation round
+changes nothing; it oscillates when the global routing state revisits a
+previously seen state without having converged (which, for a
+deterministic schedule, proves it never will).
+
+This is exactly the machinery needed to reproduce the paper's stability
+argument: DISAGREE converges but to schedule-dependent outcomes ("BGP
+wedgies"), BAD GADGET oscillates forever, and GRC-conforming policies
+always converge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.routing.policies import RoutingPolicy
+from repro.topology.graph import ASGraph
+
+
+@dataclass(frozen=True)
+class BGPOutcome:
+    """Result of a BGP simulation run."""
+
+    converged: bool
+    oscillation_detected: bool
+    steps: int
+    routes: dict[int, tuple[int, ...] | None]
+    state_revisits: int = 0
+
+    def route_of(self, asn: int) -> tuple[int, ...] | None:
+        """Selected route of an AS at the end of the run (None = no route)."""
+        return self.routes.get(asn)
+
+
+@dataclass
+class BGPSimulator:
+    """Path-vector simulation towards a single destination AS."""
+
+    graph: ASGraph
+    destination: int
+    policies: dict[int, RoutingPolicy]
+    #: Selected route per AS; the destination always selects ``(destination,)``.
+    _selected: dict[int, tuple[int, ...] | None] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        if self.destination not in self.graph:
+            raise ValueError(f"destination AS {self.destination} is not in the topology")
+        missing = self.graph.ases - set(self.policies) - {self.destination}
+        if missing:
+            raise ValueError(f"no policy defined for ASes {sorted(missing)}")
+        self.reset()
+
+    def reset(self) -> None:
+        """Reset all routing state: only the destination knows a route."""
+        self._selected = {asn: None for asn in self.graph}
+        self._selected[self.destination] = (self.destination,)
+
+    # ------------------------------------------------------------------
+    # State access
+    # ------------------------------------------------------------------
+    @property
+    def selected_routes(self) -> dict[int, tuple[int, ...] | None]:
+        """Currently selected route of every AS."""
+        return dict(self._selected)
+
+    def _state_key(self) -> tuple:
+        return tuple(sorted(self._selected.items()))
+
+    # ------------------------------------------------------------------
+    # Route computation
+    # ------------------------------------------------------------------
+    def candidate_routes(self, asn: int) -> list[tuple[int, ...]]:
+        """Routes currently available to an AS from its neighbors' exports."""
+        if asn == self.destination:
+            return [(self.destination,)]
+        candidates = []
+        for neighbor in self.graph.neighbors(asn):
+            neighbor_route = self._selected.get(neighbor)
+            if neighbor_route is None:
+                continue
+            if asn in neighbor_route:
+                # Loop prevention: BGP drops paths containing itself.
+                continue
+            if neighbor != self.destination:
+                policy = self.policies[neighbor]
+                if not policy.exports_to(neighbor, asn, neighbor_route, self.graph):
+                    continue
+            candidates.append((asn, *neighbor_route))
+        return candidates
+
+    def best_route(self, asn: int) -> tuple[int, ...] | None:
+        """Most preferred available route of an AS (None if none available)."""
+        if asn == self.destination:
+            return (self.destination,)
+        candidates = self.candidate_routes(asn)
+        if not candidates:
+            return None
+        policy = self.policies[asn]
+        ranked = sorted(candidates, key=lambda path: policy.rank(asn, path, self.graph))
+        best = ranked[0]
+        if policy.rank(asn, best, self.graph)[0] == float("inf"):
+            return None
+        return best
+
+    def activate(self, asn: int) -> bool:
+        """Activate one AS; returns True when its selected route changed."""
+        if asn == self.destination:
+            return False
+        new_route = self.best_route(asn)
+        if new_route != self._selected[asn]:
+            self._selected[asn] = new_route
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        schedule: list[int] | None = None,
+        max_rounds: int = 1000,
+        seed: int | None = None,
+    ) -> BGPOutcome:
+        """Run activation rounds until convergence, oscillation, or the bound.
+
+        ``schedule`` fixes the order in which ASes are activated within
+        each round; when omitted, a deterministic order is derived from
+        ``seed`` (or the sorted AS order if no seed is given).  Because
+        the schedule is deterministic and repeated every round, revisiting
+        a previously seen global state without convergence proves a
+        persistent oscillation.
+        """
+        if schedule is None:
+            order = sorted(asn for asn in self.graph if asn != self.destination)
+            if seed is not None:
+                rng = np.random.default_rng(seed)
+                order = [int(x) for x in rng.permutation(order)]
+        else:
+            order = [asn for asn in schedule if asn != self.destination]
+            missing = self.graph.ases - set(order) - {self.destination}
+            if missing:
+                raise ValueError(f"schedule misses ASes {sorted(missing)}")
+
+        seen_states: set[tuple] = {self._state_key()}
+        steps = 0
+        revisits = 0
+        for _ in range(max_rounds):
+            changed = False
+            for asn in order:
+                if self.activate(asn):
+                    changed = True
+                steps += 1
+            if not changed:
+                return BGPOutcome(
+                    converged=True,
+                    oscillation_detected=False,
+                    steps=steps,
+                    routes=self.selected_routes,
+                    state_revisits=revisits,
+                )
+            state = self._state_key()
+            if state in seen_states:
+                revisits += 1
+                return BGPOutcome(
+                    converged=False,
+                    oscillation_detected=True,
+                    steps=steps,
+                    routes=self.selected_routes,
+                    state_revisits=revisits,
+                )
+            seen_states.add(state)
+        return BGPOutcome(
+            converged=False,
+            oscillation_detected=False,
+            steps=steps,
+            routes=self.selected_routes,
+            state_revisits=revisits,
+        )

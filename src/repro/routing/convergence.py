@@ -1,0 +1,110 @@
+"""Convergence analysis of BGP policies (§II).
+
+Thin analysis layer over the BGP simulator that reproduces the paper's
+stability argument:
+
+- GRC-conforming policies always converge (Gao–Rexford theorem),
+- the DISAGREE gadget converges, but to different stable states under
+  different activation schedules (non-determinism / "BGP wedgies"),
+- the BAD GADGET oscillates persistently,
+- seemingly benign GRC-violating topologies can degrade to a BAD GADGET
+  when a link fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.routing.bgp import BGPOutcome, BGPSimulator
+from repro.routing.policies import gadget_policies, gao_rexford_policies
+from repro.topology.fixtures import Gadget
+from repro.topology.graph import ASGraph
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Summary of running a gadget under several activation schedules."""
+
+    name: str
+    outcomes: tuple[BGPOutcome, ...]
+
+    @property
+    def always_converged(self) -> bool:
+        """Whether every schedule converged."""
+        return all(outcome.converged for outcome in self.outcomes)
+
+    @property
+    def any_oscillation(self) -> bool:
+        """Whether any schedule exhibited a persistent oscillation."""
+        return any(outcome.oscillation_detected for outcome in self.outcomes)
+
+    @property
+    def distinct_stable_states(self) -> int:
+        """Number of distinct stable routing states reached across schedules.
+
+        More than one distinct stable state means the outcome is
+        schedule-dependent (non-deterministic convergence).
+        """
+        states = set()
+        for outcome in self.outcomes:
+            if outcome.converged:
+                states.add(tuple(sorted(outcome.routes.items())))
+        return len(states)
+
+    @property
+    def is_nondeterministic(self) -> bool:
+        """Converges, but to schedule-dependent routing states."""
+        return self.always_converged and self.distinct_stable_states > 1
+
+
+def analyze_gadget(gadget: Gadget, *, num_schedules: int = 6) -> ConvergenceReport:
+    """Run a gadget under several deterministic activation schedules."""
+    outcomes = []
+    for seed in range(num_schedules):
+        simulator = BGPSimulator(
+            graph=gadget.graph,
+            destination=gadget.destination,
+            policies=gadget_policies(gadget.graph, gadget.preferences),
+        )
+        outcomes.append(simulator.run(seed=seed, max_rounds=200))
+    return ConvergenceReport(name=gadget.name, outcomes=tuple(outcomes))
+
+
+def analyze_grc(graph: ASGraph, destination: int, *, num_schedules: int = 4) -> ConvergenceReport:
+    """Run GRC-conforming policies towards one destination under several schedules."""
+    outcomes = []
+    for seed in range(num_schedules):
+        simulator = BGPSimulator(
+            graph=graph,
+            destination=destination,
+            policies=gao_rexford_policies(graph),
+        )
+        outcomes.append(simulator.run(seed=seed, max_rounds=500))
+    return ConvergenceReport(name=f"GRC→{destination}", outcomes=tuple(outcomes))
+
+
+def degrade_by_link_failure(gadget: Gadget, left: int, right: int) -> Gadget:
+    """Remove a link from a gadget topology (the §II link-failure scenario).
+
+    The paper notes that seemingly benign GRC-violating configurations
+    can reduce to a BAD GADGET when a link fails; this helper produces
+    the degraded gadget so tests and examples can demonstrate it.
+    """
+    graph = gadget.graph.copy()
+    graph.remove_link(left, right)
+    preferences = {
+        asn: tuple(
+            path
+            for path in paths
+            if all(
+                graph.has_link(path[i], path[i + 1]) for i in range(len(path) - 1)
+            )
+        )
+        for asn, paths in gadget.preferences.items()
+    }
+    return Gadget(
+        graph=graph,
+        destination=gadget.destination,
+        preferences=preferences,
+        name=f"{gadget.name} (link {left}–{right} failed)",
+    )

@@ -1,0 +1,124 @@
+"""Packet forwarding along source-selected paths (§II).
+
+Unlike IP, a PAN forwards a packet along the path encoded in its header:
+each transit AS only checks that it authorized the segment the packet is
+asking it to traverse, then hands the packet to the next AS of the
+header.  There is no dependence on other ASes' routing state, so
+forwarding cannot loop and GRC-violating segments cannot destabilize
+anything — the property the paper's stability argument rests on.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.routing.pan import PathAwareNetwork
+
+
+class DropReason(enum.Enum):
+    """Why a packet was not delivered."""
+
+    MISSING_LINK = "missing link"
+    UNAUTHORIZED_SEGMENT = "unauthorized segment"
+    MALFORMED_PATH = "malformed path"
+
+
+@dataclass
+class Packet:
+    """A data packet carrying its forwarding path in the header."""
+
+    _ids = itertools.count()
+
+    path: tuple[int, ...]
+    payload: str = ""
+    position: int = 0
+    packet_id: int = field(default_factory=lambda: next(Packet._ids))
+
+    @property
+    def current_as(self) -> int:
+        """AS currently holding the packet."""
+        return self.path[self.position]
+
+    @property
+    def delivered(self) -> bool:
+        """Whether the packet reached the last AS of its header path."""
+        return self.position == len(self.path) - 1
+
+
+@dataclass(frozen=True)
+class ForwardingResult:
+    """Outcome of forwarding one packet."""
+
+    packet: Packet
+    delivered: bool
+    hops: int
+    traversed: tuple[int, ...]
+    drop_reason: DropReason | None = None
+    dropped_at: int | None = None
+
+
+class ForwardingEngine:
+    """Hop-by-hop forwarding of packets through a path-aware network."""
+
+    def __init__(self, network: PathAwareNetwork) -> None:
+        self.network = network
+
+    def forward(self, packet: Packet) -> ForwardingResult:
+        """Forward a packet along its embedded path until delivery or drop."""
+        path = packet.path
+        if len(path) < 2 or len(set(path)) != len(path):
+            return ForwardingResult(
+                packet=packet,
+                delivered=False,
+                hops=0,
+                traversed=(path[0],) if path else (),
+                drop_reason=DropReason.MALFORMED_PATH,
+                dropped_at=path[0] if path else None,
+            )
+        traversed = [path[0]]
+        hops = 0
+        while not packet.delivered:
+            current = packet.current_as
+            next_as = path[packet.position + 1]
+            if not self.network.graph.has_link(current, next_as):
+                return ForwardingResult(
+                    packet=packet,
+                    delivered=False,
+                    hops=hops,
+                    traversed=tuple(traversed),
+                    drop_reason=DropReason.MISSING_LINK,
+                    dropped_at=current,
+                )
+            if 0 < packet.position < len(path) - 1:
+                previous = path[packet.position - 1]
+                if not self.network.is_authorized(previous, current, next_as):
+                    return ForwardingResult(
+                        packet=packet,
+                        delivered=False,
+                        hops=hops,
+                        traversed=tuple(traversed),
+                        drop_reason=DropReason.UNAUTHORIZED_SEGMENT,
+                        dropped_at=current,
+                    )
+            packet.position += 1
+            traversed.append(packet.current_as)
+            hops += 1
+        return ForwardingResult(
+            packet=packet,
+            delivered=True,
+            hops=hops,
+            traversed=tuple(traversed),
+        )
+
+    def forward_many(self, packets: list[Packet]) -> list[ForwardingResult]:
+        """Forward a batch of packets independently."""
+        return [self.forward(packet) for packet in packets]
+
+    def delivery_ratio(self, packets: list[Packet]) -> float:
+        """Fraction of packets that are delivered."""
+        if not packets:
+            return 0.0
+        results = self.forward_many(packets)
+        return sum(1 for result in results if result.delivered) / len(results)

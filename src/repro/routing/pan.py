@@ -1,0 +1,200 @@
+"""A path-aware network (PAN) substrate in the spirit of SCION (§II).
+
+In a PAN, forwarding paths are discovered similarly to BGP (ASes
+disseminate path information to neighbors) but data packets are
+forwarded along the path *selected by the source and embedded in the
+packet header*.  Two consequences matter for the paper:
+
+1. Stability is trivial: there is no global route-selection fixed point
+   to reach, so GRC-violating path segments cannot cause oscillations or
+   loops — the path in the header is checked to be loop-free when it is
+   constructed.
+2. ASes keep control over which path segments they *authorize*: the set
+   of authorized segments is exactly what interconnection agreements
+   govern.  The default authorization is GRC-conforming (customer
+   segments only); mutuality-based agreements add further segments.
+
+The :class:`PathAwareNetwork` maintains the authorized-segment registry,
+enumerates end-to-end paths available to a source, and lets end hosts
+select paths by latency (geodistance) or bandwidth.  Packet-level
+forwarding along embedded paths lives in
+:mod:`repro.routing.forwarding`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agreements.agreement import Agreement
+from repro.topology.bandwidth import LinkCapacityModel
+from repro.topology.geography import GeographicEmbedding
+from repro.topology.graph import ASGraph
+
+
+@dataclass(frozen=True)
+class AuthorizedSegment:
+    """A length-3 path segment authorized by its middle (transit) AS.
+
+    ``path = (first, transit, last)``: the transit AS agrees to forward
+    traffic between ``first`` and ``last``.  Authorization is direction-
+    independent, like the flows in the paper's model.
+    """
+
+    first: int
+    transit: int
+    last: int
+
+    def __post_init__(self) -> None:
+        if len({self.first, self.transit, self.last}) != 3:
+            raise ValueError("a segment needs three distinct ASes")
+
+    @property
+    def key(self) -> tuple[int, frozenset[int]]:
+        """Direction-independent identity of the segment."""
+        return (self.transit, frozenset((self.first, self.last)))
+
+    @property
+    def path(self) -> tuple[int, int, int]:
+        return (self.first, self.transit, self.last)
+
+
+class PathAwareNetwork:
+    """Authorized-segment registry and path discovery of a PAN."""
+
+    def __init__(self, graph: ASGraph) -> None:
+        self.graph = graph
+        self._authorized: set[tuple[int, frozenset[int]]] = set()
+        self._agreements: list[Agreement] = []
+
+    # ------------------------------------------------------------------
+    # Authorization
+    # ------------------------------------------------------------------
+    def authorize_segment(self, first: int, transit: int, last: int) -> None:
+        """Authorize one transit segment (links must exist in the topology)."""
+        if not self.graph.has_link(first, transit) or not self.graph.has_link(transit, last):
+            raise ValueError(
+                f"cannot authorize segment ({first}, {transit}, {last}): missing link"
+            )
+        segment = AuthorizedSegment(first=first, transit=transit, last=last)
+        self._authorized.add(segment.key)
+
+    def authorize_grc_segments(self) -> int:
+        """Authorize every GRC-conforming segment of the topology.
+
+        A transit AS ``B`` forwards between neighbors ``A`` and ``C``
+        under the GRC only if at least one of them is ``B``'s customer.
+        Returns the number of newly authorized segments.
+        """
+        before = len(self._authorized)
+        for transit in self.graph:
+            neighbors = sorted(self.graph.neighbors(transit))
+            customers = self.graph.customers(transit)
+            for i, first in enumerate(neighbors):
+                for last in neighbors[i + 1 :]:
+                    if first in customers or last in customers:
+                        self.authorize_segment(first, transit, last)
+        return len(self._authorized) - before
+
+    def apply_agreement(self, agreement: Agreement) -> int:
+        """Authorize the segments created by an interconnection agreement.
+
+        For every new segment ``beneficiary – partner – target`` of the
+        agreement, the partner authorizes transit between the beneficiary
+        and the target.  Returns the number of newly authorized segments.
+        """
+        agreement.validate_against(self.graph)
+        before = len(self._authorized)
+        for segment in agreement.all_segments():
+            self.authorize_segment(
+                segment.beneficiary, segment.partner, segment.target
+            )
+        self._agreements.append(agreement)
+        return len(self._authorized) - before
+
+    def is_authorized(self, first: int, transit: int, last: int) -> bool:
+        """Whether a transit AS authorizes forwarding between two neighbors."""
+        return (transit, frozenset((first, last))) in self._authorized
+
+    @property
+    def agreements(self) -> tuple[Agreement, ...]:
+        """Agreements applied to this network."""
+        return tuple(self._agreements)
+
+    def num_authorized_segments(self) -> int:
+        """Number of authorized transit segments."""
+        return len(self._authorized)
+
+    # ------------------------------------------------------------------
+    # Path discovery and validation
+    # ------------------------------------------------------------------
+    def is_valid_path(self, path: tuple[int, ...]) -> bool:
+        """Whether a path is loop-free, link-connected, and fully authorized."""
+        if len(path) < 2 or len(set(path)) != len(path):
+            return False
+        for i in range(len(path) - 1):
+            if not self.graph.has_link(path[i], path[i + 1]):
+                return False
+        for i in range(1, len(path) - 1):
+            if not self.is_authorized(path[i - 1], path[i], path[i + 1]):
+                return False
+        return True
+
+    def available_paths(
+        self, source: int, destination: int, *, max_hops: int = 3
+    ) -> tuple[tuple[int, ...], ...]:
+        """All authorized loop-free paths between two ASes up to a hop bound.
+
+        ``max_hops`` counts ASes on the path; the paper's analysis focuses
+        on length-3 paths (three ASes, two links).
+        """
+        if source not in self.graph or destination not in self.graph:
+            raise ValueError("source and destination must be part of the topology")
+        results: list[tuple[int, ...]] = []
+        stack: list[tuple[int, ...]] = [(source,)]
+        while stack:
+            path = stack.pop()
+            current = path[-1]
+            if current == destination and len(path) >= 2:
+                results.append(path)
+                continue
+            if len(path) >= max_hops:
+                continue
+            for neighbor in sorted(self.graph.neighbors(current)):
+                if neighbor in path:
+                    continue
+                if len(path) >= 2 and not self.is_authorized(path[-2], current, neighbor):
+                    continue
+                stack.append((*path, neighbor))
+        return tuple(sorted(results))
+
+    def select_path(
+        self,
+        source: int,
+        destination: int,
+        *,
+        metric: str = "latency",
+        embedding: GeographicEmbedding | None = None,
+        capacities: LinkCapacityModel | None = None,
+        max_hops: int = 3,
+    ) -> tuple[int, ...] | None:
+        """End-host path selection among the available paths.
+
+        ``metric`` is ``"latency"`` (minimize geodistance, requires an
+        embedding), ``"bandwidth"`` (maximize bottleneck capacity,
+        requires a capacity model), or ``"hops"`` (minimize path length).
+        Returns ``None`` when no authorized path exists.
+        """
+        paths = self.available_paths(source, destination, max_hops=max_hops)
+        if not paths:
+            return None
+        if metric == "hops":
+            return min(paths, key=len)
+        if metric == "latency":
+            if embedding is None:
+                raise ValueError("latency-based selection requires a geographic embedding")
+            return min(paths, key=embedding.path_geodistance)
+        if metric == "bandwidth":
+            if capacities is None:
+                raise ValueError("bandwidth-based selection requires a capacity model")
+            return max(paths, key=capacities.path_bandwidth)
+        raise ValueError(f"unknown metric {metric!r}")

@@ -1,0 +1,135 @@
+"""Routing policies for the BGP path-vector simulator (§II).
+
+Two families of policies matter for the paper's stability argument:
+
+- :class:`GaoRexfordPolicy` — the canonical GRC-conforming policy
+  (prefer customer routes over peer routes over provider routes; export
+  only customer-learned routes to peers and providers).  Under this
+  policy BGP provably converges.
+- :class:`PreferenceListPolicy` — an explicit ranking of paths with
+  unrestricted export, used to express the DISAGREE / BAD GADGET
+  preferences and the GRC-violating "sibling" preferences on the Fig. 1
+  topology.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.topology.graph import ASGraph
+from repro.topology.relationships import Role
+
+#: Ranking value of a path that a policy refuses to use at all.
+REJECTED = float("inf")
+
+
+class RoutingPolicy(abc.ABC):
+    """Per-AS route selection and export behaviour."""
+
+    @abc.abstractmethod
+    def rank(self, asn: int, path: tuple[int, ...], graph: ASGraph) -> tuple:
+        """Ranking key of a candidate path (lower is preferred).
+
+        ``path`` starts at ``asn`` and ends at the destination.  Return a
+        tuple so policies can express lexicographic preferences; return
+        a tuple whose first element is :data:`REJECTED` to reject the
+        path outright.
+        """
+
+    @abc.abstractmethod
+    def exports_to(
+        self,
+        asn: int,
+        neighbor: int,
+        path: tuple[int, ...],
+        graph: ASGraph,
+    ) -> bool:
+        """Whether ``asn`` announces ``path`` to ``neighbor``."""
+
+
+@dataclass(frozen=True)
+class GaoRexfordPolicy(RoutingPolicy):
+    """The Gao–Rexford route-selection and export policy.
+
+    Selection: customer routes ≻ peer routes ≻ provider routes, then
+    shorter AS paths, then lowest next-hop AS number (deterministic
+    tie-break).  Export: routes learned from customers (and own routes)
+    are exported to everybody; routes learned from peers or providers
+    are exported to customers only.
+    """
+
+    def _role_preference(self, asn: int, path: tuple[int, ...], graph: ASGraph) -> int:
+        if len(path) == 1:
+            return 0
+        next_hop = path[1]
+        role = graph.role_of(asn, next_hop)
+        if role is Role.CUSTOMER:
+            return 0
+        if role is Role.PEER:
+            return 1
+        return 2
+
+    def rank(self, asn: int, path: tuple[int, ...], graph: ASGraph) -> tuple:
+        return (self._role_preference(asn, path, graph), len(path), path[1] if len(path) > 1 else 0)
+
+    def exports_to(
+        self,
+        asn: int,
+        neighbor: int,
+        path: tuple[int, ...],
+        graph: ASGraph,
+    ) -> bool:
+        neighbor_role = graph.role_of(asn, neighbor)
+        if neighbor_role is Role.CUSTOMER:
+            return True
+        # Peers and providers only receive routes learned from customers
+        # (or the AS's own routes).
+        return self._role_preference(asn, path, graph) == 0
+
+
+@dataclass(frozen=True)
+class PreferenceListPolicy(RoutingPolicy):
+    """Explicit path preferences with unrestricted export.
+
+    ``preferences`` is an ordered tuple of paths (most preferred first);
+    any path not listed ranks below all listed paths, ordered by length.
+    This expresses the gadget preferences of the BGP stability
+    literature, where the interesting behaviour comes from preferring a
+    longer route through a neighbor over one's own direct route.
+    """
+
+    preferences: tuple[tuple[int, ...], ...] = field(default_factory=tuple)
+
+    def rank(self, asn: int, path: tuple[int, ...], graph: ASGraph) -> tuple:
+        if path in self.preferences:
+            return (0, self.preferences.index(path), 0)
+        return (1, len(path), path[1] if len(path) > 1 else 0)
+
+    def exports_to(
+        self,
+        asn: int,
+        neighbor: int,
+        path: tuple[int, ...],
+        graph: ASGraph,
+    ) -> bool:
+        return True
+
+
+def gao_rexford_policies(graph: ASGraph) -> dict[int, RoutingPolicy]:
+    """A GRC-conforming policy for every AS of a topology."""
+    policy = GaoRexfordPolicy()
+    return {asn: policy for asn in graph}
+
+
+def gadget_policies(
+    graph: ASGraph, preferences: dict[int, tuple[tuple[int, ...], ...]]
+) -> dict[int, RoutingPolicy]:
+    """Policies for a gadget: explicit preferences where given, GRC elsewhere."""
+    policies: dict[int, RoutingPolicy] = {}
+    for asn in graph:
+        if asn in preferences:
+            policies[asn] = PreferenceListPolicy(preferences=tuple(preferences[asn]))
+        else:
+            policies[asn] = GaoRexfordPolicy()
+    return policies

@@ -1,0 +1,78 @@
+"""Serialization of AS topologies in the CAIDA ``as-rel`` text format.
+
+The paper's path-diversity study (§VI) starts from the CAIDA
+AS-relationship dataset.  That dataset is a plain-text file where each
+non-comment line is ``<as1>|<as2>|<relationship>`` with relationship
+``-1`` for provider→customer (``as1`` is the provider) and ``0`` for a
+peering link.  This module reads and writes that format so that real
+CAIDA snapshots can be dropped into the reproduction when available;
+otherwise the synthetic generator of :mod:`repro.topology.generator` is
+used (see DESIGN.md for the substitution rationale).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.topology.graph import ASGraph
+from repro.topology.relationships import Relationship
+
+
+class CaidaFormatError(Exception):
+    """Raised when a CAIDA ``as-rel`` file cannot be parsed."""
+
+
+def parse_as_rel_lines(lines: Iterable[str]) -> ASGraph:
+    """Parse CAIDA ``as-rel`` lines into an :class:`ASGraph`.
+
+    Comment lines start with ``#`` and are ignored.  The serial-2 format
+    appends a ``|<source>`` column; any columns beyond the third are
+    ignored so that both serial-1 and serial-2 files parse.
+    """
+    graph = ASGraph()
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("|")
+        if len(fields) < 3:
+            raise CaidaFormatError(
+                f"line {lineno}: expected at least 3 '|'-separated fields, got {line!r}"
+            )
+        try:
+            first = int(fields[0])
+            second = int(fields[1])
+            code = int(fields[2])
+        except ValueError as exc:
+            raise CaidaFormatError(f"line {lineno}: non-integer field in {line!r}") from exc
+        try:
+            relationship = Relationship.from_caida(code)
+        except ValueError as exc:
+            raise CaidaFormatError(f"line {lineno}: {exc}") from exc
+        if relationship is Relationship.PROVIDER_TO_CUSTOMER:
+            graph.add_provider_customer(first, second)
+        else:
+            graph.add_peering(first, second)
+    return graph
+
+
+def load_as_rel(path: str | Path) -> ASGraph:
+    """Load an :class:`ASGraph` from a CAIDA ``as-rel`` file."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_as_rel_lines(handle)
+
+
+def dump_as_rel_lines(graph: ASGraph) -> list[str]:
+    """Serialize a topology to CAIDA ``as-rel`` lines (without newlines)."""
+    lines = ["# repro as-rel export", "# <provider|peer>|<customer|peer>|<-1|0>"]
+    for link in graph.links:
+        lines.append(f"{link.first}|{link.second}|{link.relationship.to_caida()}")
+    return lines
+
+
+def save_as_rel(graph: ASGraph, path: str | Path) -> None:
+    """Write a topology to a CAIDA ``as-rel`` file."""
+    content = "\n".join(dump_as_rel_lines(graph)) + "\n"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content)

@@ -1,0 +1,151 @@
+"""Canonical example topologies used throughout the paper.
+
+- :func:`figure1_topology` — the nine-AS example of Fig. 1, which is used
+  in §II (stability discussion) and §III (agreement examples).
+- :func:`disagree_topology` / :func:`bad_gadget_topology` — the classical
+  BGP stability gadgets referenced in §II (Griffin & Wilfong).  These are
+  returned together with the route preferences that trigger the
+  non-deterministic (DISAGREE) or oscillating (BAD GADGET) behaviour so
+  the routing substrate can reproduce the stability argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.graph import ASGraph
+
+# AS numbers of the Fig. 1 topology.  Letters map to numbers A=1 ... I=9.
+AS_A, AS_B, AS_C, AS_D, AS_E, AS_F, AS_G, AS_H, AS_I = range(1, 10)
+
+#: Human-readable names of the Fig. 1 ASes.
+FIGURE1_NAMES: dict[int, str] = {
+    AS_A: "A",
+    AS_B: "B",
+    AS_C: "C",
+    AS_D: "D",
+    AS_E: "E",
+    AS_F: "F",
+    AS_G: "G",
+    AS_H: "H",
+    AS_I: "I",
+}
+
+
+def figure1_topology() -> ASGraph:
+    """The example AS topology of Fig. 1.
+
+    Relationships (provider → customer unless stated otherwise):
+
+    - A, B are tier-1-like providers peering with each other.
+    - A → D, A → C; B → E; B → F and C, F are involved in peerings.
+    - C -- D peering, D -- E peering, E -- F peering, A -- B peering.
+    - D → H, E → I, F → G provider–customer links to stub ASes.
+
+    The exact link set reproduces the figure: peering links (dashed in
+    the figure) are A–B, C–D, D–E, E–F; provider–customer links are
+    A→C, A→D, B→E, B→F, C→G (via C's position), D→H, E→I.
+
+    The figure shows C and F as peers of D and E respectively with their
+    own providers A and B; G is a customer reachable below, H and I are
+    customers of D and E.
+    """
+    graph = ASGraph()
+    # Top-level peering between the two providers.
+    graph.add_peering(AS_A, AS_B)
+    # Provider–customer links from the top providers.
+    graph.add_provider_customer(AS_A, AS_C)
+    graph.add_provider_customer(AS_A, AS_D)
+    graph.add_provider_customer(AS_B, AS_E)
+    graph.add_provider_customer(AS_B, AS_F)
+    # Middle-tier peering links (dashed in Fig. 1).
+    graph.add_peering(AS_C, AS_D)
+    graph.add_peering(AS_D, AS_E)
+    graph.add_peering(AS_E, AS_F)
+    # Customers of the middle tier.
+    graph.add_provider_customer(AS_C, AS_G)
+    graph.add_provider_customer(AS_D, AS_H)
+    graph.add_provider_customer(AS_E, AS_I)
+    graph.validate()
+    return graph
+
+
+@dataclass(frozen=True)
+class Gadget:
+    """A topology together with the per-AS route preferences that make it
+    interesting for BGP convergence analysis.
+
+    ``preferences`` maps an AS to an ordered list of AS-level paths to the
+    destination, most preferred first.  Any path not listed is less
+    preferred than all listed paths; paths are tuples starting at the AS
+    itself and ending at the destination.
+    """
+
+    graph: ASGraph
+    destination: int
+    preferences: dict[int, tuple[tuple[int, ...], ...]]
+    name: str
+
+
+def disagree_topology() -> Gadget:
+    """The classical DISAGREE gadget (§II).
+
+    Two ASes (1 and 2) both prefer to reach the destination 0 through
+    each other rather than directly.  BGP converges, but to one of two
+    stable states depending on message timing — the non-determinism the
+    paper calls a "BGP wedgie".
+    """
+    graph = ASGraph()
+    destination = 0
+    graph.add_provider_customer(1, 0)
+    graph.add_provider_customer(2, 0)
+    graph.add_peering(1, 2)
+    preferences = {
+        1: ((1, 2, 0), (1, 0)),
+        2: ((2, 1, 0), (2, 0)),
+    }
+    return Gadget(graph=graph, destination=destination, preferences=preferences, name="DISAGREE")
+
+
+def bad_gadget_topology() -> Gadget:
+    """The classical BAD GADGET (§II).
+
+    Three ASes (1, 2, 3) around destination 0, each preferring the route
+    through its clockwise neighbor over its direct route.  No stable
+    routing exists and BGP oscillates forever.
+    """
+    graph = ASGraph()
+    destination = 0
+    for asn in (1, 2, 3):
+        graph.add_provider_customer(asn, 0)
+    graph.add_peering(1, 2)
+    graph.add_peering(2, 3)
+    graph.add_peering(3, 1)
+    preferences = {
+        1: ((1, 2, 0), (1, 0)),
+        2: ((2, 3, 0), (2, 0)),
+        3: ((3, 1, 0), (3, 0)),
+    }
+    return Gadget(graph=graph, destination=destination, preferences=preferences, name="BAD GADGET")
+
+
+def figure1_sibling_gadget() -> Gadget:
+    """GRC-violating preferences on the Fig. 1 topology (§II).
+
+    ASes D and E forward routes from their providers A and B to each
+    other and prefer routes learned from the peer — the "slightly
+    extended instance of DISAGREE" discussed in the paper, for a
+    destination inside A.
+    """
+    graph = figure1_topology()
+    destination = AS_A
+    preferences = {
+        AS_D: ((AS_D, AS_E, AS_B, AS_A), (AS_D, AS_A)),
+        AS_E: ((AS_E, AS_D, AS_A), (AS_E, AS_B, AS_A)),
+    }
+    return Gadget(
+        graph=graph,
+        destination=destination,
+        preferences=preferences,
+        name="FIGURE1-DISAGREE",
+    )

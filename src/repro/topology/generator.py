@@ -1,0 +1,279 @@
+"""Synthetic Internet-like AS topology generator.
+
+The paper runs its path-diversity study on the CAIDA AS-relationship
+dataset (~70k ASes).  That dataset is not available offline, so this
+module generates topologies with the structural properties the study
+depends on:
+
+- a small clique of tier-1 ASes peering with each other,
+- a layer of large transit providers (tier-2) that buy transit from
+  several tier-1s and peer densely among themselves,
+- a layer of regional transit / access providers (tier-3) multihomed to
+  tier-2 providers with sparser peering,
+- a large fringe of stub ASes multihomed to tier-2/tier-3 providers,
+- provider selection by preferential attachment, which yields the
+  heavy-tailed degree distribution of the real AS graph.
+
+Absolute path counts are smaller than on the real Internet, but the
+GRC-vs-MA comparisons in §VI only need the relationship structure
+(valley-free reachability, peering density, provider fan-out), which is
+reproduced here.  A real CAIDA snapshot can be substituted at any time
+through :func:`repro.topology.caida.load_as_rel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.topology.graph import ASGraph
+
+
+@dataclass(frozen=True)
+class TopologyParameters:
+    """Size and density knobs of the synthetic topology.
+
+    The defaults generate a topology of roughly one thousand ASes, which
+    keeps the full §VI analysis in the range of seconds on a laptop while
+    preserving the hierarchical structure of the AS-level Internet.
+    """
+
+    num_tier1: int = 8
+    num_tier2: int = 60
+    num_tier3: int = 200
+    num_stubs: int = 800
+    tier2_providers: tuple[int, int] = (1, 3)
+    tier3_providers: tuple[int, int] = (1, 3)
+    stub_providers: tuple[int, int] = (1, 2)
+    # Peering probabilities.  The real AS graph has considerably more
+    # peering than transit links (IXP peering is widespread down to stub
+    # ASes), and the §VI analyses depend on that density: mutuality-based
+    # agreements are concluded over peering links.
+    tier2_peering_probability: float = 0.35
+    tier3_peering_probability: float = 0.08
+    stub_peering_probability: float = 0.010
+    cross_tier_peering_probability: float = 0.04
+    tier2_stub_peering_probability: float = 0.008
+    tier3_stub_peering_probability: float = 0.015
+    # Internet-exchange points: ASes below tier-1 join a few IXPs and peer
+    # densely (route-server style) with other members.  This is what gives
+    # the real AS graph its very high peering density and what makes
+    # mutuality-based agreements reach so many destinations in §VI.
+    num_ixps: int = 5
+    ixp_membership_probability: float = 0.6
+    ixp_peering_probability: float = 0.8
+    seed: int = 2021
+
+    def __post_init__(self) -> None:
+        if self.num_tier1 < 1:
+            raise ValueError("at least one tier-1 AS is required")
+        for name in ("tier2_providers", "tier3_providers", "stub_providers"):
+            low, high = getattr(self, name)
+            if low < 1 or high < low:
+                raise ValueError(f"invalid provider range for {name}: ({low}, {high})")
+        for name in (
+            "tier2_peering_probability",
+            "tier3_peering_probability",
+            "stub_peering_probability",
+            "cross_tier_peering_probability",
+            "tier2_stub_peering_probability",
+            "tier3_stub_peering_probability",
+            "ixp_membership_probability",
+            "ixp_peering_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+        if self.num_ixps < 0:
+            raise ValueError("the number of IXPs cannot be negative")
+
+
+@dataclass
+class GeneratedTopology:
+    """Result of a generator run: the graph plus the tier of every AS."""
+
+    graph: ASGraph
+    tiers: dict[int, int] = field(default_factory=dict)
+
+    def ases_in_tier(self, tier: int) -> tuple[int, ...]:
+        """All ASes assigned to the given tier (1 = top, 4 = stubs)."""
+        return tuple(sorted(asn for asn, t in self.tiers.items() if t == tier))
+
+
+class InternetTopologyGenerator:
+    """Generates hierarchical, power-law AS topologies.
+
+    Example
+    -------
+    >>> generator = InternetTopologyGenerator(TopologyParameters(seed=1))
+    >>> topology = generator.generate()
+    >>> len(topology.graph) > 0
+    True
+    """
+
+    def __init__(self, parameters: TopologyParameters | None = None) -> None:
+        self.parameters = parameters or TopologyParameters()
+        self._rng = np.random.default_rng(self.parameters.seed)
+
+    def generate(self) -> GeneratedTopology:
+        """Generate a topology according to the configured parameters."""
+        params = self.parameters
+        graph = ASGraph()
+        tiers: dict[int, int] = {}
+        next_asn = 1
+
+        tier1 = list(range(next_asn, next_asn + params.num_tier1))
+        next_asn += params.num_tier1
+        tier2 = list(range(next_asn, next_asn + params.num_tier2))
+        next_asn += params.num_tier2
+        tier3 = list(range(next_asn, next_asn + params.num_tier3))
+        next_asn += params.num_tier3
+        stubs = list(range(next_asn, next_asn + params.num_stubs))
+
+        for asn in tier1:
+            graph.add_as(asn)
+            tiers[asn] = 1
+        for asn in tier2:
+            graph.add_as(asn)
+            tiers[asn] = 2
+        for asn in tier3:
+            graph.add_as(asn)
+            tiers[asn] = 3
+        for asn in stubs:
+            graph.add_as(asn)
+            tiers[asn] = 4
+
+        self._build_tier1_clique(graph, tier1)
+        self._attach_customers(graph, tier2, tier1, params.tier2_providers)
+        self._attach_customers(graph, tier3, tier2, params.tier3_providers)
+        self._attach_customers(graph, stubs, tier2 + tier3, params.stub_providers)
+        self._add_peering(graph, tier2, params.tier2_peering_probability)
+        self._add_peering(graph, tier3, params.tier3_peering_probability)
+        self._add_peering(graph, stubs, params.stub_peering_probability)
+        self._add_cross_tier_peering(
+            graph, tier2, tier3, params.cross_tier_peering_probability
+        )
+        self._add_cross_tier_peering(
+            graph, tier2, stubs, params.tier2_stub_peering_probability
+        )
+        self._add_cross_tier_peering(
+            graph, tier3, stubs, params.tier3_stub_peering_probability
+        )
+        self._add_ixp_peering(graph, tier2 + tier3 + stubs)
+
+        graph.validate()
+        return GeneratedTopology(graph=graph, tiers=tiers)
+
+    # ------------------------------------------------------------------
+    # Internal construction steps
+    # ------------------------------------------------------------------
+    def _build_tier1_clique(self, graph: ASGraph, tier1: list[int]) -> None:
+        for index, left in enumerate(tier1):
+            for right in tier1[index + 1 :]:
+                graph.add_peering(left, right)
+
+    def _attach_customers(
+        self,
+        graph: ASGraph,
+        customers: list[int],
+        candidate_providers: list[int],
+        provider_range: tuple[int, int],
+    ) -> None:
+        """Attach each customer to providers chosen by preferential attachment."""
+        low, high = provider_range
+        # Preferential attachment: probability proportional to 1 + customer degree,
+        # which concentrates customers on a few large providers (power-law tail).
+        for customer in customers:
+            count = int(self._rng.integers(low, high + 1))
+            count = min(count, len(candidate_providers))
+            weights = np.array(
+                [1.0 + len(graph.customers(p)) for p in candidate_providers]
+            )
+            weights = weights / weights.sum()
+            chosen = self._rng.choice(
+                candidate_providers, size=count, replace=False, p=weights
+            )
+            for provider in chosen:
+                graph.add_provider_customer(int(provider), customer)
+
+    def _add_peering(self, graph: ASGraph, ases: list[int], probability: float) -> None:
+        if probability <= 0.0 or len(ases) < 2:
+            return
+        ases_array = np.array(ases)
+        n = len(ases_array)
+        # Draw pairs via a Bernoulli mask over the upper triangle, vectorized.
+        mask = self._rng.random((n, n)) < probability
+        upper = np.triu(mask, k=1)
+        for i, j in zip(*np.nonzero(upper)):
+            left = int(ases_array[i])
+            right = int(ases_array[j])
+            if not graph.has_link(left, right):
+                graph.add_peering(left, right)
+
+    def _add_ixp_peering(self, graph: ASGraph, candidates: list[int]) -> None:
+        """Join ASes to IXPs and peer the members of each IXP densely."""
+        params = self.parameters
+        if params.num_ixps == 0 or params.ixp_membership_probability == 0.0:
+            return
+        members: dict[int, list[int]] = {ixp: [] for ixp in range(params.num_ixps)}
+        for asn in candidates:
+            if self._rng.random() >= params.ixp_membership_probability:
+                continue
+            joined = int(self._rng.integers(0, params.num_ixps))
+            members[joined].append(asn)
+            # A minority of ASes are present at a second exchange.
+            if self._rng.random() < 0.25 and params.num_ixps > 1:
+                second = int(self._rng.integers(0, params.num_ixps))
+                if second != joined:
+                    members[second].append(asn)
+        for ixp_members in members.values():
+            self._add_peering_among(graph, ixp_members, params.ixp_peering_probability)
+
+    def _add_peering_among(
+        self, graph: ASGraph, ases: list[int], probability: float
+    ) -> None:
+        """Peer pairs of the given ASes with the given probability."""
+        for index, left in enumerate(ases):
+            for right in ases[index + 1 :]:
+                if left == right or graph.has_link(left, right):
+                    continue
+                if self._rng.random() < probability:
+                    graph.add_peering(left, right)
+
+    def _add_cross_tier_peering(
+        self,
+        graph: ASGraph,
+        upper_tier: list[int],
+        lower_tier: list[int],
+        probability: float,
+    ) -> None:
+        if probability <= 0.0 or not upper_tier or not lower_tier:
+            return
+        mask = self._rng.random((len(upper_tier), len(lower_tier))) < probability
+        for i, j in zip(*np.nonzero(mask)):
+            left = upper_tier[int(i)]
+            right = lower_tier[int(j)]
+            if not graph.has_link(left, right):
+                graph.add_peering(left, right)
+
+
+def generate_topology(
+    *,
+    num_tier1: int = 8,
+    num_tier2: int = 60,
+    num_tier3: int = 200,
+    num_stubs: int = 800,
+    seed: int = 2021,
+    **overrides: object,
+) -> GeneratedTopology:
+    """Convenience wrapper around :class:`InternetTopologyGenerator`."""
+    params = TopologyParameters(
+        num_tier1=num_tier1,
+        num_tier2=num_tier2,
+        num_tier3=num_tier3,
+        num_stubs=num_stubs,
+        seed=seed,
+        **overrides,  # type: ignore[arg-type]
+    )
+    return InternetTopologyGenerator(params).generate()

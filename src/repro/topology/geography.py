@@ -1,0 +1,194 @@
+"""Geographic embedding of ASes and interconnection points.
+
+The geodistance analysis of §VI-B needs, for every AS, a geographic
+centre of gravity, and for every inter-AS link, the location(s) of the
+interconnection point(s).  The paper derives these from the CAIDA
+prefix-to-AS dataset, GeoLite2, and the CAIDA geographic AS-relationship
+dataset.  None of these are available offline, so this module provides
+
+- :class:`GeographicEmbedding` — the data structure used by the
+  geodistance analysis (AS centres of gravity + per-link interconnection
+  points), independent of where the coordinates come from, and
+- :class:`SyntheticGeographyGenerator` — a generator that places ASes
+  around regional hubs (mimicking continental clustering of the real
+  Internet) and puts 1–3 interconnection points on every link.
+
+The geodistance of a length-3 path ``(A1, l12, A2, l23, A3)`` follows the
+paper exactly: ``d(A1, l12) + d(l12, l23) + d(l23, A3)``, minimized over
+the known interconnection points of the two links.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.topology.graph import ASGraph
+
+EARTH_RADIUS_KM = 6371.0
+
+#: Approximate coordinates of major interconnection regions, used as hubs
+#: for the synthetic embedding (latitude, longitude).
+DEFAULT_REGION_HUBS: tuple[tuple[float, float], ...] = (
+    (40.7, -74.0),   # New York
+    (37.4, -122.1),  # Bay Area
+    (50.1, 8.7),     # Frankfurt
+    (51.5, -0.1),    # London
+    (1.3, 103.8),    # Singapore
+    (35.7, 139.7),   # Tokyo
+    (-23.5, -46.6),  # São Paulo
+    (28.6, 77.2),    # Delhi
+)
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A point on the Earth's surface (degrees latitude / longitude)."""
+
+    latitude: float
+    longitude: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise ValueError(f"latitude out of range: {self.latitude}")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise ValueError(f"longitude out of range: {self.longitude}")
+
+
+def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points in kilometres."""
+    lat1, lon1 = math.radians(a.latitude), math.radians(a.longitude)
+    lat2, lon2 = math.radians(b.latitude), math.radians(b.longitude)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    inner = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(inner)))
+
+
+def centroid(points: list[GeoPoint]) -> GeoPoint:
+    """Centre of gravity of a set of points (simple coordinate average).
+
+    The paper averages the geolocations of an AS's prefixes to obtain the
+    AS centre of gravity; the same flat average is used here.
+    """
+    if not points:
+        raise ValueError("cannot compute the centroid of zero points")
+    lat = sum(p.latitude for p in points) / len(points)
+    lon = sum(p.longitude for p in points) / len(points)
+    return GeoPoint(lat, lon)
+
+
+@dataclass
+class GeographicEmbedding:
+    """AS centres of gravity and interconnection-point locations."""
+
+    as_locations: dict[int, GeoPoint] = field(default_factory=dict)
+    link_locations: dict[frozenset[int], tuple[GeoPoint, ...]] = field(default_factory=dict)
+
+    def location_of(self, asn: int) -> GeoPoint:
+        """Centre of gravity of an AS."""
+        try:
+            return self.as_locations[asn]
+        except KeyError:
+            raise KeyError(f"no geographic location known for AS {asn}") from None
+
+    def interconnection_points(self, left: int, right: int) -> tuple[GeoPoint, ...]:
+        """Known interconnection points of the link between two ASes.
+
+        Falls back to the midpoint of the two AS centres when no explicit
+        interconnection location is known, mirroring how missing entries
+        of the CAIDA geographic dataset are typically handled.
+        """
+        points = self.link_locations.get(frozenset((left, right)))
+        if points:
+            return points
+        a = self.location_of(left)
+        b = self.location_of(right)
+        return (GeoPoint((a.latitude + b.latitude) / 2.0, (a.longitude + b.longitude) / 2.0),)
+
+    def path_geodistance(self, path: tuple[int, ...]) -> float:
+        """Geodistance of an AS-level path, in kilometres.
+
+        For a length-3 path ``(A1, A2, A3)`` this is
+        ``d(A1, l12) + d(l12, l23) + d(l23, A3)`` minimized over the
+        interconnection points ``l12`` of link (A1, A2) and ``l23`` of
+        link (A2, A3), exactly as defined in §VI-B.  Longer paths
+        generalize the same construction; single-link paths use the
+        distance from source AS to interconnection point to destination
+        AS.
+        """
+        if len(path) < 2:
+            return 0.0
+        source = self.location_of(path[0])
+        destination = self.location_of(path[-1])
+        link_point_options = [
+            self.interconnection_points(path[i], path[i + 1])
+            for i in range(len(path) - 1)
+        ]
+        # Dynamic programming over link interconnection-point choices:
+        # state = (link index, chosen point), value = best partial distance.
+        best: dict[int, float] = {}
+        for index, point in enumerate(link_point_options[0]):
+            best[index] = haversine_km(source, point)
+        for link_index in range(1, len(link_point_options)):
+            next_best: dict[int, float] = {}
+            for next_index, next_point in enumerate(link_point_options[link_index]):
+                candidates = [
+                    value + haversine_km(link_point_options[link_index - 1][prev_index], next_point)
+                    for prev_index, value in best.items()
+                ]
+                next_best[next_index] = min(candidates)
+            best = next_best
+        last_points = link_point_options[-1]
+        return min(
+            value + haversine_km(last_points[index], destination)
+            for index, value in best.items()
+        )
+
+
+class SyntheticGeographyGenerator:
+    """Places ASes around regional hubs and links at plausible locations."""
+
+    def __init__(
+        self,
+        region_hubs: tuple[tuple[float, float], ...] = DEFAULT_REGION_HUBS,
+        jitter_degrees: float = 8.0,
+        seed: int = 2021,
+    ) -> None:
+        if not region_hubs:
+            raise ValueError("at least one region hub is required")
+        self.region_hubs = tuple(GeoPoint(lat, lon) for lat, lon in region_hubs)
+        self.jitter_degrees = jitter_degrees
+        self._rng = np.random.default_rng(seed)
+
+    def embed(self, graph: ASGraph) -> GeographicEmbedding:
+        """Assign every AS and every link of ``graph`` a location."""
+        embedding = GeographicEmbedding()
+        for asn in graph:
+            hub = self.region_hubs[int(self._rng.integers(0, len(self.region_hubs)))]
+            embedding.as_locations[asn] = self._jitter(hub)
+        for link in graph.links:
+            a = embedding.as_locations[link.first]
+            b = embedding.as_locations[link.second]
+            count = int(self._rng.integers(1, 4))
+            points = []
+            for _ in range(count):
+                # Interconnection points lie between the endpoints with
+                # some noise, as IXPs typically do.
+                mix = float(self._rng.uniform(0.2, 0.8))
+                base = GeoPoint(
+                    a.latitude + mix * (b.latitude - a.latitude),
+                    a.longitude + mix * (b.longitude - a.longitude),
+                )
+                points.append(self._jitter(base, scale=0.25))
+            embedding.link_locations[link.endpoints] = tuple(points)
+        return embedding
+
+    def _jitter(self, point: GeoPoint, scale: float = 1.0) -> GeoPoint:
+        lat = point.latitude + float(self._rng.normal(0.0, self.jitter_degrees * scale))
+        lon = point.longitude + float(self._rng.normal(0.0, self.jitter_degrees * scale))
+        lat = max(-85.0, min(85.0, lat))
+        lon = ((lon + 180.0) % 360.0) - 180.0
+        return GeoPoint(lat, lon)

@@ -1,0 +1,128 @@
+"""Business relationships between autonomous systems.
+
+The paper models the Internet as a mixed graph ``G = (A, L_peer, L_pc)``
+(§III-A): undirected edges are settlement-free peering links, directed
+edges are provider–customer links where the provider charges the
+customer.  This module defines the relationship vocabulary shared by the
+whole library.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Relationship(enum.Enum):
+    """Business relationship of a link, seen from the first AS.
+
+    ``PROVIDER_TO_CUSTOMER`` means the first AS is the provider of the
+    second (the CAIDA ``-1`` relationship); ``PEER_TO_PEER`` is a
+    settlement-free peering link (the CAIDA ``0`` relationship).
+    """
+
+    PROVIDER_TO_CUSTOMER = -1
+    PEER_TO_PEER = 0
+
+    @classmethod
+    def from_caida(cls, code: int) -> "Relationship":
+        """Translate a CAIDA ``as-rel`` relationship code."""
+        if code == -1:
+            return cls.PROVIDER_TO_CUSTOMER
+        if code == 0:
+            return cls.PEER_TO_PEER
+        raise ValueError(f"unknown CAIDA relationship code: {code!r}")
+
+    def to_caida(self) -> int:
+        """Return the CAIDA ``as-rel`` relationship code."""
+        return self.value
+
+
+class Role(enum.Enum):
+    """Role of a *neighbor* relative to a given AS.
+
+    For an AS ``X``, every neighbor belongs to exactly one of the three
+    neighbor sets of the paper: the provider set ``π(X)``, the peer set
+    ``ε(X)``, or the customer set ``γ(X)``.
+    """
+
+    PROVIDER = "provider"
+    PEER = "peer"
+    CUSTOMER = "customer"
+
+    @property
+    def opposite(self) -> "Role":
+        """Role of the given AS as seen from that neighbor."""
+        if self is Role.PROVIDER:
+            return Role.CUSTOMER
+        if self is Role.CUSTOMER:
+            return Role.PROVIDER
+        return Role.PEER
+
+
+@dataclass(frozen=True)
+class Link:
+    """An inter-AS link with its business relationship.
+
+    Provider–customer links are stored with the provider first so that a
+    link compares equal regardless of the direction it was added in.
+    Peering links are stored with the numerically/lexicographically
+    smaller AS first for the same reason.
+    """
+
+    first: int
+    second: int
+    relationship: Relationship
+
+    def __post_init__(self) -> None:
+        if self.first == self.second:
+            raise ValueError(f"self-loop link on AS {self.first}")
+        if self.relationship is Relationship.PEER_TO_PEER and self.second < self.first:
+            # Normalize peering links so (a, b) == (b, a).
+            low, high = self.second, self.first
+            object.__setattr__(self, "first", low)
+            object.__setattr__(self, "second", high)
+
+    @property
+    def endpoints(self) -> frozenset[int]:
+        """The two ASes joined by this link, as an unordered set."""
+        return frozenset((self.first, self.second))
+
+    @property
+    def provider(self) -> int:
+        """Provider AS of a provider–customer link."""
+        if self.relationship is not Relationship.PROVIDER_TO_CUSTOMER:
+            raise ValueError("peering links have no provider")
+        return self.first
+
+    @property
+    def customer(self) -> int:
+        """Customer AS of a provider–customer link."""
+        if self.relationship is not Relationship.PROVIDER_TO_CUSTOMER:
+            raise ValueError("peering links have no customer")
+        return self.second
+
+    def other(self, asn: int) -> int:
+        """Return the endpoint that is not ``asn``."""
+        if asn == self.first:
+            return self.second
+        if asn == self.second:
+            return self.first
+        raise ValueError(f"AS {asn} is not an endpoint of {self}")
+
+    def role_of(self, asn: int) -> Role:
+        """Role that ``asn`` plays on this link (provider/customer/peer)."""
+        if self.relationship is Relationship.PEER_TO_PEER:
+            if asn not in (self.first, self.second):
+                raise ValueError(f"AS {asn} is not an endpoint of {self}")
+            return Role.PEER
+        if asn == self.first:
+            return Role.PROVIDER
+        if asn == self.second:
+            return Role.CUSTOMER
+        raise ValueError(f"AS {asn} is not an endpoint of {self}")
+
+    def __str__(self) -> str:
+        if self.relationship is Relationship.PEER_TO_PEER:
+            return f"{self.first} -- {self.second} (p2p)"
+        return f"{self.first} -> {self.second} (p2c)"

@@ -1,0 +1,151 @@
+"""Unit tests for the agreement notation and path segments (Eq. 2)."""
+
+import pytest
+
+from repro.agreements import AccessOffer, Agreement, AgreementError, PathSegment
+from repro.topology import (
+    AS_A,
+    AS_B,
+    AS_D,
+    AS_E,
+    AS_F,
+    AS_H,
+    FIGURE1_NAMES,
+    figure1_topology,
+)
+
+
+class TestAccessOffer:
+    def test_all_targets(self):
+        offer = AccessOffer.of(providers={1}, peers={2, 3}, customers={4})
+        assert offer.all_targets == frozenset({1, 2, 3, 4})
+
+    def test_overlapping_roles_rejected(self):
+        with pytest.raises(AgreementError):
+            AccessOffer.of(providers={1}, peers={1})
+
+    def test_role_of(self):
+        offer = AccessOffer.of(providers={1}, peers={2}, customers={3})
+        assert offer.role_of(1).value == "provider"
+        assert offer.role_of(2).value == "peer"
+        assert offer.role_of(3).value == "customer"
+
+    def test_role_of_unknown_target_raises(self):
+        with pytest.raises(AgreementError):
+            AccessOffer.of(providers={1}).role_of(9)
+
+    def test_is_empty(self):
+        assert AccessOffer().is_empty()
+        assert not AccessOffer.of(peers={1}).is_empty()
+
+    def test_notation(self):
+        offer = AccessOffer.of(providers={1}, peers={3})
+        assert offer.notation() == "↑{1},→{3}"
+        assert AccessOffer().notation() == "∅"
+
+
+class TestPathSegment:
+    def test_path_and_reverse(self):
+        segment = PathSegment(beneficiary=4, partner=5, target=2)
+        assert segment.path == (4, 5, 2)
+        assert segment.reverse_path == (2, 5, 4)
+
+    def test_distinct_ases_required(self):
+        with pytest.raises(AgreementError):
+            PathSegment(beneficiary=4, partner=4, target=2)
+
+
+class TestAgreement:
+    @pytest.fixture()
+    def figure1_ma(self):
+        return Agreement(
+            party_x=AS_D,
+            party_y=AS_E,
+            offer_x=AccessOffer.of(providers={AS_A}),
+            offer_y=AccessOffer.of(providers={AS_B}, peers={AS_F}),
+        )
+
+    def test_parties(self, figure1_ma):
+        assert figure1_ma.parties == (AS_D, AS_E)
+
+    def test_counterparty(self, figure1_ma):
+        assert figure1_ma.counterparty(AS_D) == AS_E
+        assert figure1_ma.counterparty(AS_E) == AS_D
+        with pytest.raises(AgreementError):
+            figure1_ma.counterparty(AS_A)
+
+    def test_offer_accessors(self, figure1_ma):
+        assert figure1_ma.offer_by(AS_D).providers == frozenset({AS_A})
+        assert figure1_ma.offer_to(AS_D).providers == frozenset({AS_B})
+        assert figure1_ma.offer_to(AS_E).providers == frozenset({AS_A})
+
+    def test_segments_for_each_party(self, figure1_ma):
+        d_segments = {s.path for s in figure1_ma.segments_for(AS_D)}
+        e_segments = {s.path for s in figure1_ma.segments_for(AS_E)}
+        assert d_segments == {(AS_D, AS_E, AS_B), (AS_D, AS_E, AS_F)}
+        assert e_segments == {(AS_E, AS_D, AS_A)}
+
+    def test_all_segments(self, figure1_ma):
+        assert len(figure1_ma.all_segments()) == 3
+
+    def test_notation_matches_paper(self, figure1_ma):
+        assert figure1_ma.notation(FIGURE1_NAMES) == "[D(↑{A});E(↑{B},→{F})]"
+
+    def test_same_party_twice_rejected(self):
+        with pytest.raises(AgreementError):
+            Agreement(party_x=1, party_y=1)
+
+    def test_party_cannot_offer_itself(self):
+        with pytest.raises(AgreementError):
+            Agreement(party_x=1, party_y=2, offer_x=AccessOffer.of(peers={1}))
+
+    def test_party_cannot_offer_the_other_party(self):
+        with pytest.raises(AgreementError):
+            Agreement(party_x=1, party_y=2, offer_x=AccessOffer.of(customers={2}))
+
+    def test_grc_conformance_of_mutuality_agreement(self, figure1_ma):
+        graph = figure1_topology()
+        assert not figure1_ma.is_grc_conforming(graph)
+
+    def test_grc_conformance_of_customer_only_agreement(self):
+        graph = figure1_topology()
+        peering = Agreement(
+            party_x=AS_D,
+            party_y=AS_E,
+            offer_x=AccessOffer.of(customers={AS_H}),
+            offer_y=AccessOffer.of(customers={9}),
+        )
+        assert peering.is_grc_conforming(graph)
+
+    def test_validate_against_topology(self, figure1_ma):
+        figure1_ma.validate_against(figure1_topology())
+
+    def test_validate_rejects_wrong_role(self):
+        graph = figure1_topology()
+        wrong = Agreement(
+            party_x=AS_D,
+            party_y=AS_E,
+            # A is D's provider, not its customer.
+            offer_x=AccessOffer.of(customers={AS_A}),
+        )
+        with pytest.raises(AgreementError):
+            wrong.validate_against(graph)
+
+    def test_validate_rejects_unconnected_parties(self):
+        graph = figure1_topology()
+        unconnected = Agreement(
+            party_x=AS_D,
+            party_y=AS_F,
+            offer_x=AccessOffer.of(providers={AS_A}),
+        )
+        with pytest.raises(AgreementError):
+            unconnected.validate_against(graph)
+
+    def test_validate_rejects_unknown_party(self):
+        graph = figure1_topology()
+        unknown = Agreement(party_x=AS_D, party_y=999)
+        with pytest.raises(AgreementError):
+            unknown.validate_against(graph)
+
+    def test_str_uses_notation(self, figure1_ma):
+        assert str(figure1_ma).startswith("[")

@@ -1,0 +1,171 @@
+"""Unit tests for flow-volume agreement compliance monitoring."""
+
+import pytest
+
+from repro.agreements import joint_utilities
+from repro.agreements.compliance import (
+    SegmentUsage,
+    check_compliance,
+    overage_charge,
+    realized_scenario,
+)
+from repro.optimization.flow_volume import optimize_flow_volume_targets
+from repro.topology import AS_A, AS_B, AS_D, AS_E, AS_F
+
+
+@pytest.fixture()
+def negotiated(figure1_scenario, figure1_businesses):
+    """A negotiated flow-volume agreement on the Fig. 1 scenario."""
+    return optimize_flow_volume_targets(
+        figure1_scenario, figure1_businesses, restarts=3, seed=1
+    )
+
+
+class TestSegmentUsage:
+    def test_total_volume(self):
+        usage = SegmentUsage(path=(AS_D, AS_E, AS_B), rerouted_volume=3.0, attracted_volume=2.0)
+        assert usage.total_volume == 5.0
+
+    def test_negative_volumes_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentUsage(path=(AS_D, AS_E, AS_B), rerouted_volume=-1.0, attracted_volume=0.0)
+
+
+class TestCheckCompliance:
+    def test_compliant_when_within_allowances(self, negotiated):
+        usage = [
+            SegmentUsage(
+                path=target.path,
+                rerouted_volume=target.rerouted_volume * 0.5,
+                attracted_volume=target.attracted_volume * 0.5,
+            )
+            for target in negotiated.targets
+        ]
+        report = check_compliance(negotiated, usage)
+        assert report.compliant
+        assert report.total_overage == pytest.approx(0.0)
+        assert report.violations() == ()
+
+    def test_overage_detected(self, negotiated):
+        target = negotiated.targets[0]
+        usage = [
+            SegmentUsage(
+                path=target.path,
+                rerouted_volume=target.total_allowance + 5.0,
+                attracted_volume=0.0,
+            )
+        ]
+        report = check_compliance(negotiated, usage)
+        assert not report.compliant
+        assert report.total_overage == pytest.approx(5.0)
+        assert len(report.violations()) == 1
+        assert report.segment(target.path).overage == pytest.approx(5.0)
+
+    def test_missing_usage_counts_as_zero(self, negotiated):
+        report = check_compliance(negotiated, [])
+        assert report.compliant
+        for segment in report.segments:
+            assert segment.realized == 0.0
+
+    def test_unknown_segment_rejected(self, negotiated):
+        with pytest.raises(ValueError):
+            check_compliance(
+                negotiated,
+                [SegmentUsage(path=(AS_D, AS_E, 99), rerouted_volume=1.0, attracted_volume=0.0)],
+            )
+
+    def test_utilization_and_segment_lookup(self, negotiated):
+        target = negotiated.targets[0]
+        usage = [
+            SegmentUsage(
+                path=target.path,
+                rerouted_volume=target.total_allowance * 0.25,
+                attracted_volume=0.0,
+            )
+        ]
+        report = check_compliance(negotiated, usage)
+        assert report.segment(target.path).utilization == pytest.approx(0.25)
+        with pytest.raises(KeyError):
+            report.segment((1, 2, 3))
+
+    def test_overage_charge(self, negotiated):
+        target = negotiated.targets[0]
+        usage = [
+            SegmentUsage(
+                path=target.path,
+                rerouted_volume=target.total_allowance + 4.0,
+                attracted_volume=0.0,
+            )
+        ]
+        report = check_compliance(negotiated, usage)
+        assert overage_charge(report, unit_price=2.0) == pytest.approx(8.0)
+        with pytest.raises(ValueError):
+            overage_charge(report, unit_price=-1.0)
+
+
+class TestRealizedScenario:
+    def test_utilities_shrink_when_traffic_underdelivers(
+        self, figure1_scenario, figure1_businesses
+    ):
+        """If the expected rerouting and attraction do not materialize, both
+        parties' realized utilities fall towards zero — the predictability
+        risk §IV-C attributes to cash-compensation agreements."""
+        expected = joint_utilities(figure1_scenario, figure1_businesses)
+        usage = [
+            SegmentUsage(
+                path=traffic.segment.path,
+                rerouted_volume=traffic.rerouted_volume * 0.1,
+                attracted_volume=traffic.attracted_volume * 0.1,
+            )
+            for traffic in figure1_scenario.segments
+        ]
+        realized = realized_scenario(figure1_scenario, usage)
+        actual = joint_utilities(realized, figure1_businesses)
+        assert abs(actual[AS_D]) < abs(expected[AS_D])
+        assert abs(actual[AS_E]) < abs(expected[AS_E])
+
+    def test_zero_usage_gives_zero_utilities(self, figure1_scenario, figure1_businesses):
+        realized = realized_scenario(figure1_scenario, [])
+        utilities = joint_utilities(realized, figure1_businesses)
+        assert utilities[AS_D] == pytest.approx(0.0)
+        assert utilities[AS_E] == pytest.approx(0.0)
+
+    def test_exact_usage_reproduces_expected_utilities(
+        self, figure1_scenario, figure1_businesses
+    ):
+        usage = [
+            SegmentUsage(
+                path=traffic.segment.path,
+                rerouted_volume=traffic.rerouted_volume,
+                attracted_volume=traffic.attracted_volume,
+            )
+            for traffic in figure1_scenario.segments
+        ]
+        realized = realized_scenario(figure1_scenario, usage)
+        expected = joint_utilities(figure1_scenario, figure1_businesses)
+        actual = joint_utilities(realized, figure1_businesses)
+        assert actual[AS_D] == pytest.approx(expected[AS_D])
+        assert actual[AS_E] == pytest.approx(expected[AS_E])
+
+    def test_unexpected_usage_defaults_to_generic_attribution(
+        self, figure1_agreement, figure1_businesses
+    ):
+        """Usage on a segment whose estimate was zero is attributed to peers /
+        end-hosts so the evaluation still works."""
+        from repro.agreements import AgreementScenario, SegmentTraffic
+        from repro.agreements.agreement import PathSegment
+
+        scenario = AgreementScenario(
+            agreement=figure1_agreement,
+            segments=[
+                SegmentTraffic(
+                    segment=PathSegment(beneficiary=AS_D, partner=AS_E, target=AS_F),
+                )
+            ],
+        )
+        usage = [
+            SegmentUsage(path=(AS_D, AS_E, AS_F), rerouted_volume=2.0, attracted_volume=1.0)
+        ]
+        realized = realized_scenario(scenario, usage)
+        utilities = joint_utilities(realized, figure1_businesses)
+        assert utilities[AS_D] != 0.0 or utilities[AS_E] != 0.0

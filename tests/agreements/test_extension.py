@@ -1,0 +1,79 @@
+"""Unit tests for agreement-path extension (§III-B3)."""
+
+import pytest
+
+from repro.agreements import (
+    AgreementError,
+    ExtensionAgreement,
+    SegmentOffer,
+    figure1_extension_example,
+    figure1_mutuality_agreement,
+)
+from repro.agreements.agreement import PathSegment
+from repro.topology import AS_A, AS_B, AS_D, AS_E, AS_F, figure1_topology
+
+
+@pytest.fixture()
+def base_agreement():
+    return figure1_mutuality_agreement(figure1_topology())
+
+
+class TestSegmentOffer:
+    def test_valid_offer(self, base_agreement):
+        segment = PathSegment(beneficiary=AS_E, partner=AS_D, target=AS_A)
+        offer = SegmentOffer(owner=AS_E, segment=segment, base_agreement=base_agreement)
+        assert offer.segment.path == (AS_E, AS_D, AS_A)
+
+    def test_owner_must_be_beneficiary(self, base_agreement):
+        segment = PathSegment(beneficiary=AS_E, partner=AS_D, target=AS_A)
+        with pytest.raises(AgreementError):
+            SegmentOffer(owner=AS_D, segment=segment, base_agreement=base_agreement)
+
+    def test_segment_must_come_from_base_agreement(self, base_agreement):
+        foreign = PathSegment(beneficiary=AS_E, partner=AS_D, target=AS_B)
+        with pytest.raises(AgreementError):
+            SegmentOffer(owner=AS_E, segment=foreign, base_agreement=base_agreement)
+
+
+class TestExtensionAgreement:
+    def test_figure1_example(self, base_agreement):
+        extension = figure1_extension_example(base_agreement)
+        assert extension.party_x == AS_E
+        assert extension.party_y == AS_F
+        paths = extension.extended_paths_for(AS_F)
+        assert paths == ((AS_F, AS_E, AS_D, AS_A),)
+
+    def test_counterparty(self, base_agreement):
+        extension = figure1_extension_example(base_agreement)
+        assert extension.counterparty(AS_E) == AS_F
+        assert extension.counterparty(AS_F) == AS_E
+        with pytest.raises(AgreementError):
+            extension.counterparty(AS_A)
+
+    def test_offers_to(self, base_agreement):
+        extension = figure1_extension_example(base_agreement)
+        assert len(extension.offers_to(AS_F)) == 1
+        assert extension.offers_to(AS_E) == ()
+
+    def test_depends_on_base_agreement(self, base_agreement):
+        extension = figure1_extension_example(base_agreement)
+        assert extension.depends_on() == frozenset({id(base_agreement)})
+
+    def test_same_party_twice_rejected(self):
+        with pytest.raises(AgreementError):
+            ExtensionAgreement(party_x=1, party_y=1)
+
+    def test_offer_ownership_must_match_party(self, base_agreement):
+        segment = PathSegment(beneficiary=AS_E, partner=AS_D, target=AS_A)
+        offer = SegmentOffer(owner=AS_E, segment=segment, base_agreement=base_agreement)
+        with pytest.raises(AgreementError):
+            ExtensionAgreement(party_x=AS_D, party_y=AS_F, segment_offers_x=(offer,))
+
+    def test_party_inside_segment_is_skipped(self, base_agreement):
+        segment = PathSegment(beneficiary=AS_E, partner=AS_D, target=AS_A)
+        offer = SegmentOffer(owner=AS_E, segment=segment, base_agreement=base_agreement)
+        extension = ExtensionAgreement(
+            party_x=AS_E, party_y=AS_D, segment_offers_x=(offer,)
+        )
+        # D is already on the offered segment, so it gains no new longer path.
+        assert extension.extended_paths_for(AS_D) == ()

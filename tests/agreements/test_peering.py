@@ -1,0 +1,87 @@
+"""Unit tests for classic peering agreements (§III-B1)."""
+
+import pytest
+
+from repro.agreements import (
+    AccessOffer,
+    Agreement,
+    AgreementError,
+    classic_peering_agreement,
+    is_classic_peering,
+)
+from repro.topology import AS_A, AS_C, AS_D, AS_E, AS_G, AS_H, AS_I, figure1_topology
+
+
+class TestClassicPeeringAgreement:
+    def test_figure1_example(self):
+        """The §III-B1 example: a_p = [D(↓{H}); E(↓{I})]."""
+        graph = figure1_topology()
+        agreement = classic_peering_agreement(graph, AS_D, AS_E)
+        assert agreement.offer_by(AS_D).customers == frozenset({AS_H})
+        assert agreement.offer_by(AS_E).customers == frozenset({AS_I})
+        assert agreement.offer_by(AS_D).providers == frozenset()
+        assert agreement.offer_by(AS_D).peers == frozenset()
+
+    def test_is_grc_conforming(self):
+        graph = figure1_topology()
+        agreement = classic_peering_agreement(graph, AS_D, AS_E)
+        assert agreement.is_grc_conforming(graph)
+
+    def test_requires_existing_peering_link_by_default(self):
+        graph = figure1_topology()
+        with pytest.raises(AgreementError):
+            classic_peering_agreement(graph, AS_D, AS_I)
+
+    def test_provider_customer_pair_rejected(self):
+        graph = figure1_topology()
+        with pytest.raises(AgreementError):
+            classic_peering_agreement(graph, AS_A, AS_D)
+
+    def test_new_peering_between_unconnected_ases(self):
+        graph = figure1_topology()
+        agreement = classic_peering_agreement(
+            graph, AS_C, AS_E, require_peering_link=False
+        )
+        assert agreement.offer_by(AS_C).customers == frozenset({AS_G})
+        assert agreement.offer_by(AS_E).customers == frozenset({AS_I})
+
+    def test_unknown_as_rejected(self):
+        graph = figure1_topology()
+        with pytest.raises(AgreementError):
+            classic_peering_agreement(graph, AS_D, 999)
+
+
+class TestIsClassicPeering:
+    def test_customer_only_agreement_is_classic(self):
+        graph = figure1_topology()
+        agreement = classic_peering_agreement(graph, AS_D, AS_E)
+        assert is_classic_peering(agreement, graph)
+
+    def test_provider_offer_is_not_classic(self):
+        graph = figure1_topology()
+        agreement = Agreement(
+            party_x=AS_D,
+            party_y=AS_E,
+            offer_x=AccessOffer.of(providers={AS_A}),
+            offer_y=AccessOffer.of(customers={AS_I}),
+        )
+        assert not is_classic_peering(agreement, graph)
+
+    def test_peer_offer_is_not_classic(self):
+        graph = figure1_topology()
+        agreement = Agreement(
+            party_x=AS_D,
+            party_y=AS_E,
+            offer_x=AccessOffer.of(peers={AS_C}),
+        )
+        assert not is_classic_peering(agreement, graph)
+
+    def test_foreign_customer_claim_is_not_classic(self):
+        graph = figure1_topology()
+        agreement = Agreement(
+            party_x=AS_D,
+            party_y=AS_E,
+            # I is E's customer, not D's.
+            offer_x=AccessOffer.of(customers={AS_I}),
+        )
+        assert not is_classic_peering(agreement, graph)

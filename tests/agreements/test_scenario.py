@@ -1,0 +1,123 @@
+"""Unit tests for agreement traffic scenarios."""
+
+import pytest
+
+from repro.agreements import AgreementScenario, SegmentTraffic
+from repro.agreements.agreement import AgreementError, PathSegment
+from repro.economics import ENDHOSTS
+from repro.topology import AS_A, AS_B, AS_D, AS_E, AS_H
+
+
+class TestSegmentTraffic:
+    @pytest.fixture()
+    def segment(self):
+        return PathSegment(beneficiary=AS_D, partner=AS_E, target=AS_B)
+
+    def test_volumes(self, segment):
+        traffic = SegmentTraffic(
+            segment=segment,
+            rerouted={AS_A: 10.0, None: 2.0},
+            attracted={ENDHOSTS: 5.0, AS_H: 3.0},
+        )
+        assert traffic.rerouted_volume == 12.0
+        assert traffic.attracted_volume == 8.0
+        assert traffic.total_volume == 20.0
+
+    def test_negative_volumes_rejected(self, segment):
+        with pytest.raises(ValueError):
+            SegmentTraffic(segment=segment, rerouted={AS_A: -1.0})
+        with pytest.raises(ValueError):
+            SegmentTraffic(segment=segment, attracted={AS_H: -1.0})
+        with pytest.raises(ValueError):
+            SegmentTraffic(segment=segment, attracted_limits={AS_H: -1.0})
+
+    def test_attracted_limit_defaults_to_attracted_volume(self, segment):
+        traffic = SegmentTraffic(segment=segment, attracted={AS_H: 3.0})
+        assert traffic.attracted_limit(AS_H) == 3.0
+        assert traffic.attracted_limit(ENDHOSTS) == 0.0
+
+    def test_attracted_limit_explicit(self, segment):
+        traffic = SegmentTraffic(
+            segment=segment, attracted={AS_H: 3.0}, attracted_limits={AS_H: 10.0}
+        )
+        assert traffic.attracted_limit(AS_H) == 10.0
+
+    def test_scaled(self, segment):
+        traffic = SegmentTraffic(
+            segment=segment, rerouted={AS_A: 10.0}, attracted={AS_H: 4.0}
+        )
+        scaled = traffic.scaled(rerouted_factor=0.5, attracted_factor=0.25)
+        assert scaled.rerouted_volume == 5.0
+        assert scaled.attracted_volume == 1.0
+        # The original is unchanged.
+        assert traffic.rerouted_volume == 10.0
+
+    def test_scaled_negative_factor_rejected(self, segment):
+        traffic = SegmentTraffic(segment=segment, rerouted={AS_A: 10.0})
+        with pytest.raises(ValueError):
+            traffic.scaled(rerouted_factor=-1.0)
+
+
+class TestAgreementScenario:
+    def test_segments_must_belong_to_agreement(self, figure1_agreement):
+        foreign = SegmentTraffic(
+            segment=PathSegment(beneficiary=AS_D, partner=AS_E, target=AS_H),
+            rerouted={AS_A: 1.0},
+        )
+        with pytest.raises(AgreementError):
+            AgreementScenario(agreement=figure1_agreement, segments=[foreign])
+
+    def test_baseline_defaults_to_empty_vectors(self, figure1_agreement):
+        scenario = AgreementScenario(agreement=figure1_agreement)
+        assert scenario.baseline_flows(AS_D).total_flow() == 0.0
+        assert scenario.baseline_flows(AS_E).total_flow() == 0.0
+
+    def test_baseline_of_non_party_raises(self, figure1_scenario):
+        with pytest.raises(AgreementError):
+            figure1_scenario.baseline_flows(AS_A)
+
+    def test_rerouted_traffic_must_exist_in_baseline(self, figure1_agreement):
+        """A scenario cannot claim to reroute more provider traffic than the
+        baseline actually carries."""
+        from repro.economics import FlowVector
+
+        segment = SegmentTraffic(
+            segment=PathSegment(beneficiary=AS_D, partner=AS_E, target=AS_B),
+            rerouted={AS_A: 50.0},
+        )
+        with pytest.raises(AgreementError):
+            AgreementScenario(
+                agreement=figure1_agreement,
+                segments=[segment],
+                baseline={AS_D: FlowVector({AS_A: 10.0})},
+            )
+
+    def test_rerouted_traffic_from_peers_is_not_checked(self, figure1_agreement):
+        """Rerouted volume attributed to no particular provider (previously
+        carried over a settlement-free peer) needs no baseline entry."""
+        segment = SegmentTraffic(
+            segment=PathSegment(beneficiary=AS_D, partner=AS_E, target=AS_B),
+            rerouted={None: 50.0},
+        )
+        AgreementScenario(agreement=figure1_agreement, segments=[segment])
+
+    def test_segments_used_and_carried(self, figure1_scenario):
+        used_by_d = figure1_scenario.segments_used_by(AS_D)
+        carried_by_d = figure1_scenario.segments_carried_by(AS_D)
+        assert {t.segment.path for t in used_by_d} == {
+            (AS_D, AS_E, AS_B),
+            (AS_D, AS_E, 6),
+        }
+        assert {t.segment.path for t in carried_by_d} == {(AS_E, AS_D, AS_A)}
+
+    def test_segment_traffic_lookup(self, figure1_scenario):
+        traffic = figure1_scenario.segment_traffic((AS_E, AS_D, AS_A))
+        assert traffic.rerouted_volume == 8.0
+        with pytest.raises(KeyError):
+            figure1_scenario.segment_traffic((AS_D, AS_E, AS_A))
+
+    def test_with_segments_copies_baseline(self, figure1_scenario):
+        reduced = figure1_scenario.with_segments(list(figure1_scenario.segments[:1]))
+        assert len(reduced.segments) == 1
+        reduced.baseline_flows(AS_D).add(AS_A, 100.0)
+        assert figure1_scenario.baseline_flows(AS_D).get(AS_A) == 30.0

@@ -1,0 +1,142 @@
+"""Unit tests for agreement-utility computation (Eqs. 3–7)."""
+
+import pytest
+
+from repro.agreements import (
+    AgreementScenario,
+    SegmentTraffic,
+    agreement_utility,
+    flows_with_agreement,
+    is_mutually_beneficial,
+    joint_surplus,
+    joint_utilities,
+    utility_breakdown,
+)
+from repro.agreements.agreement import AgreementError, PathSegment
+from repro.economics import ENDHOSTS
+from repro.topology import AS_A, AS_B, AS_D, AS_E, AS_F, AS_H, AS_I
+
+
+class TestFlowsWithAgreement:
+    def test_beneficiary_flow_changes(self, figure1_scenario):
+        after = flows_with_agreement(figure1_scenario, AS_D)
+        before = figure1_scenario.baseline_flows(AS_D)
+        # D uses two segments via E with total volume (10+5+3) + (4+2) = 24,
+        # and carries E's segment with volume 8+4+2 = 14.
+        assert after.get(AS_E) == pytest.approx(before.get(AS_E) + 24.0 + 14.0)
+        # Rerouted traffic (10 + 4) leaves the provider link; carried
+        # traffic for E (14) enters it.
+        assert after.get(AS_A) == pytest.approx(before.get(AS_A) - 14.0 + 14.0)
+        # Newly attracted traffic shows up on the customer links.
+        assert after.get(AS_H) == pytest.approx(before.get(AS_H) + 5.0)
+        assert after.get(ENDHOSTS) == pytest.approx(before.get(ENDHOSTS) + 5.0)
+
+    def test_partner_flow_changes(self, figure1_scenario):
+        after = flows_with_agreement(figure1_scenario, AS_E)
+        before = figure1_scenario.baseline_flows(AS_E)
+        # E uses one segment via D with volume 14 and carries D's two
+        # segments with volumes 18 (towards B) and 6 (towards F).
+        assert after.get(AS_D) == pytest.approx(before.get(AS_D) + 14.0 + 24.0)
+        assert after.get(AS_B) == pytest.approx(before.get(AS_B) - 8.0 + 18.0)
+        assert after.get(AS_F) == pytest.approx(before.get(AS_F) + 6.0)
+        assert after.get(AS_I) == pytest.approx(before.get(AS_I) + 2.0)
+
+    def test_total_flow_grows_for_the_carrying_party(self, figure1_scenario):
+        before = figure1_scenario.baseline_flows(AS_E).total_flow()
+        after = flows_with_agreement(figure1_scenario, AS_E).total_flow()
+        assert after > before
+
+    def test_non_party_raises(self, figure1_scenario):
+        with pytest.raises(AgreementError):
+            flows_with_agreement(figure1_scenario, AS_A)
+
+    def test_baseline_unchanged(self, figure1_scenario):
+        baseline_copy = figure1_scenario.baseline_flows(AS_D).as_dict()
+        flows_with_agreement(figure1_scenario, AS_D)
+        assert figure1_scenario.baseline_flows(AS_D).as_dict() == baseline_copy
+
+
+class TestAgreementUtility:
+    def test_breakdown_matches_utility(self, figure1_scenario, figure1_businesses):
+        breakdown = utility_breakdown(figure1_scenario, AS_D, figure1_businesses[AS_D])
+        assert breakdown.utility == pytest.approx(
+            breakdown.revenue_change - breakdown.cost_change
+        )
+        assert breakdown.utility == pytest.approx(
+            agreement_utility(figure1_scenario, AS_D, figure1_businesses[AS_D])
+        )
+
+    def test_d_benefits_and_e_loses_in_raw_scenario(
+        self, figure1_scenario, figure1_businesses
+    ):
+        """The fixture models the asymmetric case discussed in §III-B2."""
+        utilities = joint_utilities(figure1_scenario, figure1_businesses)
+        assert utilities[AS_D] > 0.0
+        assert utilities[AS_E] < 0.0
+
+    def test_joint_surplus_positive(self, figure1_scenario, figure1_businesses):
+        assert joint_surplus(figure1_scenario, figure1_businesses) > 0.0
+
+    def test_not_mutually_beneficial_without_compensation(
+        self, figure1_scenario, figure1_businesses
+    ):
+        assert not is_mutually_beneficial(figure1_scenario, figure1_businesses)
+
+    def test_wrong_business_model_rejected(self, figure1_scenario, figure1_businesses):
+        with pytest.raises(AgreementError):
+            agreement_utility(figure1_scenario, AS_D, figure1_businesses[AS_E])
+
+    def test_missing_business_model_rejected(self, figure1_scenario, figure1_businesses):
+        with pytest.raises(AgreementError):
+            joint_utilities(figure1_scenario, {AS_D: figure1_businesses[AS_D]})
+
+    def test_empty_scenario_has_zero_utility(self, figure1_agreement, figure1_businesses):
+        scenario = AgreementScenario(agreement=figure1_agreement)
+        utilities = joint_utilities(scenario, figure1_businesses)
+        assert utilities[AS_D] == pytest.approx(0.0)
+        assert utilities[AS_E] == pytest.approx(0.0)
+
+    def test_more_offloading_increases_beneficiary_utility(
+        self, figure1_agreement, figure1_businesses
+    ):
+        """More rerouted provider traffic means more savings for the beneficiary."""
+        def scenario_with_reroute(volume: float) -> AgreementScenario:
+            from repro.economics import FlowVector
+
+            return AgreementScenario(
+                agreement=figure1_agreement,
+                segments=[
+                    SegmentTraffic(
+                        segment=PathSegment(beneficiary=AS_D, partner=AS_E, target=AS_B),
+                        rerouted={AS_A: volume},
+                    )
+                ],
+                baseline={AS_D: FlowVector({AS_A: 50.0}), AS_E: FlowVector()},
+            )
+
+        small = agreement_utility(scenario_with_reroute(5.0), AS_D, figure1_businesses[AS_D])
+        large = agreement_utility(scenario_with_reroute(20.0), AS_D, figure1_businesses[AS_D])
+        assert large > small
+
+    def test_more_carried_traffic_decreases_partner_utility(
+        self, figure1_agreement, figure1_businesses
+    ):
+        """Eq. 7: the more flow the partner must haul to its provider, the worse."""
+        from repro.economics import FlowVector
+
+        def scenario_with_carried(volume: float) -> AgreementScenario:
+            return AgreementScenario(
+                agreement=figure1_agreement,
+                segments=[
+                    SegmentTraffic(
+                        segment=PathSegment(beneficiary=AS_D, partner=AS_E, target=AS_B),
+                        rerouted={AS_A: volume},
+                    )
+                ],
+                baseline={AS_D: FlowVector({AS_A: 50.0}), AS_E: FlowVector()},
+            )
+
+        small = agreement_utility(scenario_with_carried(5.0), AS_E, figure1_businesses[AS_E])
+        large = agreement_utility(scenario_with_carried(20.0), AS_E, figure1_businesses[AS_E])
+        assert large < small
+        assert large < 0.0

@@ -1,0 +1,113 @@
+"""Unit tests for the posted-price baseline mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.bargaining.baselines import (
+    PostedPriceMechanism,
+    optimal_posted_price,
+)
+from repro.bargaining.distributions import (
+    JointUtilityDistribution,
+    UniformUtilityDistribution,
+    paper_distribution_u1,
+    paper_distribution_u2,
+)
+from repro.bargaining.mechanism import BoscoService
+
+
+class TestPostedPriceMechanism:
+    def test_acceptance_is_truthful_threshold(self):
+        mechanism = PostedPriceMechanism(price=0.2)
+        outcome = mechanism.arbitrate(0.5, 0.1)
+        assert outcome.accepted_x  # 0.5 - 0.2 >= 0
+        assert outcome.accepted_y  # 0.1 + 0.2 >= 0
+        assert outcome.concluded
+
+    def test_rejection_when_price_too_high_for_x(self):
+        mechanism = PostedPriceMechanism(price=0.8)
+        outcome = mechanism.arbitrate(0.5, 0.5)
+        assert not outcome.accepted_x
+        assert not outcome.concluded
+        assert outcome.post_utility_x == 0.0
+        assert outcome.nash_product == 0.0
+
+    def test_individual_rationality(self):
+        rng = np.random.default_rng(1)
+        mechanism = PostedPriceMechanism(price=0.1)
+        for ux, uy in rng.uniform(-1.0, 1.0, size=(200, 2)):
+            outcome = mechanism.arbitrate(float(ux), float(uy))
+            assert outcome.post_utility_x >= 0.0
+            assert outcome.post_utility_y >= 0.0
+
+    def test_budget_balance(self):
+        mechanism = PostedPriceMechanism(price=0.3)
+        outcome = mechanism.arbitrate(0.9, -0.1)
+        assert outcome.concluded
+        assert outcome.post_utility_x + outcome.post_utility_y == pytest.approx(0.8)
+
+    def test_not_ex_post_efficient(self):
+        """A viable agreement straddling the price is cancelled — the
+        inefficiency BOSCO is designed to shrink."""
+        mechanism = PostedPriceMechanism(price=0.5)
+        outcome = mechanism.arbitrate(0.3, 0.3)  # surplus 0.6 > 0
+        assert not outcome.concluded
+
+    def test_expected_nash_product_matches_monte_carlo(self):
+        distribution = paper_distribution_u1()
+        mechanism = PostedPriceMechanism(price=0.15)
+        analytic = mechanism.expected_nash_product(distribution)
+        rng = np.random.default_rng(3)
+        samples = distribution.sample(rng, size=200_000)
+        empirical = float(
+            np.mean(
+                [mechanism.arbitrate(float(x), float(y)).nash_product for x, y in samples]
+            )
+        )
+        assert analytic == pytest.approx(empirical, abs=5e-3)
+
+    def test_efficiency_loss_in_unit_interval(self):
+        mechanism = PostedPriceMechanism(price=0.0)
+        loss = mechanism.efficiency_loss(paper_distribution_u1())
+        assert 0.0 <= loss <= 1.0
+
+    def test_efficiency_loss_undefined_for_hopeless_distribution(self):
+        hopeless = JointUtilityDistribution(
+            UniformUtilityDistribution(-2.0, -1.0), UniformUtilityDistribution(-2.0, -1.0)
+        )
+        with pytest.raises(ValueError):
+            PostedPriceMechanism(price=0.0).efficiency_loss(hopeless)
+
+
+class TestOptimalPostedPrice:
+    def test_symmetric_distribution_has_zero_optimal_price(self):
+        mechanism = optimal_posted_price(paper_distribution_u1())
+        assert mechanism.price == pytest.approx(0.0, abs=0.02)
+
+    def test_optimal_price_beats_arbitrary_prices(self):
+        distribution = paper_distribution_u2()
+        best = optimal_posted_price(distribution)
+        best_value = best.expected_nash_product(distribution)
+        for price in (-0.4, -0.1, 0.2, 0.5):
+            assert PostedPriceMechanism(price).expected_nash_product(distribution) <= (
+                best_value + 1e-9
+            )
+
+    def test_bosco_beats_the_dsic_baseline(self):
+        """The §V-B argument: tolerating bounded dishonesty (BOSCO) is more
+        efficient than insisting on dominant-strategy truthfulness."""
+        distribution = paper_distribution_u1()
+        baseline_loss = optimal_posted_price(distribution).efficiency_loss(distribution)
+        service = BoscoService(distribution, seed=8)
+        bosco_pod = service.configure(30, trials=10).price_of_dishonesty
+        assert bosco_pod < baseline_loss
+
+    def test_disjoint_supports_return_neutral_price(self):
+        distribution = JointUtilityDistribution(
+            UniformUtilityDistribution(5.0, 6.0), UniformUtilityDistribution(1.0, 2.0)
+        )
+        mechanism = optimal_posted_price(distribution)
+        # Any price in the huge feasible band concludes everything; just
+        # check the search returns something sensible and IR holds.
+        outcome = mechanism.arbitrate(5.5, 1.5)
+        assert outcome.post_utility_x >= 0.0 or not outcome.concluded

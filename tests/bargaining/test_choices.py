@@ -1,0 +1,90 @@
+"""Unit tests for BOSCO choice sets."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bargaining.choices import CANCEL, ChoiceSet, quantile_choice_set, random_choice_set
+from repro.bargaining.distributions import UniformUtilityDistribution
+
+
+class TestChoiceSet:
+    def test_from_values_adds_cancel_option(self):
+        choices = ChoiceSet.from_values([0.5, -0.2, 0.9])
+        assert choices[0] == CANCEL
+        assert choices.finite_values == (-0.2, 0.5, 0.9)
+
+    def test_cardinality_counts_cancel_option(self):
+        choices = ChoiceSet.from_values([0.1, 0.2])
+        assert choices.cardinality == 3
+        assert len(choices) == 3
+
+    def test_values_must_start_with_cancel(self):
+        with pytest.raises(ValueError):
+            ChoiceSet(values=(0.0, 1.0))
+
+    def test_values_must_be_increasing(self):
+        with pytest.raises(ValueError):
+            ChoiceSet(values=(CANCEL, 1.0, 0.5))
+
+    def test_duplicate_values_collapsed_by_from_values(self):
+        choices = ChoiceSet.from_values([0.5, 0.5, 0.7])
+        assert choices.finite_values == (0.5, 0.7)
+
+    def test_infinite_finite_values_rejected(self):
+        with pytest.raises(ValueError):
+            ChoiceSet(values=(CANCEL, 0.0, math.inf))
+        with pytest.raises(ValueError):
+            ChoiceSet.from_values([math.inf])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ChoiceSet(values=())
+
+    def test_index_of(self):
+        choices = ChoiceSet.from_values([0.1, 0.2])
+        assert choices.index_of(0.2) == 2
+        assert choices.index_of(CANCEL) == 0
+
+
+class TestRandomChoiceSet:
+    def test_requested_size(self):
+        dist = UniformUtilityDistribution(-1.0, 1.0)
+        choices = random_choice_set(dist, 20, np.random.default_rng(0))
+        assert len(choices.finite_values) == 20
+
+    def test_choices_within_support(self):
+        dist = UniformUtilityDistribution(-0.5, 1.0)
+        choices = random_choice_set(dist, 30, np.random.default_rng(1))
+        assert min(choices.finite_values) >= -0.5
+        assert max(choices.finite_values) <= 1.0
+
+    def test_size_must_be_positive(self):
+        dist = UniformUtilityDistribution(0.0, 1.0)
+        with pytest.raises(ValueError):
+            random_choice_set(dist, 0, np.random.default_rng(0))
+
+    def test_deterministic_for_fixed_rng_seed(self):
+        dist = UniformUtilityDistribution(-1.0, 1.0)
+        a = random_choice_set(dist, 10, np.random.default_rng(7))
+        b = random_choice_set(dist, 10, np.random.default_rng(7))
+        assert a.values == b.values
+
+
+class TestQuantileChoiceSet:
+    def test_quantiles_of_uniform_are_evenly_spaced(self):
+        dist = UniformUtilityDistribution(0.0, 1.0)
+        choices = quantile_choice_set(dist, 3)
+        assert choices.finite_values[0] == pytest.approx(0.25, abs=1e-6)
+        assert choices.finite_values[1] == pytest.approx(0.5, abs=1e-6)
+        assert choices.finite_values[2] == pytest.approx(0.75, abs=1e-6)
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            quantile_choice_set(UniformUtilityDistribution(0.0, 1.0), 0)
+
+    def test_quantiles_are_sorted(self):
+        dist = UniformUtilityDistribution(-2.0, 3.0)
+        choices = quantile_choice_set(dist, 9)
+        assert list(choices.finite_values) == sorted(choices.finite_values)

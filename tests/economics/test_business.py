@@ -1,0 +1,106 @@
+"""Unit tests for the AS business calculation (Eq. 1)."""
+
+import pytest
+
+from repro.economics import (
+    ENDHOSTS,
+    ASBusiness,
+    FlowVector,
+    LinearCost,
+    PerUsagePricing,
+    default_business_models,
+)
+from repro.topology.fixtures import AS_A, AS_D, AS_H, figure1_topology
+
+
+@pytest.fixture()
+def transit_as_business():
+    """A transit AS with one provider (1), one customer (2), and end-hosts."""
+    business = ASBusiness(asn=10, internal_cost=LinearCost(0.1))
+    business.set_provider_pricing(1, PerUsagePricing(1.0))
+    business.set_customer_pricing(2, PerUsagePricing(2.0))
+    business.set_customer_pricing(ENDHOSTS, PerUsagePricing(3.0))
+    return business
+
+
+class TestRevenueAndCost:
+    def test_revenue_sums_customer_charges(self, transit_as_business):
+        flows = FlowVector({2: 10.0, ENDHOSTS: 5.0, 1: 15.0})
+        assert transit_as_business.revenue(flows) == pytest.approx(10.0 * 2.0 + 5.0 * 3.0)
+
+    def test_cost_sums_provider_charges_and_internal_cost(self, transit_as_business):
+        flows = FlowVector({2: 10.0, ENDHOSTS: 5.0, 1: 15.0})
+        # Total flow through the AS = (10 + 5 + 15) / 2 = 15.
+        assert transit_as_business.cost(flows) == pytest.approx(15.0 * 1.0 + 15.0 * 0.1)
+
+    def test_utility_is_revenue_minus_cost(self, transit_as_business):
+        flows = FlowVector({2: 10.0, ENDHOSTS: 5.0, 1: 15.0})
+        expected = transit_as_business.revenue(flows) - transit_as_business.cost(flows)
+        assert transit_as_business.utility(flows) == pytest.approx(expected)
+
+    def test_zero_traffic_with_per_usage_prices_has_zero_utility(self, transit_as_business):
+        assert transit_as_business.utility(FlowVector()) == 0.0
+
+    def test_utility_delta(self, transit_as_business):
+        before = FlowVector({2: 10.0, 1: 10.0})
+        after = FlowVector({2: 20.0, 1: 20.0})
+        delta = transit_as_business.utility_delta(before, after)
+        # Extra 10 units: +20 revenue, -10 provider, -1 internal.
+        assert delta == pytest.approx(20.0 - 10.0 - 1.0)
+
+    def test_peer_traffic_contributes_only_internal_cost(self, transit_as_business):
+        without_peer = FlowVector({2: 10.0, 1: 10.0})
+        with_peer = FlowVector({2: 10.0, 1: 10.0, 99: 4.0})
+        difference = transit_as_business.utility(with_peer) - transit_as_business.utility(
+            without_peer
+        )
+        assert difference == pytest.approx(-0.1 * 2.0)
+
+
+class TestDefaultBusinessModels:
+    def test_every_as_gets_a_model(self):
+        graph = figure1_topology()
+        models = default_business_models(graph)
+        assert set(models) == set(graph.ases)
+
+    def test_customer_and_provider_pricing_mirror_topology(self):
+        graph = figure1_topology()
+        models = default_business_models(graph)
+        d_model = models[AS_D]
+        assert AS_H in d_model.customer_pricing
+        assert ENDHOSTS in d_model.customer_pricing
+        assert AS_A in d_model.provider_pricing
+
+    def test_transit_relationship_is_consistent(self):
+        """The provider's customer price must equal the customer's provider price."""
+        graph = figure1_topology()
+        models = default_business_models(graph, transit_unit_price=1.0)
+        charge_by_a = models[AS_A].customer_pricing[AS_D](100.0)
+        paid_by_d = models[AS_D].provider_pricing[AS_A](100.0)
+        assert charge_by_a == pytest.approx(paid_by_d)
+
+    def test_transit_as_profits_when_reselling_transit(self):
+        """§III-A example: D's revenue from H and end-hosts must cover A's charges."""
+        graph = figure1_topology()
+        models = default_business_models(
+            graph, transit_unit_price=1.0, endhost_unit_price=1.5, internal_unit_cost=0.1
+        )
+        # D carries 10 units from H up to provider A.
+        flows = FlowVector({AS_H: 10.0, AS_A: 10.0})
+        assert models[AS_D].utility(flows) < 0.0  # reselling at the same price loses money
+        # With end-host revenue on top, the business is profitable.
+        flows_with_endhosts = FlowVector({AS_H: 10.0, AS_A: 20.0, ENDHOSTS: 10.0})
+        assert models[AS_D].utility(flows_with_endhosts) > 0.0
+
+    def test_invalid_parameters_rejected(self):
+        graph = figure1_topology()
+        with pytest.raises(ValueError):
+            default_business_models(graph, transit_unit_price=-1.0)
+        with pytest.raises(ValueError):
+            default_business_models(graph, internal_unit_cost=-0.5)
+        with pytest.raises(ValueError):
+            default_business_models(graph, tier_discount=1.5)
+
+    def test_wrong_party_business_model(self):
+        business = ASBusiness(asn=1)
+        assert business.asn == 1

@@ -1,0 +1,96 @@
+"""Unit tests for internal-cost functions."""
+
+import pytest
+
+from repro.economics.cost import (
+    AffineCost,
+    LinearCost,
+    PiecewiseLinearCost,
+    PowerLawCost,
+    SteppedCapacityCost,
+    ZeroCost,
+)
+
+
+class TestSimpleCosts:
+    def test_zero_cost(self):
+        assert ZeroCost()(0.0) == 0.0
+        assert ZeroCost()(1000.0) == 0.0
+
+    def test_linear_cost(self):
+        assert LinearCost(unit_cost=0.5)(10.0) == 5.0
+
+    def test_linear_negative_unit_cost_rejected(self):
+        with pytest.raises(ValueError):
+            LinearCost(unit_cost=-0.1)
+
+    def test_negative_flow_rejected(self):
+        with pytest.raises(ValueError):
+            LinearCost(unit_cost=1.0)(-1.0)
+
+    def test_affine_cost(self):
+        cost = AffineCost(fixed_cost=10.0, unit_cost=2.0)
+        assert cost(0.0) == 10.0
+        assert cost(5.0) == 20.0
+
+    def test_power_law_cost(self):
+        cost = PowerLawCost(scale=1.0, exponent=2.0)
+        assert cost(3.0) == 9.0
+
+    def test_power_law_requires_convex_exponent(self):
+        with pytest.raises(ValueError):
+            PowerLawCost(scale=1.0, exponent=0.5)
+
+
+class TestSteppedCapacityCost:
+    def test_cost_within_first_step(self):
+        cost = SteppedCapacityCost(unit_cost=1.0, step_capacity=10.0, step_cost=5.0)
+        assert cost(9.0) == 9.0
+
+    def test_cost_jumps_at_step_boundary(self):
+        cost = SteppedCapacityCost(unit_cost=1.0, step_capacity=10.0, step_cost=5.0)
+        assert cost(10.0) == 15.0
+        assert cost(25.0) == 25.0 + 2 * 5.0
+
+    def test_monotone(self):
+        cost = SteppedCapacityCost(unit_cost=0.5, step_capacity=7.0, step_cost=3.0)
+        flows = [0.0, 3.0, 6.9, 7.0, 13.9, 14.0, 100.0]
+        values = [cost(f) for f in flows]
+        assert values == sorted(values)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SteppedCapacityCost(unit_cost=1.0, step_capacity=0.0, step_cost=1.0)
+
+
+class TestPiecewiseLinearCost:
+    def test_interpolation(self):
+        cost = PiecewiseLinearCost(breakpoints=((0.0, 0.0), (10.0, 5.0), (20.0, 20.0)))
+        assert cost(5.0) == pytest.approx(2.5)
+        assert cost(15.0) == pytest.approx(12.5)
+
+    def test_extrapolation_beyond_last_breakpoint(self):
+        cost = PiecewiseLinearCost(breakpoints=((0.0, 0.0), (10.0, 5.0), (20.0, 20.0)))
+        # Last segment slope is 1.5 per unit.
+        assert cost(30.0) == pytest.approx(20.0 + 10.0 * 1.5)
+
+    def test_exact_breakpoints(self):
+        cost = PiecewiseLinearCost(breakpoints=((0.0, 1.0), (10.0, 6.0)))
+        assert cost(0.0) == 1.0
+        assert cost(10.0) == 6.0
+
+    def test_requires_increasing_flows(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearCost(breakpoints=((0.0, 0.0), (0.0, 1.0)))
+
+    def test_requires_monotone_costs(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearCost(breakpoints=((0.0, 5.0), (10.0, 1.0)))
+
+    def test_requires_zero_start(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearCost(breakpoints=((1.0, 0.0), (10.0, 1.0)))
+
+    def test_requires_two_breakpoints(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearCost(breakpoints=((0.0, 0.0),))

@@ -1,0 +1,99 @@
+"""Unit tests for the pricing functions of §III-A."""
+
+import pytest
+
+from repro.economics.pricing import (
+    CongestionPricing,
+    FlatRatePricing,
+    NinetyFifthPercentileBilling,
+    PerUsagePricing,
+    PowerLawPricing,
+    SettlementFree,
+)
+
+
+class TestPowerLawPricing:
+    def test_flat_rate_special_case(self):
+        pricing = PowerLawPricing(alpha=100.0, beta=0.0)
+        assert pricing(0.0) == 100.0
+        assert pricing(50.0) == 100.0
+
+    def test_per_usage_special_case(self):
+        pricing = PowerLawPricing(alpha=2.0, beta=1.0)
+        assert pricing(10.0) == 20.0
+
+    def test_superlinear_pricing(self):
+        pricing = PowerLawPricing(alpha=1.0, beta=2.0)
+        assert pricing(3.0) == 9.0
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            PowerLawPricing(alpha=-1.0, beta=1.0)
+        with pytest.raises(ValueError):
+            PowerLawPricing(alpha=1.0, beta=-1.0)
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ValueError):
+            PowerLawPricing(alpha=1.0, beta=1.0)(-1.0)
+
+    def test_monotone_in_volume(self):
+        pricing = PowerLawPricing(alpha=3.0, beta=1.5)
+        volumes = [0.0, 1.0, 2.0, 5.0, 10.0]
+        charges = [pricing(v) for v in volumes]
+        assert charges == sorted(charges)
+
+
+class TestSimplePricings:
+    def test_flat_rate(self):
+        assert FlatRatePricing(fee=42.0)(1000.0) == 42.0
+        assert FlatRatePricing(fee=42.0)(0.0) == 42.0
+
+    def test_flat_rate_negative_fee_rejected(self):
+        with pytest.raises(ValueError):
+            FlatRatePricing(fee=-1.0)
+
+    def test_per_usage(self):
+        assert PerUsagePricing(unit_price=0.5)(10.0) == 5.0
+
+    def test_per_usage_zero_volume(self):
+        assert PerUsagePricing(unit_price=0.5)(0.0) == 0.0
+
+    def test_congestion_pricing_requires_superlinear_exponent(self):
+        with pytest.raises(ValueError):
+            CongestionPricing(alpha=1.0, beta=1.0)
+
+    def test_congestion_pricing_grows_superlinearly(self):
+        pricing = CongestionPricing(alpha=1.0, beta=2.0)
+        assert pricing(4.0) == 16.0
+        assert pricing(8.0) / pricing(4.0) > 2.0
+
+    def test_settlement_free_is_always_zero(self):
+        pricing = SettlementFree()
+        assert pricing(0.0) == 0.0
+        assert pricing(1e9) == 0.0
+
+    def test_marginal_price_of_linear_pricing(self):
+        pricing = PerUsagePricing(unit_price=2.0)
+        assert pricing.marginal(10.0) == pytest.approx(2.0, rel=1e-3)
+
+
+class TestPercentileBilling:
+    def test_95th_percentile(self):
+        billing = NinetyFifthPercentileBilling()
+        samples = list(range(1, 101))
+        assert billing.billable_volume([float(s) for s in samples]) == 95.0
+
+    def test_median_billing(self):
+        billing = NinetyFifthPercentileBilling(percentile=50.0)
+        assert billing.billable_volume([1.0, 2.0, 3.0, 4.0]) == 2.0
+
+    def test_empty_series(self):
+        assert NinetyFifthPercentileBilling().billable_volume([]) == 0.0
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            NinetyFifthPercentileBilling().billable_volume([1.0, -2.0])
+
+    def test_invalid_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            NinetyFifthPercentileBilling(percentile=0.0)

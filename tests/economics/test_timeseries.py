@@ -1,0 +1,114 @@
+"""Unit tests for the billing-period traffic time-series model."""
+
+import numpy as np
+import pytest
+
+from repro.economics.timeseries import (
+    BillingRule,
+    DiurnalTrafficModel,
+    billed_volume,
+    simulate_billing_period,
+)
+
+
+class TestDiurnalTrafficModel:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DiurnalTrafficModel(mean_volume=-1.0)
+        with pytest.raises(ValueError):
+            DiurnalTrafficModel(mean_volume=1.0, samples_per_day=0)
+        with pytest.raises(ValueError):
+            DiurnalTrafficModel(mean_volume=1.0, diurnal_amplitude=1.5)
+        with pytest.raises(ValueError):
+            DiurnalTrafficModel(mean_volume=1.0, weekend_dip=-0.1)
+        with pytest.raises(ValueError):
+            DiurnalTrafficModel(mean_volume=1.0, burstiness=-0.1)
+
+    def test_series_length(self):
+        model = DiurnalTrafficModel(mean_volume=10.0, samples_per_day=24, days=7)
+        samples = model.generate(np.random.default_rng(0))
+        assert samples.shape == (24 * 7,)
+
+    def test_mean_close_to_target(self):
+        model = DiurnalTrafficModel(mean_volume=10.0, samples_per_day=96, days=28)
+        samples = model.generate(np.random.default_rng(1))
+        assert float(np.mean(samples)) == pytest.approx(10.0, rel=0.05)
+
+    def test_samples_are_non_negative(self):
+        model = DiurnalTrafficModel(mean_volume=5.0, burstiness=0.5)
+        samples = model.generate(np.random.default_rng(2))
+        assert float(samples.min()) >= 0.0
+
+    def test_zero_mean_gives_zero_series(self):
+        model = DiurnalTrafficModel(mean_volume=0.0, samples_per_day=24, days=2)
+        samples = model.generate(np.random.default_rng(3))
+        assert float(samples.sum()) == 0.0
+
+    def test_peak_hours_carry_more_traffic_than_off_hours(self):
+        model = DiurnalTrafficModel(
+            mean_volume=10.0, samples_per_day=24, days=14, burstiness=0.0, peak_hour=20.0
+        )
+        samples = model.generate(np.random.default_rng(4))
+        hours = (np.arange(samples.size) % 24).astype(float)
+        peak = samples[hours == 20.0].mean()
+        trough = samples[hours == 8.0].mean()
+        assert peak > trough
+
+    def test_weekends_carry_less_traffic(self):
+        model = DiurnalTrafficModel(
+            mean_volume=10.0, samples_per_day=24, days=28, burstiness=0.0, weekend_dip=0.4
+        )
+        samples = model.generate(np.random.default_rng(5))
+        day_index = np.arange(samples.size) // 24
+        weekday = samples[(day_index % 7) < 5].mean()
+        weekend = samples[(day_index % 7) >= 5].mean()
+        assert weekend < weekday
+
+    def test_deterministic_for_fixed_seed(self):
+        model = DiurnalTrafficModel(mean_volume=3.0, samples_per_day=24, days=3)
+        a = model.generate(np.random.default_rng(7))
+        b = model.generate(np.random.default_rng(7))
+        assert np.allclose(a, b)
+
+
+class TestBilledVolume:
+    def test_average_and_median(self):
+        samples = [1.0, 2.0, 3.0, 10.0]
+        assert billed_volume(samples, BillingRule.AVERAGE) == pytest.approx(4.0)
+        assert billed_volume(samples, BillingRule.MEDIAN) == pytest.approx(2.5)
+
+    def test_percentile_rule(self):
+        samples = [float(v) for v in range(1, 101)]
+        assert billed_volume(samples, BillingRule.NINETY_FIFTH_PERCENTILE) == 95.0
+
+    def test_empty_series(self):
+        assert billed_volume([], BillingRule.AVERAGE) == 0.0
+
+    def test_negative_samples_rejected(self):
+        with pytest.raises(ValueError):
+            billed_volume([1.0, -1.0], BillingRule.AVERAGE)
+
+    def test_billing_rules_are_ordered_for_bursty_traffic(self):
+        """For right-skewed traffic, p95 billing exceeds average billing —
+        the headroom argument for flow-volume agreement conditions."""
+        model = DiurnalTrafficModel(mean_volume=10.0, burstiness=0.4, days=14)
+        samples = model.generate(np.random.default_rng(9))
+        p95 = billed_volume(samples, BillingRule.NINETY_FIFTH_PERCENTILE)
+        average = billed_volume(samples, BillingRule.AVERAGE)
+        assert p95 > average
+
+
+class TestSimulateBillingPeriod:
+    def test_returns_positive_volume(self):
+        assert simulate_billing_period(5.0, seed=1) > 0.0
+
+    def test_average_rule_tracks_mean(self):
+        volume = simulate_billing_period(
+            5.0, rule=BillingRule.AVERAGE, seed=2, days=28, samples_per_day=96
+        )
+        assert volume == pytest.approx(5.0, rel=0.05)
+
+    def test_p95_exceeds_average(self):
+        p95 = simulate_billing_period(5.0, seed=3)
+        average = simulate_billing_period(5.0, rule=BillingRule.AVERAGE, seed=3)
+        assert p95 > average

@@ -1,0 +1,168 @@
+"""Unit tests for flow vectors, segment flows, and demand assignment."""
+
+import pytest
+
+from repro.economics.traffic import (
+    ENDHOSTS,
+    FlowVector,
+    NetworkFlows,
+    SegmentFlows,
+    TrafficMatrix,
+    assign_demands,
+)
+
+
+class TestFlowVector:
+    def test_set_and_get(self):
+        flows = FlowVector()
+        flows.set(1, 10.0)
+        assert flows.get(1) == 10.0
+        assert flows.get(2) == 0.0
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ValueError):
+            FlowVector({1: -1.0})
+
+    def test_add_accumulates(self):
+        flows = FlowVector({1: 5.0})
+        flows.add(1, 3.0)
+        assert flows.get(1) == 8.0
+
+    def test_add_negative_cannot_underflow(self):
+        flows = FlowVector({1: 5.0})
+        with pytest.raises(ValueError):
+            flows.add(1, -6.0)
+
+    def test_add_negative_reduces(self):
+        flows = FlowVector({1: 5.0})
+        flows.add(1, -2.0)
+        assert flows.get(1) == 3.0
+
+    def test_zero_volume_removes_neighbor(self):
+        flows = FlowVector({1: 5.0})
+        flows.set(1, 0.0)
+        assert 1 not in flows.neighbors()
+
+    def test_total_flow_is_half_the_sum(self):
+        # 10 units in from the endhosts and 10 units out to the provider
+        # is 10 units *through* the AS.
+        flows = FlowVector({ENDHOSTS: 10.0, 1: 10.0})
+        assert flows.total_flow() == 10.0
+
+    def test_copy_is_independent(self):
+        flows = FlowVector({1: 5.0})
+        clone = flows.copy()
+        clone.add(1, 1.0)
+        assert flows.get(1) == 5.0
+
+    def test_equality(self):
+        assert FlowVector({1: 5.0}) == FlowVector({1: 5.0})
+        assert FlowVector({1: 5.0}) != FlowVector({1: 6.0})
+
+    def test_as_dict(self):
+        assert FlowVector({1: 5.0}).as_dict() == {1: 5.0}
+
+
+class TestSegmentFlows:
+    def test_direction_independence(self):
+        segments = SegmentFlows()
+        segments.set((1, 2, 3), 5.0)
+        assert segments.get((3, 2, 1)) == 5.0
+
+    def test_add(self):
+        segments = SegmentFlows()
+        segments.add((1, 2, 3), 5.0)
+        segments.add((3, 2, 1), 2.0)
+        assert segments.get((1, 2, 3)) == 7.0
+
+    def test_through(self):
+        segments = SegmentFlows()
+        segments.set((1, 2, 3), 5.0)
+        segments.set((4, 2, 5), 2.0)
+        segments.set((1, 3, 4), 9.0)
+        assert segments.through(2) == 7.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentFlows().set((1, 2, 3), -1.0)
+
+    def test_copy(self):
+        segments = SegmentFlows()
+        segments.set((1, 2, 3), 5.0)
+        clone = segments.copy()
+        clone.set((1, 2, 3), 1.0)
+        assert segments.get((1, 2, 3)) == 5.0
+
+
+class TestTrafficMatrix:
+    def test_set_and_get_demand(self):
+        matrix = TrafficMatrix()
+        matrix.set_demand(1, 2, 10.0)
+        assert matrix.demand(1, 2) == 10.0
+        assert matrix.demand(2, 1) == 0.0
+
+    def test_self_demand_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficMatrix().set_demand(1, 1, 5.0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficMatrix().set_demand(1, 2, -5.0)
+
+    def test_total_demand(self):
+        matrix = TrafficMatrix()
+        matrix.set_demand(1, 2, 10.0)
+        matrix.set_demand(2, 3, 5.0)
+        assert matrix.total_demand() == 15.0
+
+    def test_pairs_sorted(self):
+        matrix = TrafficMatrix()
+        matrix.set_demand(2, 3, 5.0)
+        matrix.set_demand(1, 2, 10.0)
+        assert matrix.pairs() == ((1, 2), (2, 3))
+
+
+class TestAssignDemands:
+    def test_transit_as_sees_flow_on_both_sides(self):
+        matrix = TrafficMatrix()
+        matrix.set_demand(1, 3, 10.0)
+        flows = assign_demands({(1, 3): (1, 2, 3)}, matrix)
+        assert flows.vector(2).get(1) == 10.0
+        assert flows.vector(2).get(3) == 10.0
+        assert flows.total_flow(2) == 10.0
+
+    def test_endpoints_see_endhost_flow(self):
+        matrix = TrafficMatrix()
+        matrix.set_demand(1, 3, 10.0)
+        flows = assign_demands({(1, 3): (1, 2, 3)}, matrix)
+        assert flows.vector(1).get(ENDHOSTS) == 10.0
+        assert flows.vector(3).get(ENDHOSTS) == 10.0
+
+    def test_endhost_termination_can_be_disabled(self):
+        matrix = TrafficMatrix()
+        matrix.set_demand(1, 3, 10.0)
+        flows = assign_demands({(1, 3): (1, 2, 3)}, matrix, endhost_terminated=False)
+        assert flows.vector(1).get(ENDHOSTS) == 0.0
+
+    def test_segment_flows_recorded(self):
+        matrix = TrafficMatrix()
+        matrix.set_demand(1, 4, 3.0)
+        flows = assign_demands({(1, 4): (1, 2, 3, 4)}, matrix)
+        assert flows.segments.get((1, 2, 3)) == 3.0
+        assert flows.segments.get((2, 3, 4)) == 3.0
+
+    def test_missing_route_raises(self):
+        matrix = TrafficMatrix()
+        matrix.set_demand(1, 3, 10.0)
+        with pytest.raises(KeyError):
+            assign_demands({}, matrix)
+
+    def test_route_must_match_demand_pair(self):
+        matrix = TrafficMatrix()
+        matrix.set_demand(1, 3, 10.0)
+        with pytest.raises(ValueError):
+            assign_demands({(1, 3): (1, 2)}, matrix)
+
+    def test_unknown_as_vector_is_empty(self):
+        flows = NetworkFlows()
+        assert flows.total_flow(99) == 0.0

@@ -1,0 +1,41 @@
+"""Tests for the Fig. 2 experiment harness (reduced sizes)."""
+
+import pytest
+
+from repro.experiments.fig2_pod import Fig2Config, run_fig2
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig2(Fig2Config(choice_counts=(10, 30), trials=8, seed=3))
+
+
+class TestFig2:
+    def test_rows_cover_both_distributions_and_all_cardinalities(self, result):
+        combos = {(row.distribution, row.num_choices) for row in result.rows}
+        assert combos == {("U(1)", 10), ("U(1)", 30), ("U(2)", 10), ("U(2)", 30)}
+
+    def test_pod_values_in_unit_interval(self, result):
+        for row in result.rows:
+            assert 0.0 <= row.min_pod <= row.mean_pod <= 1.0
+
+    def test_series_extraction(self, result):
+        series = result.series("U(1)", "min")
+        assert [w for w, _ in series] == [10, 30]
+        with pytest.raises(KeyError):
+            result.series("U(1)", "median")
+
+    def test_best_pod_is_minimum_over_w(self, result):
+        series = result.series("U(2)", "min")
+        assert result.best_pod("U(2)") == pytest.approx(min(v for _, v in series))
+
+    def test_comparisons_and_report_render(self, result):
+        comparisons = result.comparisons()
+        assert len(comparisons) >= 3
+        text = result.report()
+        assert "U(1)" in text
+        assert "min PoD" in text
+
+    def test_equilibria_use_few_choices(self, result):
+        for row in result.rows:
+            assert row.mean_equilibrium_choices <= 10.0

@@ -1,0 +1,48 @@
+"""Tests for the reporting helpers."""
+
+from repro.experiments.reporting import (
+    PaperComparison,
+    format_cdf_series,
+    format_comparisons,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_columns_are_aligned(self):
+        table = format_table(["name", "value"], [["a", "1"], ["long-name", "2"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[3]
+
+    def test_empty_rows(self):
+        table = format_table(["only", "header"], [])
+        assert "only" in table
+
+
+class TestFormatComparisons:
+    def test_renders_title_and_rows(self):
+        text = format_comparisons(
+            "Fig. X",
+            [PaperComparison(metric="m", paper_value="1", measured_value="2", note="n")],
+        )
+        assert "== Fig. X ==" in text
+        assert "measured" in text
+        assert "m" in text
+
+
+class TestFormatCdfSeries:
+    def test_empty_series(self):
+        assert "(empty)" in format_cdf_series("s", (), ())
+
+    def test_downsampling(self):
+        xs = tuple(float(i) for i in range(100))
+        ys = tuple((i + 1) / 100 for i in range(100))
+        text = format_cdf_series("s", xs, ys, max_points=5)
+        assert text.startswith("s: ")
+        assert text.count("(") <= 6
+
+    def test_short_series_kept_fully(self):
+        text = format_cdf_series("s", (1.0, 2.0), (0.5, 1.0))
+        assert text.count("(") == 2

@@ -1,0 +1,61 @@
+"""Tests for the combined experiment runner (tiny configuration)."""
+
+from repro.experiments.fig2_pod import Fig2Config
+from repro.experiments.fig3_paths import PathDiversityConfig
+from repro.experiments.fig5_geodistance import Fig5Config
+from repro.experiments.fig6_bandwidth import Fig6Config
+from repro.experiments.runner import RunnerConfig, _stability_section
+
+
+class TinyRunnerConfig(RunnerConfig):
+    """Runner configuration small enough for the test suite."""
+
+    def fig2(self) -> Fig2Config:
+        return Fig2Config(choice_counts=(10,), trials=4)
+
+    def diversity(self) -> PathDiversityConfig:
+        return PathDiversityConfig(
+            num_tier1=3, num_tier2=8, num_tier3=25, num_stubs=70, sample_size=25, seed=1
+        )
+
+    def fig5(self) -> Fig5Config:
+        return Fig5Config(diversity=self.diversity(), pair_sample_size=10)
+
+    def fig6(self) -> Fig6Config:
+        return Fig6Config(diversity=self.diversity(), pair_sample_size=10)
+
+
+class TestRunnerConfig:
+    def test_default_config_sizes(self):
+        config = RunnerConfig()
+        assert config.fig2().trials < 200
+        assert config.diversity().sample_size <= 200
+
+    def test_full_config_matches_paper_scale(self):
+        config = RunnerConfig(full=True)
+        assert config.fig2().trials == 200
+        assert config.diversity().sample_size == 500
+
+
+class TestStabilitySection:
+    def test_section_mentions_both_gadgets(self):
+        text = _stability_section()
+        assert "DISAGREE" in text
+        assert "BAD GADGET" in text
+        assert "oscillation detected = True" in text
+
+
+class TestRunAll:
+    def test_combined_report_contains_every_figure(self):
+        from repro.experiments.runner import run_all
+
+        report = run_all(TinyRunnerConfig())
+        for heading in (
+            "§II — BGP stability gadgets",
+            "Fig. 2 — Price of Dishonesty",
+            "Fig. 3 — length-3 paths per AS",
+            "Fig. 4 — nearby destinations per AS",
+            "Fig. 5 — geodistance of MA paths",
+            "Fig. 6 — bandwidth of MA paths",
+        ):
+            assert heading in report

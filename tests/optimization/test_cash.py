@@ -1,0 +1,73 @@
+"""Unit tests for cash-compensation optimization (§IV-B)."""
+
+import pytest
+
+from repro.optimization.cash import negotiate_cash_agreement, optimize_cash_compensation
+from repro.topology import AS_D, AS_E
+
+
+class TestOptimizeCashCompensation:
+    def test_concluded_when_surplus_positive(self):
+        result = optimize_cash_compensation(1, 2, utility_x=10.0, utility_y=-2.0)
+        assert result.concluded
+        assert result.joint_surplus == pytest.approx(8.0)
+
+    def test_not_concluded_when_surplus_negative(self):
+        result = optimize_cash_compensation(1, 2, utility_x=1.0, utility_y=-2.0)
+        assert not result.concluded
+        assert result.transfer_x_to_y == 0.0
+        assert result.post_utility_x == 0.0
+        assert result.post_utility_y == 0.0
+
+    def test_concluded_at_zero_surplus(self):
+        result = optimize_cash_compensation(1, 2, utility_x=3.0, utility_y=-3.0)
+        assert result.concluded
+        assert result.post_utility_x == pytest.approx(0.0)
+        assert result.post_utility_y == pytest.approx(0.0)
+
+    def test_transfer_follows_eq11(self):
+        result = optimize_cash_compensation(1, 2, utility_x=10.0, utility_y=2.0)
+        assert result.transfer_x_to_y == pytest.approx(10.0 - (10.0 + 2.0) / 2.0)
+
+    def test_post_utilities_split_surplus_equally(self):
+        result = optimize_cash_compensation(1, 2, utility_x=10.0, utility_y=-2.0)
+        assert result.post_utility_x == pytest.approx(4.0)
+        assert result.post_utility_y == pytest.approx(4.0)
+
+    def test_nash_product(self):
+        result = optimize_cash_compensation(1, 2, utility_x=10.0, utility_y=-2.0)
+        assert result.nash_product == pytest.approx(16.0)
+
+    def test_losing_party_receives_money(self):
+        result = optimize_cash_compensation(1, 2, utility_x=-2.0, utility_y=10.0)
+        assert result.concluded
+        assert result.transfer_x_to_y < 0.0  # Y pays X
+
+    def test_both_positive_and_equal_needs_no_transfer(self):
+        result = optimize_cash_compensation(1, 2, utility_x=4.0, utility_y=4.0)
+        assert result.transfer_x_to_y == pytest.approx(0.0)
+
+
+class TestNegotiateCashAgreement:
+    def test_figure1_scenario_is_rescued_by_compensation(
+        self, figure1_scenario, figure1_businesses
+    ):
+        """In the fixture D gains and E loses, but the joint surplus is
+        positive, so the cash agreement concludes and both end up equal."""
+        result = negotiate_cash_agreement(figure1_scenario, figure1_businesses)
+        assert result.party_x == AS_D
+        assert result.party_y == AS_E
+        assert result.utility_x > 0.0
+        assert result.utility_y < 0.0
+        assert result.concluded
+        assert result.transfer_x_to_y > 0.0
+        assert result.post_utility_x == pytest.approx(result.post_utility_y)
+        assert result.post_utility_x >= 0.0
+
+    def test_empty_scenario_concludes_trivially(self, figure1_agreement, figure1_businesses):
+        from repro.agreements import AgreementScenario
+
+        scenario = AgreementScenario(agreement=figure1_agreement)
+        result = negotiate_cash_agreement(scenario, figure1_businesses)
+        assert result.concluded
+        assert result.transfer_x_to_y == pytest.approx(0.0)

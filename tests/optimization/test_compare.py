@@ -1,0 +1,73 @@
+"""Unit tests for the §IV-C comparison of qualification methods."""
+
+import pytest
+
+from repro.agreements import AgreementScenario, SegmentTraffic
+from repro.agreements.agreement import PathSegment
+from repro.economics import FlowVector
+from repro.optimization.compare import compare_methods
+from repro.topology import AS_A, AS_B, AS_D, AS_E
+
+
+class TestCompareMethods:
+    def test_both_methods_conclude_on_figure1_scenario(
+        self, figure1_scenario, figure1_businesses
+    ):
+        comparison = compare_methods(
+            figure1_scenario, figure1_businesses, restarts=3, seed=1
+        )
+        assert comparison.cash_concluded
+        assert comparison.flow_volume_concluded
+
+    def test_cash_is_perfectly_fair(self, figure1_scenario, figure1_businesses):
+        comparison = compare_methods(
+            figure1_scenario, figure1_businesses, restarts=3, seed=1
+        )
+        assert comparison.cash_fairness_gap == pytest.approx(0.0)
+
+    def test_summary_keys(self, figure1_scenario, figure1_businesses):
+        comparison = compare_methods(
+            figure1_scenario, figure1_businesses, restarts=2, seed=1
+        )
+        summary = comparison.summary()
+        assert set(summary) == {
+            "cash_concluded",
+            "flow_volume_concluded",
+            "cash_joint_utility",
+            "flow_volume_joint_utility",
+            "cash_fairness_gap",
+            "flow_volume_fairness_gap",
+            "flexibility_advantage_cash",
+        }
+
+    def test_cash_flexibility_advantage(self, figure1_agreement, figure1_businesses):
+        """§IV-C: there are scenarios only cash compensation can conclude.
+
+        Here D reroutes provider traffic over E (D saves money), but no new
+        customer traffic can be attracted.  E only incurs cost, so any
+        positive flow-volume target leaves E negative — the flow-volume
+        program collapses to zero.  The joint surplus is still positive
+        (D saves more than E loses when E forwards to its peer F), so the
+        cash agreement concludes.
+        """
+        scenario = AgreementScenario(
+            agreement=figure1_agreement,
+            segments=[
+                SegmentTraffic(
+                    segment=PathSegment(beneficiary=AS_D, partner=AS_E, target=6),
+                    rerouted={AS_A: 10.0},
+                )
+            ],
+            baseline={AS_D: FlowVector({AS_A: 30.0}), AS_E: FlowVector({AS_B: 30.0})},
+        )
+        comparison = compare_methods(scenario, figure1_businesses, restarts=4, seed=2)
+        assert comparison.cash_concluded
+        assert not comparison.flow_volume_concluded
+        assert comparison.flexibility_advantage_cash
+
+    def test_joint_utilities_zero_when_not_concluded(
+        self, figure1_agreement, figure1_businesses
+    ):
+        scenario = AgreementScenario(agreement=figure1_agreement)
+        comparison = compare_methods(scenario, figure1_businesses, restarts=2)
+        assert comparison.flow_volume_joint_utility == 0.0

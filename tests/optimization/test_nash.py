@@ -1,0 +1,79 @@
+"""Unit tests for the Nash bargaining primitives."""
+
+import pytest
+
+from repro.optimization.nash import (
+    BargainingOutcome,
+    is_pareto_improvement,
+    nash_bargaining_solution,
+    nash_bargaining_transfer,
+    nash_product,
+)
+
+
+class TestNashProduct:
+    def test_product(self):
+        assert nash_product(2.0, 3.0) == 6.0
+
+    def test_zero_utility_gives_zero_product(self):
+        assert nash_product(0.0, 5.0) == 0.0
+
+
+class TestNashBargainingTransfer:
+    def test_equal_split_of_surplus(self):
+        # u_X = 10, u_Y = 2: X pays 4 so both end at 6.
+        transfer = nash_bargaining_transfer(10.0, 2.0)
+        assert transfer == pytest.approx(4.0)
+
+    def test_negative_transfer_when_y_gains_more(self):
+        assert nash_bargaining_transfer(2.0, 10.0) == pytest.approx(-4.0)
+
+    def test_symmetric_utilities_need_no_transfer(self):
+        assert nash_bargaining_transfer(5.0, 5.0) == pytest.approx(0.0)
+
+    def test_compensation_of_losing_party(self):
+        # u_X = 10, u_Y = -2: the Nash solution gives both (10 - 2)/2 = 4.
+        transfer = nash_bargaining_transfer(10.0, -2.0)
+        assert 10.0 - transfer == pytest.approx(4.0)
+        assert -2.0 + transfer == pytest.approx(4.0)
+
+
+class TestBargainingOutcome:
+    def test_post_utilities_are_equal(self):
+        outcome = nash_bargaining_solution(10.0, 2.0)
+        assert outcome.post_utility_x == pytest.approx(outcome.post_utility_y)
+        assert outcome.fairness_gap == pytest.approx(0.0)
+
+    def test_nash_product_of_outcome(self):
+        outcome = nash_bargaining_solution(10.0, 2.0)
+        assert outcome.nash_product == pytest.approx(36.0)
+
+    def test_individual_rationality_with_positive_surplus(self):
+        assert nash_bargaining_solution(10.0, -2.0).is_individually_rational
+
+    def test_not_rational_with_negative_surplus(self):
+        assert not nash_bargaining_solution(1.0, -5.0).is_individually_rational
+
+    def test_equal_split_maximizes_nash_product(self):
+        """No other transfer achieves a higher product (Pareto-optimal + fair)."""
+        utility_x, utility_y = 8.0, 2.0
+        optimal = nash_bargaining_solution(utility_x, utility_y).nash_product
+        for transfer in [-2.0, 0.0, 1.0, 2.0, 4.0, 5.0]:
+            candidate = (utility_x - transfer) * (utility_y + transfer)
+            assert candidate <= optimal + 1e-12
+
+    def test_outcome_dataclass_fields(self):
+        outcome = BargainingOutcome(utility_x=3.0, utility_y=1.0, transfer_x_to_y=1.0)
+        assert outcome.post_utility_x == 2.0
+        assert outcome.post_utility_y == 2.0
+
+
+class TestParetoImprovement:
+    def test_strict_improvement(self):
+        assert is_pareto_improvement((2.0, 2.0), (1.0, 2.0))
+
+    def test_equal_is_not_improvement(self):
+        assert not is_pareto_improvement((1.0, 2.0), (1.0, 2.0))
+
+    def test_tradeoff_is_not_improvement(self):
+        assert not is_pareto_improvement((3.0, 1.0), (1.0, 2.0))

@@ -1,0 +1,106 @@
+"""Unit tests for GRC-conforming length-3 path enumeration."""
+
+from repro.paths.grc import (
+    count_grc_length3_paths,
+    grc_length3_destinations,
+    grc_length3_paths,
+    grc_paths_between,
+    is_grc_conforming_segment,
+)
+from repro.topology import (
+    AS_A,
+    AS_B,
+    AS_C,
+    AS_D,
+    AS_E,
+    AS_F,
+    AS_G,
+    AS_H,
+    AS_I,
+    figure1_topology,
+)
+
+
+class TestSegmentConformance:
+    def test_customer_on_either_side_is_conforming(self):
+        graph = figure1_topology()
+        assert is_grc_conforming_segment(graph, AS_A, AS_D, AS_H)  # H is D's customer
+        assert is_grc_conforming_segment(graph, AS_H, AS_D, AS_E)
+
+    def test_peer_to_provider_is_not_conforming(self):
+        graph = figure1_topology()
+        assert not is_grc_conforming_segment(graph, AS_E, AS_D, AS_A)
+
+    def test_peer_to_peer_transit_is_not_conforming(self):
+        graph = figure1_topology()
+        assert not is_grc_conforming_segment(graph, AS_C, AS_D, AS_E)
+
+
+class TestPathEnumeration:
+    def test_paths_from_stub_as(self):
+        graph = figure1_topology()
+        paths = grc_length3_paths(graph, AS_H)
+        # From H: H–D–X for every neighbor X of D except H (H is D's
+        # customer, so D exports everything to H).
+        expected = {
+            (AS_H, AS_D, AS_A),
+            (AS_H, AS_D, AS_C),
+            (AS_H, AS_D, AS_E),
+        }
+        assert paths == expected
+
+    def test_paths_from_transit_as(self):
+        graph = figure1_topology()
+        paths = grc_length3_paths(graph, AS_D)
+        # Via provider A: everything A exports to its customer D, i.e. A's
+        # customer C and also A's peer B (customer cones see all routes).
+        assert (AS_D, AS_A, AS_C) in paths
+        assert (AS_D, AS_A, AS_B) in paths
+        # Via peer E: only E's customer I.
+        assert (AS_D, AS_E, AS_I) in paths
+        assert (AS_D, AS_E, AS_B) not in paths
+        assert (AS_D, AS_E, AS_F) not in paths
+        # Via customer H: H has no other neighbors, so nothing.
+        assert all(path[1] != AS_H for path in paths)
+
+    def test_paths_never_return_to_source(self):
+        graph = figure1_topology()
+        for source in graph:
+            for path in grc_length3_paths(graph, source):
+                assert path[2] != source
+                assert path[0] == source
+
+    def test_all_enumerated_paths_are_conforming(self):
+        graph = figure1_topology()
+        for source in graph:
+            for path in grc_length3_paths(graph, source):
+                assert is_grc_conforming_segment(graph, *path)
+
+    def test_count_matches_enumeration(self):
+        graph = figure1_topology()
+        for source in graph:
+            assert count_grc_length3_paths(graph, source) == len(
+                grc_length3_paths(graph, source)
+            )
+
+    def test_destinations(self):
+        graph = figure1_topology()
+        destinations = grc_length3_destinations(graph, AS_H)
+        assert destinations == {AS_A, AS_C, AS_E}
+
+    def test_paths_between_pair_are_disjoint(self):
+        """All length-3 paths between a fixed pair share only the endpoints."""
+        graph = figure1_topology()
+        for source in graph:
+            for destination in grc_length3_destinations(graph, source):
+                middles = [
+                    path[1] for path in grc_paths_between(graph, source, destination)
+                ]
+                assert len(middles) == len(set(middles))
+
+    def test_generated_topology_paths_are_conforming(self, small_topology):
+        graph = small_topology.graph
+        sample = sorted(graph.ases)[:20]
+        for source in sample:
+            for path in grc_length3_paths(graph, source):
+                assert is_grc_conforming_segment(graph, *path)

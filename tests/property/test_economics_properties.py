@@ -1,0 +1,108 @@
+"""Property-based tests for pricing, cost, and the agreement-utility layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.economics.cost import LinearCost, PowerLawCost, SteppedCapacityCost
+from repro.economics.pricing import PowerLawPricing
+from repro.economics.traffic import FlowVector
+from repro.optimization.cash import optimize_cash_compensation
+from repro.optimization.nash import nash_bargaining_solution
+
+volumes = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+utilities = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestPricingProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=0.0, max_value=3.0),
+        volumes,
+        volumes,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_power_law_pricing_is_monotone(self, alpha, beta, v1, v2):
+        pricing = PowerLawPricing(alpha=alpha, beta=beta)
+        low, high = sorted((v1, v2))
+        assert pricing(low) <= pricing(high) + 1e-9
+
+    @given(st.floats(min_value=0.0, max_value=100.0), volumes)
+    @settings(max_examples=100, deadline=None)
+    def test_pricing_is_non_negative(self, alpha, volume):
+        assert PowerLawPricing(alpha=alpha, beta=1.0)(volume) >= 0.0
+
+
+class TestCostProperties:
+    @given(
+        st.sampled_from(
+            [
+                LinearCost(0.3),
+                PowerLawCost(scale=0.1, exponent=1.5),
+                SteppedCapacityCost(unit_cost=0.2, step_capacity=10.0, step_cost=5.0),
+            ]
+        ),
+        volumes,
+        volumes,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cost_functions_are_monotone_and_non_negative(self, cost, v1, v2):
+        low, high = sorted((v1, v2))
+        assert 0.0 <= cost(low) <= cost(high) + 1e-9
+
+
+class TestFlowVectorProperties:
+    @given(
+        st.dictionaries(
+            st.integers(min_value=1, max_value=20),
+            st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+            max_size=10,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_total_flow_is_half_of_per_neighbor_sum(self, flows):
+        vector = FlowVector(flows)
+        assert vector.total_flow() == sum(v for v in flows.values() if v > 0.0) / 2.0
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=1, max_value=20),
+            st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+            max_size=10,
+        ),
+        st.integers(min_value=1, max_value=20),
+        st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_add_then_remove_is_identity(self, flows, neighbor, volume):
+        vector = FlowVector(flows)
+        before = vector.get(neighbor)
+        vector.add(neighbor, volume)
+        vector.add(neighbor, -volume)
+        assert vector.get(neighbor) == pytest_approx(before)
+
+
+def pytest_approx(value: float, tolerance: float = 1e-6):
+    """Tiny local approx helper to avoid importing pytest into hypothesis tests."""
+    import pytest
+
+    return pytest.approx(value, abs=tolerance)
+
+
+class TestBargainingSolutionProperties:
+    @given(utilities, utilities)
+    @settings(max_examples=200, deadline=None)
+    def test_nash_solution_splits_surplus_equally(self, ux, uy):
+        outcome = nash_bargaining_solution(ux, uy)
+        assert outcome.post_utility_x == pytest_approx(outcome.post_utility_y, 1e-6)
+        assert outcome.post_utility_x + outcome.post_utility_y == pytest_approx(
+            ux + uy, 1e-6
+        )
+
+    @given(utilities, utilities)
+    @settings(max_examples=200, deadline=None)
+    def test_cash_agreement_concluded_iff_surplus_nonnegative(self, ux, uy):
+        result = optimize_cash_compensation(1, 2, ux, uy)
+        assert result.concluded == (ux + uy >= 0.0)
+        if result.concluded:
+            assert result.post_utility_x >= -1e-9
+            assert result.post_utility_y >= -1e-9

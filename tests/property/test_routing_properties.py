@@ -1,0 +1,144 @@
+"""Property-based tests for the routing substrates (BGP, PAN, beaconing)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agreements import enumerate_mutuality_agreements
+from repro.routing import (
+    BeaconingProcess,
+    BGPSimulator,
+    ForwardingEngine,
+    Packet,
+    PathAwareNetwork,
+    PathServer,
+)
+from repro.routing.policies import gao_rexford_policies
+from repro.topology import generate_topology
+
+
+@st.composite
+def tiny_topologies(draw):
+    """Small random Internet-like topologies (bounded for test speed)."""
+    seed = draw(st.integers(min_value=0, max_value=500))
+    num_tier2 = draw(st.integers(min_value=2, max_value=6))
+    num_tier3 = draw(st.integers(min_value=4, max_value=12))
+    num_stubs = draw(st.integers(min_value=8, max_value=25))
+    return generate_topology(
+        num_tier1=2,
+        num_tier2=num_tier2,
+        num_tier3=num_tier3,
+        num_stubs=num_stubs,
+        seed=seed,
+    )
+
+
+class TestBGPProperties:
+    @given(tiny_topologies(), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=15, deadline=None)
+    def test_grc_policies_always_converge(self, topology, seed):
+        """The Gao–Rexford theorem, checked on random topologies and schedules."""
+        graph = topology.graph
+        destination = sorted(graph.tier1_ases())[0]
+        simulator = BGPSimulator(
+            graph=graph, destination=destination, policies=gao_rexford_policies(graph)
+        )
+        outcome = simulator.run(seed=seed, max_rounds=300)
+        assert outcome.converged
+        assert not outcome.oscillation_detected
+
+    @given(tiny_topologies())
+    @settings(max_examples=15, deadline=None)
+    def test_grc_routes_are_valley_free_and_loop_free(self, topology):
+        graph = topology.graph
+        destination = sorted(graph.tier1_ases())[0]
+        simulator = BGPSimulator(
+            graph=graph, destination=destination, policies=gao_rexford_policies(graph)
+        )
+        outcome = simulator.run(max_rounds=300)
+        for asn, route in outcome.routes.items():
+            if route is None:
+                continue
+            assert len(set(route)) == len(route)
+            assert route[0] == asn
+            assert route[-1] == destination
+            for i in range(1, len(route) - 1):
+                transit = route[i]
+                customers = graph.customers(transit)
+                assert route[i - 1] in customers or route[i + 1] in customers
+
+
+class TestPANProperties:
+    @given(tiny_topologies())
+    @settings(max_examples=12, deadline=None)
+    def test_grc_authorization_matches_valley_freedom(self, topology):
+        """A segment is GRC-authorized exactly when it is valley-free."""
+        graph = topology.graph
+        network = PathAwareNetwork(graph)
+        network.authorize_grc_segments()
+        checked = 0
+        for transit in list(graph)[:20]:
+            neighbors = sorted(graph.neighbors(transit))
+            customers = graph.customers(transit)
+            for i, first in enumerate(neighbors):
+                for last in neighbors[i + 1 :]:
+                    expected = first in customers or last in customers
+                    assert network.is_authorized(first, transit, last) == expected
+                    checked += 1
+        assert checked > 0
+
+    @given(tiny_topologies())
+    @settings(max_examples=10, deadline=None)
+    def test_forwarding_is_loop_free_and_header_faithful(self, topology):
+        graph = topology.graph
+        network = PathAwareNetwork(graph)
+        network.authorize_grc_segments()
+        for agreement in enumerate_mutuality_agreements(graph):
+            network.apply_agreement(agreement)
+        engine = ForwardingEngine(network)
+        sources = list(graph)[:8]
+        destinations = list(graph)[-8:]
+        for source in sources:
+            for destination in destinations:
+                if source == destination:
+                    continue
+                for path in network.available_paths(source, destination, max_hops=3)[:5]:
+                    result = engine.forward(Packet(path=path))
+                    assert result.delivered
+                    assert result.traversed == path
+                    assert len(set(result.traversed)) == len(result.traversed)
+
+
+class TestBeaconingProperties:
+    @given(tiny_topologies())
+    @settings(max_examples=10, deadline=None)
+    def test_every_as_is_reachable_from_the_core(self, topology):
+        graph = topology.graph
+        store = BeaconingProcess(graph, max_segment_length=6).run()
+        core = graph.tier1_ases()
+        for asn in graph:
+            if asn in core:
+                continue
+            segments = store.down_segments_of(asn)
+            assert segments, f"AS {asn} received no beacon"
+            for segment in segments:
+                assert segment[0] in core
+                assert segment[-1] == asn
+                for provider, customer in zip(segment, segment[1:]):
+                    assert customer in graph.customers(provider)
+
+    @given(tiny_topologies())
+    @settings(max_examples=8, deadline=None)
+    def test_constructed_paths_are_always_forwardable(self, topology):
+        graph = topology.graph
+        store = BeaconingProcess(graph, max_segment_length=6).run()
+        network = PathAwareNetwork(graph)
+        network.authorize_grc_segments()
+        server = PathServer(graph=graph, store=store, network=network)
+        engine = ForwardingEngine(network)
+        ases = sorted(graph.ases)
+        pairs = [(ases[1], ases[-1]), (ases[-2], ases[2]), (ases[0], ases[-3])]
+        for source, destination in pairs:
+            if source == destination:
+                continue
+            for path in server.lookup(source, destination, max_paths=5):
+                assert engine.forward(Packet(path=path)).delivered

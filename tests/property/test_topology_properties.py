@@ -1,0 +1,88 @@
+"""Property-based tests for the topology substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import ASGraph, Relationship
+from repro.topology.caida import dump_as_rel_lines, parse_as_rel_lines
+from repro.topology.relationships import Link
+
+
+def link_strategy(max_asn: int = 30):
+    """Random links over a bounded AS-number universe."""
+    pair = st.tuples(
+        st.integers(min_value=1, max_value=max_asn),
+        st.integers(min_value=1, max_value=max_asn),
+    ).filter(lambda p: p[0] != p[1])
+    relationship = st.sampled_from(
+        [Relationship.PROVIDER_TO_CUSTOMER, Relationship.PEER_TO_PEER]
+    )
+    return st.tuples(pair, relationship)
+
+
+def build_graph(links) -> ASGraph:
+    """Add links, skipping the ones that conflict with earlier ones."""
+    graph = ASGraph()
+    for (first, second), relationship in links:
+        if graph.has_link(first, second):
+            continue
+        graph.add_link(Link(first, second, relationship))
+    return graph
+
+
+class TestGraphProperties:
+    @given(st.lists(link_strategy(), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_neighbor_sets_partition_the_neighborhood(self, links):
+        graph = build_graph(links)
+        for asn in graph:
+            providers = graph.providers(asn)
+            peers = graph.peers(asn)
+            customers = graph.customers(asn)
+            assert providers | peers | customers == graph.neighbors(asn)
+            assert not providers & peers
+            assert not providers & customers
+            assert not peers & customers
+
+    @given(st.lists(link_strategy(), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_relationships_are_symmetric(self, links):
+        graph = build_graph(links)
+        for asn in graph:
+            for provider in graph.providers(asn):
+                assert asn in graph.customers(provider)
+            for customer in graph.customers(asn):
+                assert asn in graph.providers(customer)
+            for peer in graph.peers(asn):
+                assert asn in graph.peers(peer)
+
+    @given(st.lists(link_strategy(), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_link_count_matches_neighbor_degrees(self, links):
+        graph = build_graph(links)
+        assert sum(graph.degree(asn) for asn in graph) == 2 * graph.num_links()
+
+    @given(st.lists(link_strategy(), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_caida_roundtrip_preserves_topology(self, links):
+        graph = build_graph(links)
+        restored = parse_as_rel_lines(dump_as_rel_lines(graph))
+        assert restored.ases == graph.ases
+        assert set(restored.links) == set(graph.links)
+
+    @given(st.lists(link_strategy(), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_customer_cone_contains_direct_customers(self, links):
+        graph = build_graph(links)
+        for asn in graph:
+            cone = graph.customer_cone(asn)
+            assert asn in cone
+            assert graph.customers(asn) <= cone
+
+    @given(st.lists(link_strategy(), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_copy_equals_original(self, links):
+        graph = build_graph(links)
+        clone = graph.copy()
+        assert clone.ases == graph.ases
+        assert set(clone.links) == set(graph.links)

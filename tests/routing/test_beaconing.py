@@ -1,0 +1,171 @@
+"""Unit tests for the SCION-style beaconing and path-server substrate."""
+
+import pytest
+
+from repro.agreements import enumerate_mutuality_agreements, figure1_mutuality_agreement
+from repro.routing import (
+    BeaconingProcess,
+    ForwardingEngine,
+    Packet,
+    PathAwareNetwork,
+    PathConstructionBeacon,
+    PathServer,
+)
+from repro.topology import (
+    AS_A,
+    AS_B,
+    AS_D,
+    AS_E,
+    AS_H,
+    AS_I,
+    figure1_topology,
+    generate_topology,
+)
+
+
+class TestPathConstructionBeacon:
+    def test_core_and_last_as(self):
+        beacon = PathConstructionBeacon(path=(1, 4, 8))
+        assert beacon.core_as == 1
+        assert beacon.last_as == 8
+
+    def test_extension(self):
+        beacon = PathConstructionBeacon(path=(1, 4))
+        assert beacon.extended(8).path == (1, 4, 8)
+
+    def test_loop_rejected(self):
+        beacon = PathConstructionBeacon(path=(1, 4))
+        with pytest.raises(ValueError):
+            beacon.extended(1)
+        with pytest.raises(ValueError):
+            PathConstructionBeacon(path=(1, 4, 1))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PathConstructionBeacon(path=())
+
+
+class TestBeaconingOnFigure1:
+    @pytest.fixture(scope="class")
+    def store(self):
+        return BeaconingProcess(figure1_topology()).run()
+
+    def test_every_as_gets_a_down_segment(self, store):
+        graph = figure1_topology()
+        for asn in graph:
+            if asn in graph.tier1_ases():
+                continue
+            assert store.down_segments_of(asn), f"AS {asn} unreachable from the core"
+
+    def test_down_segments_follow_provider_customer_links(self, store):
+        graph = figure1_topology()
+        for asn in graph:
+            for segment in store.down_segments_of(asn):
+                for provider, customer in zip(segment, segment[1:]):
+                    assert customer in graph.customers(provider)
+
+    def test_up_segments_are_reversed_down_segments(self, store):
+        down = store.down_segments_of(AS_H)
+        up = store.up_segments_of(AS_H)
+        assert {tuple(reversed(s)) for s in down} == up
+
+    def test_core_segments_between_a_and_b(self, store):
+        assert (AS_A, AS_B) in store.core_segments_between(AS_A, AS_B)
+        assert (AS_B, AS_A) in store.core_segments_between(AS_B, AS_A)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BeaconingProcess(figure1_topology(), max_segment_length=0)
+        with pytest.raises(ValueError):
+            BeaconingProcess(figure1_topology(), beacons_per_as=0)
+
+
+class TestPathServer:
+    @pytest.fixture()
+    def server(self):
+        graph = figure1_topology()
+        store = BeaconingProcess(graph).run()
+        network = PathAwareNetwork(graph)
+        network.authorize_grc_segments()
+        return PathServer(graph=graph, store=store, network=network), network
+
+    def test_core_path_construction(self, server):
+        path_server, _ = server
+        paths = path_server.lookup(AS_H, AS_I)
+        assert paths
+        # The canonical up–core–down combination.
+        assert (AS_H, AS_D, AS_A, AS_B, AS_E, AS_I) in paths
+
+    def test_same_endpoint_rejected(self, server):
+        path_server, _ = server
+        with pytest.raises(ValueError):
+            path_server.lookup(AS_H, AS_H)
+
+    def test_constructed_paths_are_forwardable(self, server):
+        path_server, network = server
+        engine = ForwardingEngine(network)
+        for destination in (AS_I, AS_A, AS_B):
+            for path in path_server.lookup(AS_H, destination):
+                assert engine.forward(Packet(path=path)).delivered
+
+    def test_agreement_shortcut_appears_after_deployment(self, server):
+        path_server, network = server
+        before = path_server.lookup(AS_D, AS_B)
+        assert (AS_D, AS_E, AS_B) not in before
+        network.apply_agreement(figure1_mutuality_agreement(network.graph))
+        after = path_server.lookup(AS_D, AS_B)
+        assert (AS_D, AS_E, AS_B) in after
+        # The shortcut is shorter than the up–core route via A.
+        assert min(len(p) for p in after) == 3
+
+    def test_direct_link_is_offered(self, server):
+        path_server, _ = server
+        assert (AS_D, AS_A) in path_server.lookup(AS_D, AS_A)
+
+    def test_core_destination_reached_via_up_and_core_segments(self, server):
+        """Core ASes have no down-segments; they act as their own segment."""
+        path_server, _ = server
+        paths = path_server.lookup(AS_H, AS_B)
+        assert (AS_H, AS_D, AS_A, AS_B) in paths
+
+    def test_core_source_reaches_edge_destination(self, server):
+        path_server, _ = server
+        paths = path_server.lookup(AS_B, AS_H)
+        assert (AS_B, AS_A, AS_D, AS_H) in paths
+
+    def test_lookup_respects_max_paths(self, server):
+        path_server, _ = server
+        assert len(path_server.lookup(AS_H, AS_I, max_paths=1)) <= 1
+
+
+class TestBeaconingOnGeneratedTopology:
+    def test_full_coverage_and_forwardability(self):
+        topology = generate_topology(
+            num_tier1=3, num_tier2=8, num_tier3=20, num_stubs=50, seed=9
+        )
+        graph = topology.graph
+        store = BeaconingProcess(graph, max_segment_length=6).run()
+        network = PathAwareNetwork(graph)
+        network.authorize_grc_segments()
+        for agreement in enumerate_mutuality_agreements(graph):
+            network.apply_agreement(agreement)
+        server = PathServer(graph=graph, store=store, network=network)
+        engine = ForwardingEngine(network)
+
+        core = sorted(graph.tier1_ases())
+        non_core = [asn for asn in graph if asn not in core]
+        # Every non-core AS is reachable from the core via beaconing.
+        for asn in non_core:
+            assert store.down_segments_of(asn)
+        # Constructed end-to-end paths forward successfully.
+        sources = non_core[:5]
+        destinations = non_core[-5:]
+        checked = 0
+        for source in sources:
+            for destination in destinations:
+                if source == destination:
+                    continue
+                for path in server.lookup(source, destination, max_paths=3):
+                    assert engine.forward(Packet(path=path)).delivered
+                    checked += 1
+        assert checked > 0

@@ -1,0 +1,157 @@
+"""Unit tests for the BGP path-vector simulator."""
+
+import pytest
+
+from repro.routing.bgp import BGPSimulator
+from repro.routing.policies import gadget_policies, gao_rexford_policies
+from repro.topology import (
+    AS_A,
+    AS_B,
+    AS_D,
+    AS_E,
+    AS_H,
+    bad_gadget_topology,
+    disagree_topology,
+    figure1_topology,
+)
+
+
+class TestBasicOperation:
+    def test_destination_must_exist(self):
+        graph = figure1_topology()
+        with pytest.raises(ValueError):
+            BGPSimulator(graph=graph, destination=999, policies=gao_rexford_policies(graph))
+
+    def test_missing_policies_rejected(self):
+        graph = figure1_topology()
+        with pytest.raises(ValueError):
+            BGPSimulator(graph=graph, destination=AS_A, policies={})
+
+    def test_destination_always_has_its_own_route(self):
+        graph = figure1_topology()
+        simulator = BGPSimulator(
+            graph=graph, destination=AS_A, policies=gao_rexford_policies(graph)
+        )
+        assert simulator.selected_routes[AS_A] == (AS_A,)
+
+    def test_schedule_must_cover_all_ases(self):
+        graph = figure1_topology()
+        simulator = BGPSimulator(
+            graph=graph, destination=AS_A, policies=gao_rexford_policies(graph)
+        )
+        with pytest.raises(ValueError):
+            simulator.run(schedule=[AS_B])
+
+    def test_reset_clears_routes(self):
+        graph = figure1_topology()
+        simulator = BGPSimulator(
+            graph=graph, destination=AS_A, policies=gao_rexford_policies(graph)
+        )
+        simulator.run()
+        simulator.reset()
+        assert simulator.selected_routes[AS_D] is None
+
+
+class TestGaoRexfordConvergence:
+    def test_figure1_converges_to_valid_routes(self):
+        graph = figure1_topology()
+        simulator = BGPSimulator(
+            graph=graph, destination=AS_A, policies=gao_rexford_policies(graph)
+        )
+        outcome = simulator.run()
+        assert outcome.converged
+        assert not outcome.oscillation_detected
+        for asn, route in outcome.routes.items():
+            assert route is not None, f"AS {asn} has no route"
+            assert route[0] == asn
+            assert route[-1] == AS_A
+            assert len(set(route)) == len(route)
+            for left, right in zip(route, route[1:]):
+                assert graph.has_link(left, right)
+
+    def test_customer_prefers_direct_provider_route(self):
+        graph = figure1_topology()
+        simulator = BGPSimulator(
+            graph=graph, destination=AS_A, policies=gao_rexford_policies(graph)
+        )
+        outcome = simulator.run()
+        # D is a direct customer of A; under GRC it uses the direct route.
+        assert outcome.route_of(AS_D) == (AS_D, AS_A)
+        assert outcome.route_of(AS_H) == (AS_H, AS_D, AS_A)
+
+    def test_routes_are_valley_free(self):
+        """Under GRC policies, no selected route contains a valley."""
+        graph = figure1_topology()
+        for destination in graph:
+            simulator = BGPSimulator(
+                graph=graph, destination=destination, policies=gao_rexford_policies(graph)
+            )
+            outcome = simulator.run()
+            assert outcome.converged
+            for asn, route in outcome.routes.items():
+                if route is None or len(route) < 3:
+                    continue
+                for i in range(1, len(route) - 1):
+                    transit = route[i]
+                    before, after = route[i - 1], route[i + 1]
+                    customers = graph.customers(transit)
+                    assert before in customers or after in customers, (
+                        f"valley at {transit} on route {route}"
+                    )
+
+    def test_grc_converges_on_generated_topology(self, small_topology):
+        graph = small_topology.graph
+        destination = sorted(graph.tier1_ases())[0]
+        simulator = BGPSimulator(
+            graph=graph, destination=destination, policies=gao_rexford_policies(graph)
+        )
+        outcome = simulator.run(max_rounds=300)
+        assert outcome.converged
+
+
+class TestGadgets:
+    def test_disagree_converges(self):
+        gadget = disagree_topology()
+        simulator = BGPSimulator(
+            graph=gadget.graph,
+            destination=gadget.destination,
+            policies=gadget_policies(gadget.graph, gadget.preferences),
+        )
+        outcome = simulator.run(seed=0)
+        assert outcome.converged
+
+    def test_disagree_outcome_depends_on_schedule(self):
+        gadget = disagree_topology()
+        results = set()
+        for schedule in ([1, 2], [2, 1]):
+            simulator = BGPSimulator(
+                graph=gadget.graph,
+                destination=gadget.destination,
+                policies=gadget_policies(gadget.graph, gadget.preferences),
+            )
+            outcome = simulator.run(schedule=schedule)
+            assert outcome.converged
+            results.add(tuple(sorted(outcome.routes.items())))
+        assert len(results) == 2
+
+    def test_bad_gadget_oscillates(self):
+        gadget = bad_gadget_topology()
+        simulator = BGPSimulator(
+            graph=gadget.graph,
+            destination=gadget.destination,
+            policies=gadget_policies(gadget.graph, gadget.preferences),
+        )
+        outcome = simulator.run(seed=0, max_rounds=200)
+        assert not outcome.converged
+        assert outcome.oscillation_detected
+
+    def test_bad_gadget_oscillates_under_every_schedule(self):
+        gadget = bad_gadget_topology()
+        for seed in range(4):
+            simulator = BGPSimulator(
+                graph=gadget.graph,
+                destination=gadget.destination,
+                policies=gadget_policies(gadget.graph, gadget.preferences),
+            )
+            outcome = simulator.run(seed=seed, max_rounds=200)
+            assert not outcome.converged

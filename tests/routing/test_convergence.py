@@ -1,0 +1,68 @@
+"""Unit tests for the convergence analysis layer (§II)."""
+
+from repro.routing.convergence import (
+    analyze_gadget,
+    analyze_grc,
+    degrade_by_link_failure,
+)
+from repro.topology import (
+    AS_A,
+    bad_gadget_topology,
+    disagree_topology,
+    figure1_sibling_gadget,
+    figure1_topology,
+)
+
+
+class TestAnalyzeGadget:
+    def test_disagree_is_nondeterministic(self):
+        report = analyze_gadget(disagree_topology(), num_schedules=8)
+        assert report.always_converged
+        assert not report.any_oscillation
+        assert report.distinct_stable_states >= 2
+        assert report.is_nondeterministic
+
+    def test_bad_gadget_oscillates(self):
+        report = analyze_gadget(bad_gadget_topology(), num_schedules=6)
+        assert report.any_oscillation
+        assert not report.always_converged
+        assert not report.is_nondeterministic
+
+    def test_figure1_sibling_gadget_converges_but_depends_on_timing(self):
+        report = analyze_gadget(figure1_sibling_gadget(), num_schedules=8)
+        assert report.always_converged
+        # The paper calls this the "slightly extended DISAGREE": multiple
+        # stable states are possible, so the outcome is timing-dependent.
+        assert report.distinct_stable_states >= 1
+
+
+class TestAnalyzeGrc:
+    def test_grc_always_converges_on_figure1(self):
+        report = analyze_grc(figure1_topology(), AS_A, num_schedules=4)
+        assert report.always_converged
+        assert not report.any_oscillation
+        assert report.distinct_stable_states == 1
+
+    def test_grc_always_converges_on_generated_topology(self, small_topology):
+        graph = small_topology.graph
+        destination = sorted(graph.tier1_ases())[0]
+        report = analyze_grc(graph, destination, num_schedules=2)
+        assert report.always_converged
+
+
+class TestLinkFailureDegradation:
+    def test_failed_link_removed_from_topology_and_preferences(self):
+        gadget = disagree_topology()
+        degraded = degrade_by_link_failure(gadget, 1, 2)
+        assert not degraded.graph.has_link(1, 2)
+        # Paths using the failed link are dropped from the preferences.
+        assert (1, 2, 0) not in degraded.preferences[1]
+        assert (1, 0) in degraded.preferences[1]
+        assert "failed" in degraded.name
+
+    def test_degraded_disagree_converges_deterministically(self):
+        gadget = disagree_topology()
+        degraded = degrade_by_link_failure(gadget, 1, 2)
+        report = analyze_gadget(degraded, num_schedules=4)
+        assert report.always_converged
+        assert report.distinct_stable_states == 1

@@ -1,0 +1,113 @@
+"""Failure-injection tests for the routing substrates.
+
+The paper motivates path diversity with resilience to link failures: a
+PAN end host simply switches to another authorized path, while BGP must
+reconverge (and GRC-violating configurations can even degrade into a
+BAD GADGET after a failure, §II).
+"""
+
+import pytest
+
+from repro.agreements import figure1_mutuality_agreement
+from repro.routing import (
+    BGPSimulator,
+    DropReason,
+    ForwardingEngine,
+    Packet,
+    PathAwareNetwork,
+    analyze_gadget,
+)
+from repro.routing.convergence import degrade_by_link_failure
+from repro.routing.policies import gao_rexford_policies
+from repro.topology import (
+    AS_A,
+    AS_B,
+    AS_C,
+    AS_D,
+    AS_E,
+    AS_H,
+    bad_gadget_topology,
+    figure1_topology,
+)
+
+
+class TestPanFailover:
+    def test_failed_link_drops_packets_but_alternative_path_survives(self):
+        graph = figure1_topology()
+        network = PathAwareNetwork(graph)
+        network.authorize_grc_segments()
+        network.apply_agreement(figure1_mutuality_agreement(graph))
+        engine = ForwardingEngine(network)
+
+        primary = (AS_D, AS_A, AS_B)
+        alternative = (AS_D, AS_E, AS_B)
+        assert engine.forward(Packet(path=primary)).delivered
+        assert engine.forward(Packet(path=alternative)).delivered
+
+        # The provider link D–A fails.
+        graph.remove_link(AS_D, AS_A)
+        failed = engine.forward(Packet(path=primary))
+        assert not failed.delivered
+        assert failed.drop_reason is DropReason.MISSING_LINK
+        # The MA path does not use the failed link: the end host just
+        # switches to it — no protocol convergence involved.
+        assert engine.forward(Packet(path=alternative)).delivered
+
+    def test_path_selection_avoids_failed_link(self):
+        graph = figure1_topology()
+        network = PathAwareNetwork(graph)
+        network.authorize_grc_segments()
+        network.apply_agreement(figure1_mutuality_agreement(graph))
+        graph.remove_link(AS_D, AS_A)
+        paths = network.available_paths(AS_D, AS_B, max_hops=3)
+        assert paths
+        assert all((AS_D, AS_A) != (p[0], p[1]) for p in paths)
+
+
+class TestBgpAfterFailure:
+    def test_grc_loses_reachability_that_an_ma_would_preserve(self):
+        """After the A–D link fails, the GRC leave D and H without any route
+        to A (their peers will not re-export provider routes), while a
+        mutuality-based agreement with peer C restores connectivity in the
+        PAN — the resilience benefit the paper's introduction motivates."""
+        graph = figure1_topology()
+        simulator = BGPSimulator(
+            graph=graph, destination=AS_A, policies=gao_rexford_policies(graph)
+        )
+        before = simulator.run()
+        assert before.route_of(AS_H) == (AS_H, AS_D, AS_A)
+
+        failed = figure1_topology()
+        failed.remove_link(AS_A, AS_D)
+        simulator = BGPSimulator(
+            graph=failed, destination=AS_A, policies=gao_rexford_policies(failed)
+        )
+        after = simulator.run()
+        assert after.converged
+        # Valley-free routing cannot recover: D's peers C and E only learned
+        # their routes to A from providers and will not export them to D.
+        assert after.route_of(AS_D) is None
+        assert after.route_of(AS_H) is None
+
+        # In a PAN, an MA between D and its peer C authorizes the segment
+        # D–C–A, restoring reachability without any routing convergence.
+        from repro.agreements import mutuality_agreement
+
+        network = PathAwareNetwork(failed)
+        network.authorize_grc_segments()
+        agreement = mutuality_agreement(failed, AS_D, AS_C)
+        assert agreement is not None
+        network.apply_agreement(agreement)
+        engine = ForwardingEngine(network)
+        assert engine.forward(Packet(path=(AS_D, AS_C, AS_A))).delivered
+        assert engine.forward(Packet(path=(AS_H, AS_D, AS_C, AS_A))).delivered
+
+    def test_bad_gadget_remains_broken_after_any_single_peering_failure(self):
+        """Removing one peering link from BAD GADGET removes the oscillation
+        (the cycle of preferences is broken) — the flip side of §II's point
+        that failures can also create gadgets."""
+        gadget = bad_gadget_topology()
+        for left, right in ((1, 2), (2, 3), (3, 1)):
+            degraded = degrade_by_link_failure(gadget, left, right)
+            report = analyze_gadget(degraded, num_schedules=4)
+            assert report.always_converged

@@ -1,0 +1,94 @@
+"""Unit tests for packet forwarding along source-selected paths."""
+
+import pytest
+
+from repro.agreements import figure1_mutuality_agreement
+from repro.routing.forwarding import DropReason, ForwardingEngine, Packet
+from repro.routing.pan import PathAwareNetwork
+from repro.topology import AS_A, AS_B, AS_D, AS_E, AS_H, AS_I, figure1_topology
+
+
+@pytest.fixture()
+def network():
+    network = PathAwareNetwork(figure1_topology())
+    network.authorize_grc_segments()
+    return network
+
+
+@pytest.fixture()
+def engine(network):
+    return ForwardingEngine(network)
+
+
+class TestForwarding:
+    def test_delivery_along_authorized_path(self, engine):
+        result = engine.forward(Packet(path=(AS_H, AS_D, AS_A)))
+        assert result.delivered
+        assert result.hops == 2
+        assert result.traversed == (AS_H, AS_D, AS_A)
+        assert result.drop_reason is None
+
+    def test_single_link_path(self, engine):
+        result = engine.forward(Packet(path=(AS_D, AS_A)))
+        assert result.delivered
+        assert result.hops == 1
+
+    def test_unauthorized_segment_dropped(self, engine):
+        result = engine.forward(Packet(path=(AS_D, AS_E, AS_B)))
+        assert not result.delivered
+        assert result.drop_reason is DropReason.UNAUTHORIZED_SEGMENT
+        assert result.dropped_at == AS_E
+
+    def test_missing_link_dropped(self, engine):
+        result = engine.forward(Packet(path=(AS_H, AS_I)))
+        assert not result.delivered
+        assert result.drop_reason is DropReason.MISSING_LINK
+
+    def test_malformed_path_dropped(self, engine):
+        looping = Packet(path=(AS_H, AS_D, AS_H))
+        result = engine.forward(looping)
+        assert not result.delivered
+        assert result.drop_reason is DropReason.MALFORMED_PATH
+
+    def test_agreement_enables_previously_dropped_path(self, network, engine):
+        before = engine.forward(Packet(path=(AS_D, AS_E, AS_B)))
+        assert not before.delivered
+        network.apply_agreement(figure1_mutuality_agreement(network.graph))
+        after = engine.forward(Packet(path=(AS_D, AS_E, AS_B)))
+        assert after.delivered
+
+    def test_forwarding_never_loops(self, network, engine):
+        """Loop freedom: a delivered packet visits every AS at most once, and
+        the traversal follows the header exactly — the §II stability property."""
+        network.apply_agreement(figure1_mutuality_agreement(network.graph))
+        paths = [
+            (AS_H, AS_D, AS_A),
+            (AS_D, AS_E, AS_B),
+            (AS_I, AS_E, AS_D, AS_A),
+            (AS_H, AS_D, AS_E, AS_B),
+        ]
+        for path in paths:
+            result = engine.forward(Packet(path=path))
+            assert len(set(result.traversed)) == len(result.traversed)
+            assert result.traversed == path[: len(result.traversed)]
+
+    def test_forward_many_and_delivery_ratio(self, engine):
+        packets = [
+            Packet(path=(AS_H, AS_D, AS_A)),
+            Packet(path=(AS_D, AS_E, AS_B)),
+        ]
+        results = engine.forward_many(packets)
+        assert [r.delivered for r in results] == [True, False]
+        fresh = [
+            Packet(path=(AS_H, AS_D, AS_A)),
+            Packet(path=(AS_D, AS_E, AS_B)),
+        ]
+        assert engine.delivery_ratio(fresh) == 0.5
+
+    def test_delivery_ratio_of_empty_batch(self, engine):
+        assert engine.delivery_ratio([]) == 0.0
+
+    def test_packet_ids_are_unique(self):
+        first = Packet(path=(AS_H, AS_D))
+        second = Packet(path=(AS_H, AS_D))
+        assert first.packet_id != second.packet_id

@@ -1,0 +1,134 @@
+"""Unit tests for the PAN substrate: segment authorization and path discovery."""
+
+import pytest
+
+from repro.agreements import classic_peering_agreement, figure1_mutuality_agreement
+from repro.routing.pan import PathAwareNetwork
+from repro.topology import (
+    AS_A,
+    AS_B,
+    AS_C,
+    AS_D,
+    AS_E,
+    AS_F,
+    AS_G,
+    AS_H,
+    AS_I,
+    degree_gravity_capacities,
+    figure1_topology,
+)
+from repro.topology.geography import SyntheticGeographyGenerator
+
+
+@pytest.fixture()
+def grc_network():
+    graph = figure1_topology()
+    network = PathAwareNetwork(graph)
+    network.authorize_grc_segments()
+    return network
+
+
+class TestAuthorization:
+    def test_authorize_segment_requires_links(self):
+        network = PathAwareNetwork(figure1_topology())
+        with pytest.raises(ValueError):
+            network.authorize_segment(AS_H, AS_D, AS_I)  # D–I link does not exist
+
+    def test_grc_segments_include_customer_transit(self, grc_network):
+        # H (customer of D) can be reached through D from anyone.
+        assert grc_network.is_authorized(AS_A, AS_D, AS_H)
+        assert grc_network.is_authorized(AS_E, AS_D, AS_H)
+
+    def test_grc_segments_exclude_peer_to_provider_transit(self, grc_network):
+        # D does not forward between its peer E and its provider A under GRC.
+        assert not grc_network.is_authorized(AS_E, AS_D, AS_A)
+        # E does not forward between its peer D and its provider B.
+        assert not grc_network.is_authorized(AS_D, AS_E, AS_B)
+
+    def test_authorization_is_direction_independent(self, grc_network):
+        assert grc_network.is_authorized(AS_H, AS_D, AS_A)
+        assert grc_network.is_authorized(AS_A, AS_D, AS_H)
+
+    def test_apply_mutuality_agreement_authorizes_new_segments(self, grc_network):
+        agreement = figure1_mutuality_agreement(grc_network.graph)
+        added = grc_network.apply_agreement(agreement)
+        assert added == 3
+        assert grc_network.is_authorized(AS_D, AS_E, AS_B)
+        assert grc_network.is_authorized(AS_D, AS_E, AS_F)
+        assert grc_network.is_authorized(AS_E, AS_D, AS_A)
+        assert grc_network.agreements == (agreement,)
+
+    def test_apply_peering_agreement_adds_nothing_beyond_grc(self, grc_network):
+        agreement = classic_peering_agreement(grc_network.graph, AS_D, AS_E)
+        added = grc_network.apply_agreement(agreement)
+        assert added == 0
+
+
+class TestPathDiscovery:
+    def test_is_valid_path_checks_authorization(self, grc_network):
+        assert grc_network.is_valid_path((AS_H, AS_D, AS_A))
+        assert not grc_network.is_valid_path((AS_D, AS_E, AS_B))
+        agreement = figure1_mutuality_agreement(grc_network.graph)
+        grc_network.apply_agreement(agreement)
+        assert grc_network.is_valid_path((AS_D, AS_E, AS_B))
+
+    def test_is_valid_path_rejects_loops_and_missing_links(self, grc_network):
+        assert not grc_network.is_valid_path((AS_D, AS_E, AS_D))
+        assert not grc_network.is_valid_path((AS_D, AS_I))
+        assert not grc_network.is_valid_path((AS_D,))
+
+    def test_available_paths_grow_with_agreement(self, grc_network):
+        before = grc_network.available_paths(AS_D, AS_B, max_hops=3)
+        agreement = figure1_mutuality_agreement(grc_network.graph)
+        grc_network.apply_agreement(agreement)
+        after = grc_network.available_paths(AS_D, AS_B, max_hops=3)
+        assert (AS_D, AS_E, AS_B) not in before
+        assert (AS_D, AS_E, AS_B) in after
+        assert len(after) > len(before)
+
+    def test_available_paths_all_valid(self, grc_network):
+        for path in grc_network.available_paths(AS_H, AS_A, max_hops=4):
+            assert grc_network.is_valid_path(path)
+
+    def test_unknown_as_rejected(self, grc_network):
+        with pytest.raises(ValueError):
+            grc_network.available_paths(AS_D, 999)
+
+
+class TestPathSelection:
+    def test_hop_metric(self, grc_network):
+        path = grc_network.select_path(AS_H, AS_A, metric="hops")
+        assert path == (AS_H, AS_D, AS_A)
+
+    def test_latency_metric_requires_embedding(self, grc_network):
+        with pytest.raises(ValueError):
+            grc_network.select_path(AS_H, AS_A, metric="latency")
+
+    def test_latency_metric_picks_minimum_geodistance(self, grc_network):
+        embedding = SyntheticGeographyGenerator(seed=5).embed(grc_network.graph)
+        agreement = figure1_mutuality_agreement(grc_network.graph)
+        grc_network.apply_agreement(agreement)
+        chosen = grc_network.select_path(
+            AS_D, AS_B, metric="latency", embedding=embedding
+        )
+        available = grc_network.available_paths(AS_D, AS_B, max_hops=3)
+        best = min(embedding.path_geodistance(p) for p in available)
+        assert embedding.path_geodistance(chosen) == pytest.approx(best)
+
+    def test_bandwidth_metric_picks_maximum_bottleneck(self, grc_network):
+        capacities = degree_gravity_capacities(grc_network.graph)
+        chosen = grc_network.select_path(
+            AS_H, AS_A, metric="bandwidth", capacities=capacities
+        )
+        available = grc_network.available_paths(AS_H, AS_A, max_hops=3)
+        best = max(capacities.path_bandwidth(p) for p in available)
+        assert capacities.path_bandwidth(chosen) == pytest.approx(best)
+
+    def test_no_path_returns_none(self):
+        network = PathAwareNetwork(figure1_topology())
+        # Nothing authorized: multi-hop paths are unavailable.
+        assert network.select_path(AS_H, AS_G, metric="hops") is None
+
+    def test_unknown_metric_rejected(self, grc_network):
+        with pytest.raises(ValueError):
+            grc_network.select_path(AS_H, AS_A, metric="cost")

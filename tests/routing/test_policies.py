@@ -1,0 +1,89 @@
+"""Unit tests for routing policies."""
+
+import pytest
+
+from repro.routing.policies import (
+    GaoRexfordPolicy,
+    PreferenceListPolicy,
+    gadget_policies,
+    gao_rexford_policies,
+)
+from repro.topology import AS_A, AS_B, AS_C, AS_D, AS_E, AS_H, AS_I, figure1_topology
+
+
+@pytest.fixture()
+def graph():
+    return figure1_topology()
+
+
+class TestGaoRexfordPolicy:
+    def test_customer_route_preferred_over_peer_route(self, graph):
+        policy = GaoRexfordPolicy()
+        customer_route = (AS_D, AS_H)
+        peer_route = (AS_D, AS_E, AS_I)
+        assert policy.rank(AS_D, customer_route, graph) < policy.rank(AS_D, peer_route, graph)
+
+    def test_peer_route_preferred_over_provider_route(self, graph):
+        policy = GaoRexfordPolicy()
+        peer_route = (AS_D, AS_E, AS_I)
+        provider_route = (AS_D, AS_A, AS_B, AS_I)
+        assert policy.rank(AS_D, peer_route, graph) < policy.rank(AS_D, provider_route, graph)
+
+    def test_shorter_route_preferred_within_same_class(self, graph):
+        policy = GaoRexfordPolicy()
+        short = (AS_D, AS_A, AS_B)
+        long = (AS_D, AS_A, AS_B, AS_E)
+        assert policy.rank(AS_D, short, graph) < policy.rank(AS_D, long, graph)
+
+    def test_own_route_ranks_like_customer_route(self, graph):
+        policy = GaoRexfordPolicy()
+        assert policy.rank(AS_D, (AS_D,), graph)[0] == 0
+
+    def test_customer_learned_routes_exported_everywhere(self, graph):
+        policy = GaoRexfordPolicy()
+        customer_route = (AS_D, AS_H)
+        assert policy.exports_to(AS_D, AS_A, customer_route, graph)  # to provider
+        assert policy.exports_to(AS_D, AS_E, customer_route, graph)  # to peer
+        assert policy.exports_to(AS_D, AS_H, customer_route, graph)  # to customer
+
+    def test_peer_learned_routes_only_exported_to_customers(self, graph):
+        policy = GaoRexfordPolicy()
+        peer_route = (AS_D, AS_E, AS_I)
+        assert policy.exports_to(AS_D, AS_H, peer_route, graph)
+        assert not policy.exports_to(AS_D, AS_A, peer_route, graph)
+        assert not policy.exports_to(AS_D, AS_C, peer_route, graph)
+
+    def test_provider_learned_routes_only_exported_to_customers(self, graph):
+        policy = GaoRexfordPolicy()
+        provider_route = (AS_D, AS_A, AS_B)
+        assert policy.exports_to(AS_D, AS_H, provider_route, graph)
+        assert not policy.exports_to(AS_D, AS_E, provider_route, graph)
+
+
+class TestPreferenceListPolicy:
+    def test_listed_paths_rank_by_position(self, graph):
+        policy = PreferenceListPolicy(preferences=((AS_D, AS_E, AS_B), (AS_D, AS_A)))
+        assert policy.rank(AS_D, (AS_D, AS_E, AS_B), graph) < policy.rank(
+            AS_D, (AS_D, AS_A), graph
+        )
+
+    def test_unlisted_paths_rank_below_listed(self, graph):
+        policy = PreferenceListPolicy(preferences=((AS_D, AS_E, AS_B),))
+        assert policy.rank(AS_D, (AS_D, AS_E, AS_B), graph) < policy.rank(
+            AS_D, (AS_D, AS_A, AS_B), graph
+        )
+
+    def test_exports_everything(self, graph):
+        policy = PreferenceListPolicy()
+        assert policy.exports_to(AS_D, AS_A, (AS_D, AS_E, AS_B), graph)
+
+
+class TestPolicyFactories:
+    def test_gao_rexford_policies_cover_all_ases(self, graph):
+        policies = gao_rexford_policies(graph)
+        assert set(policies) == set(graph.ases)
+
+    def test_gadget_policies_mix(self, graph):
+        policies = gadget_policies(graph, {AS_D: ((AS_D, AS_E, AS_B),)})
+        assert isinstance(policies[AS_D], PreferenceListPolicy)
+        assert isinstance(policies[AS_E], GaoRexfordPolicy)

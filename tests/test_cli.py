@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.topology import load_as_rel
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_topology_arguments(self):
+        args = build_parser().parse_args(
+            ["topology", "out.txt", "--tier1", "3", "--seed", "7"]
+        )
+        assert args.command == "topology"
+        assert args.output == "out.txt"
+        assert args.tier1 == 3
+        assert args.seed == 7
+
+    def test_experiments_full_flag(self):
+        args = build_parser().parse_args(["experiments", "--full"])
+        assert args.full
+
+
+class TestTopologyCommand:
+    def test_writes_a_loadable_as_rel_file(self, tmp_path, capsys):
+        output = tmp_path / "topo.as-rel.txt"
+        code = main(
+            [
+                "topology",
+                str(output),
+                "--tier1",
+                "3",
+                "--tier2",
+                "6",
+                "--tier3",
+                "15",
+                "--stubs",
+                "40",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        graph = load_as_rel(output)
+        assert len(graph) == 3 + 6 + 15 + 40
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestDiversityCommand:
+    def test_analysis_on_written_topology(self, tmp_path, capsys):
+        output = tmp_path / "topo.as-rel.txt"
+        main(
+            [
+                "topology",
+                str(output),
+                "--tier1",
+                "3",
+                "--tier2",
+                "6",
+                "--tier3",
+                "15",
+                "--stubs",
+                "40",
+                "--seed",
+                "3",
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            ["diversity", "--topology", str(output), "--sample-size", "15", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GRC" in out
+        assert "additional paths per AS" in out

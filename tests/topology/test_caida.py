@@ -1,0 +1,70 @@
+"""Unit tests for the CAIDA as-rel serialization."""
+
+import pytest
+
+from repro.topology import (
+    CaidaFormatError,
+    dump_as_rel_lines,
+    load_as_rel,
+    parse_as_rel_lines,
+    save_as_rel,
+)
+from repro.topology.fixtures import figure1_topology
+
+SAMPLE = """\
+# a comment line
+1|2|-1
+1|3|-1
+2|3|0
+3|4|-1|mlp
+"""
+
+
+class TestParsing:
+    def test_parse_basic_file(self):
+        graph = parse_as_rel_lines(SAMPLE.splitlines())
+        assert graph.ases == frozenset({1, 2, 3, 4})
+        assert graph.customers(1) == frozenset({2, 3})
+        assert graph.peers(2) == frozenset({3})
+        assert graph.customers(3) == frozenset({4})
+
+    def test_comments_and_blank_lines_ignored(self):
+        graph = parse_as_rel_lines(["# only a comment", "", "   "])
+        assert len(graph) == 0
+
+    def test_serial2_extra_column_accepted(self):
+        graph = parse_as_rel_lines(["10|20|0|bgp"])
+        assert graph.peers(10) == frozenset({20})
+
+    def test_too_few_fields_rejected(self):
+        with pytest.raises(CaidaFormatError):
+            parse_as_rel_lines(["1|2"])
+
+    def test_non_integer_field_rejected(self):
+        with pytest.raises(CaidaFormatError):
+            parse_as_rel_lines(["1|x|0"])
+
+    def test_unknown_relationship_code_rejected(self):
+        with pytest.raises(CaidaFormatError):
+            parse_as_rel_lines(["1|2|5"])
+
+
+class TestRoundTrip:
+    def test_dump_and_parse_roundtrip(self):
+        original = figure1_topology()
+        lines = dump_as_rel_lines(original)
+        restored = parse_as_rel_lines(lines)
+        assert restored.ases == original.ases
+        assert set(restored.links) == set(original.links)
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        original = figure1_topology()
+        path = tmp_path / "topology.as-rel.txt"
+        save_as_rel(original, path)
+        restored = load_as_rel(path)
+        assert restored.ases == original.ases
+        assert set(restored.links) == set(original.links)
+
+    def test_dump_contains_header_comment(self):
+        lines = dump_as_rel_lines(figure1_topology())
+        assert lines[0].startswith("#")

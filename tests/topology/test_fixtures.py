@@ -1,0 +1,85 @@
+"""Unit tests for the canonical example topologies (Fig. 1 and the gadgets)."""
+
+from repro.topology import (
+    AS_A,
+    AS_B,
+    AS_C,
+    AS_D,
+    AS_E,
+    AS_F,
+    AS_G,
+    AS_H,
+    AS_I,
+    FIGURE1_NAMES,
+    bad_gadget_topology,
+    disagree_topology,
+    figure1_sibling_gadget,
+    figure1_topology,
+)
+
+
+class TestFigure1:
+    def test_has_nine_ases(self):
+        assert len(figure1_topology()) == 9
+
+    def test_names_cover_all_ases(self):
+        graph = figure1_topology()
+        assert set(FIGURE1_NAMES) == set(graph.ases)
+
+    def test_a_and_b_are_peers(self):
+        graph = figure1_topology()
+        assert AS_B in graph.peers(AS_A)
+
+    def test_d_and_e_relationships_match_figure(self):
+        graph = figure1_topology()
+        assert graph.providers(AS_D) == frozenset({AS_A})
+        assert graph.providers(AS_E) == frozenset({AS_B})
+        assert AS_E in graph.peers(AS_D)
+        assert AS_C in graph.peers(AS_D)
+        assert AS_F in graph.peers(AS_E)
+        assert graph.customers(AS_D) == frozenset({AS_H})
+        assert graph.customers(AS_E) == frozenset({AS_I})
+
+    def test_stub_ases(self):
+        graph = figure1_topology()
+        for stub in (AS_G, AS_H, AS_I):
+            assert graph.is_stub(stub)
+
+    def test_validates(self):
+        figure1_topology().validate()
+
+    def test_tier1_ases_are_a_and_b(self):
+        graph = figure1_topology()
+        assert graph.tier1_ases() == frozenset({AS_A, AS_B})
+
+
+class TestGadgets:
+    def test_disagree_structure(self):
+        gadget = disagree_topology()
+        assert gadget.destination == 0
+        assert set(gadget.preferences) == {1, 2}
+        # Both ASes prefer the route through the other one.
+        assert gadget.preferences[1][0] == (1, 2, 0)
+        assert gadget.preferences[2][0] == (2, 1, 0)
+
+    def test_bad_gadget_structure(self):
+        gadget = bad_gadget_topology()
+        assert set(gadget.preferences) == {1, 2, 3}
+        for asn in (1, 2, 3):
+            assert gadget.graph.has_link(asn, 0)
+        assert gadget.graph.has_link(1, 2)
+        assert gadget.graph.has_link(2, 3)
+        assert gadget.graph.has_link(3, 1)
+
+    def test_figure1_sibling_gadget_uses_figure1(self):
+        gadget = figure1_sibling_gadget()
+        assert gadget.destination == AS_A
+        assert set(gadget.preferences) == {AS_D, AS_E}
+        assert len(gadget.graph) == 9
+
+    def test_gadget_preference_paths_start_at_owner(self):
+        for gadget in (disagree_topology(), bad_gadget_topology(), figure1_sibling_gadget()):
+            for asn, paths in gadget.preferences.items():
+                for path in paths:
+                    assert path[0] == asn
+                    assert path[-1] == gadget.destination

@@ -1,0 +1,110 @@
+"""Unit tests for the synthetic Internet-like topology generator."""
+
+import numpy as np
+import pytest
+
+from repro.topology.generator import (
+    InternetTopologyGenerator,
+    TopologyParameters,
+    generate_topology,
+)
+
+
+class TestParameters:
+    def test_defaults_are_valid(self):
+        TopologyParameters()
+
+    def test_requires_at_least_one_tier1(self):
+        with pytest.raises(ValueError):
+            TopologyParameters(num_tier1=0)
+
+    def test_rejects_invalid_provider_range(self):
+        with pytest.raises(ValueError):
+            TopologyParameters(tier2_providers=(3, 1))
+        with pytest.raises(ValueError):
+            TopologyParameters(stub_providers=(0, 2))
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(ValueError):
+            TopologyParameters(tier2_peering_probability=1.5)
+
+
+class TestGeneratedStructure:
+    @pytest.fixture(scope="class")
+    def topology(self):
+        return generate_topology(
+            num_tier1=5, num_tier2=15, num_tier3=40, num_stubs=120, seed=3
+        )
+
+    def test_all_ases_present(self, topology):
+        assert len(topology.graph) == 5 + 15 + 40 + 120
+
+    def test_topology_validates(self, topology):
+        topology.graph.validate()
+
+    def test_tier1_forms_peering_clique(self, topology):
+        tier1 = topology.ases_in_tier(1)
+        for index, left in enumerate(tier1):
+            for right in tier1[index + 1 :]:
+                assert right in topology.graph.peers(left)
+
+    def test_tier1_has_no_providers(self, topology):
+        for asn in topology.ases_in_tier(1):
+            assert topology.graph.providers(asn) == frozenset()
+
+    def test_every_non_tier1_as_has_a_provider(self, topology):
+        for tier in (2, 3, 4):
+            for asn in topology.ases_in_tier(tier):
+                assert topology.graph.providers(asn), f"AS {asn} in tier {tier} has no provider"
+
+    def test_stubs_have_no_customers(self, topology):
+        for asn in topology.ases_in_tier(4):
+            assert topology.graph.is_stub(asn)
+
+    def test_tiers_cover_all_ases(self, topology):
+        covered = set()
+        for tier in (1, 2, 3, 4):
+            covered.update(topology.ases_in_tier(tier))
+        assert covered == set(topology.graph.ases)
+
+    def test_degree_distribution_is_heavy_tailed(self, topology):
+        degrees = sorted(
+            (topology.graph.degree(asn) for asn in topology.graph), reverse=True
+        )
+        # The busiest AS should sit far above the median (IXP peering lifts
+        # the median, so the factor is modest), and preferential attachment
+        # should concentrate customers on a few large providers.
+        assert degrees[0] >= 2 * float(np.median(degrees))
+        customer_counts = [
+            len(topology.graph.customers(asn)) for asn in topology.graph
+        ]
+        assert max(customer_counts) >= 5 * float(np.mean(customer_counts))
+
+    def test_peering_links_exist_below_tier1(self, topology):
+        tier2 = set(topology.ases_in_tier(2))
+        has_tier2_peering = any(
+            topology.graph.peers(asn) & tier2 for asn in tier2
+        )
+        assert has_tier2_peering
+
+
+class TestDeterminism:
+    def test_same_seed_gives_same_topology(self):
+        a = generate_topology(num_tier2=10, num_tier3=20, num_stubs=40, seed=11)
+        b = generate_topology(num_tier2=10, num_tier3=20, num_stubs=40, seed=11)
+        assert set(a.graph.links) == set(b.graph.links)
+
+    def test_different_seed_gives_different_topology(self):
+        a = generate_topology(num_tier2=10, num_tier3=20, num_stubs=40, seed=11)
+        b = generate_topology(num_tier2=10, num_tier3=20, num_stubs=40, seed=12)
+        assert set(a.graph.links) != set(b.graph.links)
+
+    def test_generator_class_and_wrapper_agree(self):
+        params = TopologyParameters(
+            num_tier1=4, num_tier2=8, num_tier3=16, num_stubs=30, seed=5
+        )
+        from_class = InternetTopologyGenerator(params).generate()
+        from_wrapper = generate_topology(
+            num_tier1=4, num_tier2=8, num_tier3=16, num_stubs=30, seed=5
+        )
+        assert set(from_class.graph.links) == set(from_wrapper.graph.links)

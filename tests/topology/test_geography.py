@@ -1,0 +1,154 @@
+"""Unit tests for the geographic embedding and geodistance computation."""
+
+import math
+
+import pytest
+
+from repro.topology.geography import (
+    GeographicEmbedding,
+    GeoPoint,
+    SyntheticGeographyGenerator,
+    centroid,
+    haversine_km,
+)
+from repro.topology.graph import ASGraph
+
+
+class TestGeoPoint:
+    def test_valid_point(self):
+        point = GeoPoint(45.0, 90.0)
+        assert point.latitude == 45.0
+
+    def test_invalid_latitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0)
+
+    def test_invalid_longitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 181.0)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        point = GeoPoint(47.37, 8.55)
+        assert haversine_km(point, point) == pytest.approx(0.0)
+
+    def test_known_distance_zurich_new_york(self):
+        zurich = GeoPoint(47.37, 8.55)
+        new_york = GeoPoint(40.71, -74.0)
+        assert haversine_km(zurich, new_york) == pytest.approx(6_320, rel=0.02)
+
+    def test_symmetry(self):
+        a = GeoPoint(10.0, 20.0)
+        b = GeoPoint(-30.0, 80.0)
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+    def test_quarter_circumference(self):
+        equator = GeoPoint(0.0, 0.0)
+        pole = GeoPoint(90.0, 0.0)
+        assert haversine_km(equator, pole) == pytest.approx(math.pi * 6371.0 / 2.0, rel=1e-6)
+
+
+class TestCentroid:
+    def test_single_point(self):
+        point = GeoPoint(10.0, 20.0)
+        assert centroid([point]) == point
+
+    def test_average_of_two_points(self):
+        result = centroid([GeoPoint(0.0, 0.0), GeoPoint(10.0, 20.0)])
+        assert result.latitude == pytest.approx(5.0)
+        assert result.longitude == pytest.approx(10.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+
+class TestEmbedding:
+    @pytest.fixture()
+    def line_graph(self):
+        graph = ASGraph()
+        graph.add_provider_customer(1, 2)
+        graph.add_provider_customer(2, 3)
+        return graph
+
+    @pytest.fixture()
+    def embedding(self, line_graph):
+        embedding = GeographicEmbedding()
+        embedding.as_locations[1] = GeoPoint(0.0, 0.0)
+        embedding.as_locations[2] = GeoPoint(0.0, 10.0)
+        embedding.as_locations[3] = GeoPoint(0.0, 20.0)
+        embedding.link_locations[frozenset((1, 2))] = (GeoPoint(0.0, 5.0),)
+        embedding.link_locations[frozenset((2, 3))] = (GeoPoint(0.0, 15.0),)
+        return embedding
+
+    def test_location_lookup(self, embedding):
+        assert embedding.location_of(2).longitude == 10.0
+
+    def test_missing_location_raises(self, embedding):
+        with pytest.raises(KeyError):
+            embedding.location_of(42)
+
+    def test_interconnection_point_fallback_is_midpoint(self, embedding):
+        del embedding.link_locations[frozenset((1, 2))]
+        (fallback,) = embedding.interconnection_points(1, 2)
+        assert fallback.longitude == pytest.approx(5.0)
+
+    def test_path_geodistance_single_link(self, embedding):
+        # source -> IXP -> destination along the equator: 5° + 5° of longitude.
+        distance = embedding.path_geodistance((1, 2))
+        expected = haversine_km(GeoPoint(0, 0), GeoPoint(0, 5)) + haversine_km(
+            GeoPoint(0, 5), GeoPoint(0, 10)
+        )
+        assert distance == pytest.approx(expected)
+
+    def test_path_geodistance_length3(self, embedding):
+        distance = embedding.path_geodistance((1, 2, 3))
+        expected = (
+            haversine_km(GeoPoint(0, 0), GeoPoint(0, 5))
+            + haversine_km(GeoPoint(0, 5), GeoPoint(0, 15))
+            + haversine_km(GeoPoint(0, 15), GeoPoint(0, 20))
+        )
+        assert distance == pytest.approx(expected)
+
+    def test_path_geodistance_picks_best_interconnection_point(self, embedding):
+        # Add a second, much worse interconnection point; the minimum must win.
+        embedding.link_locations[frozenset((1, 2))] = (
+            GeoPoint(0.0, 5.0),
+            GeoPoint(60.0, 120.0),
+        )
+        best = embedding.path_geodistance((1, 2, 3))
+        only_good = (
+            haversine_km(GeoPoint(0, 0), GeoPoint(0, 5))
+            + haversine_km(GeoPoint(0, 5), GeoPoint(0, 15))
+            + haversine_km(GeoPoint(0, 15), GeoPoint(0, 20))
+        )
+        assert best == pytest.approx(only_good)
+
+    def test_trivial_path_has_zero_distance(self, embedding):
+        assert embedding.path_geodistance((1,)) == 0.0
+
+
+class TestSyntheticGenerator:
+    def test_embeds_every_as_and_link(self, ):
+        graph = ASGraph()
+        graph.add_provider_customer(1, 2)
+        graph.add_peering(2, 3)
+        graph.add_provider_customer(1, 3)
+        embedding = SyntheticGeographyGenerator(seed=1).embed(graph)
+        assert set(embedding.as_locations) == {1, 2, 3}
+        assert len(embedding.link_locations) == 3
+        for points in embedding.link_locations.values():
+            assert 1 <= len(points) <= 3
+
+    def test_deterministic_for_fixed_seed(self):
+        graph = ASGraph()
+        graph.add_provider_customer(1, 2)
+        a = SyntheticGeographyGenerator(seed=9).embed(graph)
+        b = SyntheticGeographyGenerator(seed=9).embed(graph)
+        assert a.as_locations[1] == b.as_locations[1]
+        assert a.link_locations == b.link_locations
+
+    def test_requires_at_least_one_hub(self):
+        with pytest.raises(ValueError):
+            SyntheticGeographyGenerator(region_hubs=())

@@ -1,0 +1,94 @@
+"""Unit tests for link relationships and roles."""
+
+import pytest
+
+from repro.topology.relationships import Link, Relationship, Role
+
+
+class TestRelationship:
+    def test_from_caida_provider_customer(self):
+        assert Relationship.from_caida(-1) is Relationship.PROVIDER_TO_CUSTOMER
+
+    def test_from_caida_peering(self):
+        assert Relationship.from_caida(0) is Relationship.PEER_TO_PEER
+
+    def test_from_caida_unknown_code(self):
+        with pytest.raises(ValueError):
+            Relationship.from_caida(2)
+
+    def test_to_caida_roundtrip(self):
+        for relationship in Relationship:
+            assert Relationship.from_caida(relationship.to_caida()) is relationship
+
+
+class TestRole:
+    def test_provider_opposite_is_customer(self):
+        assert Role.PROVIDER.opposite is Role.CUSTOMER
+
+    def test_customer_opposite_is_provider(self):
+        assert Role.CUSTOMER.opposite is Role.PROVIDER
+
+    def test_peer_opposite_is_peer(self):
+        assert Role.PEER.opposite is Role.PEER
+
+
+class TestLink:
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Link(1, 1, Relationship.PEER_TO_PEER)
+
+    def test_peering_link_is_normalized(self):
+        link = Link(5, 2, Relationship.PEER_TO_PEER)
+        assert link.first == 2
+        assert link.second == 5
+
+    def test_peering_links_compare_equal_regardless_of_direction(self):
+        assert Link(5, 2, Relationship.PEER_TO_PEER) == Link(2, 5, Relationship.PEER_TO_PEER)
+
+    def test_provider_customer_not_normalized(self):
+        link = Link(5, 2, Relationship.PROVIDER_TO_CUSTOMER)
+        assert link.provider == 5
+        assert link.customer == 2
+
+    def test_provider_accessor_on_peering_raises(self):
+        link = Link(1, 2, Relationship.PEER_TO_PEER)
+        with pytest.raises(ValueError):
+            _ = link.provider
+
+    def test_customer_accessor_on_peering_raises(self):
+        link = Link(1, 2, Relationship.PEER_TO_PEER)
+        with pytest.raises(ValueError):
+            _ = link.customer
+
+    def test_endpoints(self):
+        link = Link(3, 7, Relationship.PROVIDER_TO_CUSTOMER)
+        assert link.endpoints == frozenset({3, 7})
+
+    def test_other(self):
+        link = Link(3, 7, Relationship.PROVIDER_TO_CUSTOMER)
+        assert link.other(3) == 7
+        assert link.other(7) == 3
+
+    def test_other_with_non_endpoint_raises(self):
+        link = Link(3, 7, Relationship.PROVIDER_TO_CUSTOMER)
+        with pytest.raises(ValueError):
+            link.other(1)
+
+    def test_role_of_provider_customer(self):
+        link = Link(3, 7, Relationship.PROVIDER_TO_CUSTOMER)
+        assert link.role_of(3) is Role.PROVIDER
+        assert link.role_of(7) is Role.CUSTOMER
+
+    def test_role_of_peering(self):
+        link = Link(3, 7, Relationship.PEER_TO_PEER)
+        assert link.role_of(3) is Role.PEER
+        assert link.role_of(7) is Role.PEER
+
+    def test_role_of_non_endpoint_raises(self):
+        link = Link(3, 7, Relationship.PEER_TO_PEER)
+        with pytest.raises(ValueError):
+            link.role_of(5)
+
+    def test_str_representations(self):
+        assert "p2c" in str(Link(1, 2, Relationship.PROVIDER_TO_CUSTOMER))
+        assert "p2p" in str(Link(1, 2, Relationship.PEER_TO_PEER))
