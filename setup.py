@@ -5,7 +5,8 @@ editable installs (which build an editable wheel) are unavailable.  With
 this ``setup.py`` present and no ``[build-system]`` table in
 ``pyproject.toml``, ``pip install -e .`` falls back to the legacy
 ``setup.py develop`` code path, which works offline.  All project
-metadata lives in ``pyproject.toml``.
+metadata (PEP 621, including the ``repro`` console script) lives in
+``pyproject.toml``.
 """
 
 from setuptools import setup

@@ -16,18 +16,25 @@ Three subcommands cover the workflows a downstream user needs:
     paper-vs-measured report — the same output as
     ``python -m repro.experiments.runner``.
 
+``repro simulate``
+    Run a canned discrete-event simulation scenario (failure churn,
+    agreement marketplace, flash crowd) and print its metrics summary;
+    optionally write the full JSONL metrics trace to a file.
+
 Invoke as ``python -m repro.cli <subcommand> …``.
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from collections.abc import Sequence
 
 from repro.agreements import enumerate_mutuality_agreements
 from repro.experiments.runner import RunnerConfig, run_all
 from repro.paths import analyze_path_diversity
+from repro.simulation import SCENARIOS, run_scenario
 from repro.topology import generate_topology, load_as_rel, save_as_rel
 
 
@@ -70,6 +77,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--full",
         action="store_true",
         help="use the paper's trial counts and sample sizes (slower)",
+    )
+    experiments.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed every experiment for an end-to-end reproducible run "
+        "(defaults to each experiment's own seed)",
+    )
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run a discrete-event simulation scenario"
+    )
+    simulate.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS),
+        default="failure-churn",
+        help="canned scenario to run (default: failure-churn)",
+    )
+    simulate.add_argument(
+        "--seed", type=int, default=None, help="simulation seed (default: scenario's)"
+    )
+    simulate.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="virtual-time horizon in hours (default: scenario's)",
+    )
+    simulate.add_argument(
+        "--trace-out",
+        help="write the full JSONL metrics trace to this file",
     )
 
     return parser
@@ -117,7 +154,49 @@ def _run_diversity(args: argparse.Namespace) -> int:
 
 
 def _run_experiments(args: argparse.Namespace) -> int:
-    print(run_all(RunnerConfig(full=args.full)))
+    if not _check_seed(args, "experiments"):
+        return 2
+    print(run_all(RunnerConfig(full=args.full, seed=args.seed)))
+    return 0
+
+
+def _check_seed(args: argparse.Namespace, command: str) -> bool:
+    """Seeds feed ``np.random.default_rng``, which rejects negatives."""
+    if args.seed is not None and args.seed < 0:
+        print(
+            f"repro {command}: error: --seed must be non-negative, got {args.seed}",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    if args.duration is not None and not (
+        math.isfinite(args.duration) and args.duration >= 0.0
+    ):
+        print(
+            f"repro simulate: error: --duration must be a non-negative finite "
+            f"number of hours, got {args.duration:g}",
+            file=sys.stderr,
+        )
+        return 2
+    if not _check_seed(args, "simulate"):
+        return 2
+    result = run_scenario(args.scenario, seed=args.seed, duration=args.duration)
+    print(result.summary())
+    if args.trace_out:
+        try:
+            with open(args.trace_out, "w", encoding="utf-8") as handle:
+                handle.write(result.trace_text())
+        except OSError as error:
+            print(
+                f"repro simulate: error: cannot write trace to "
+                f"{args.trace_out}: {error.strerror}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"trace written to {args.trace_out} ({len(result.trace)} records)")
     return 0
 
 
@@ -131,6 +210,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_diversity(args)
     if args.command == "experiments":
         return _run_experiments(args)
+    if args.command == "simulate":
+        return _run_simulate(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

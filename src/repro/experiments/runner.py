@@ -9,7 +9,7 @@ content that EXPERIMENTS.md records.
 from __future__ import annotations
 
 import argparse
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.experiments.fig2_pod import Fig2Config, run_fig2
 from repro.experiments.fig3_paths import PathDiversityConfig, run_fig3
@@ -23,28 +23,45 @@ from repro.topology.fixtures import bad_gadget_topology, disagree_topology
 
 @dataclass(frozen=True)
 class RunnerConfig:
-    """Sizes of the combined experiment run."""
+    """Sizes of the combined experiment run.
+
+    ``seed`` overrides the per-experiment default seeds so a full run is
+    reproducible end-to-end from a single number (``repro experiments
+    --seed N``); ``None`` keeps each experiment's own default.
+    """
 
     full: bool = False
+    seed: int | None = None
 
     def fig2(self) -> Fig2Config:
         """Fig. 2 configuration (200 trials at full scale, as in the paper)."""
         if self.full:
-            return Fig2Config(trials=200)
-        return Fig2Config(choice_counts=(10, 20, 30, 40, 50), trials=25)
+            config = Fig2Config(trials=200)
+        else:
+            config = Fig2Config(choice_counts=(10, 20, 30, 40, 50), trials=25)
+        if self.seed is not None:
+            config = replace(config, seed=self.seed)
+        return config
 
     def diversity(self) -> PathDiversityConfig:
         """Shared Fig. 3/4 configuration."""
         if self.full:
-            return PathDiversityConfig(sample_size=500)
-        return PathDiversityConfig(
-            num_tier2=40, num_tier3=120, num_stubs=400, sample_size=150
-        )
+            config = PathDiversityConfig(sample_size=500)
+        else:
+            config = PathDiversityConfig(
+                num_tier2=40, num_tier3=120, num_stubs=400, sample_size=150
+            )
+        if self.seed is not None:
+            config = replace(config, seed=self.seed)
+        return config
 
     def fig5(self) -> Fig5Config:
         """Fig. 5 configuration."""
         base = self.diversity()
-        return Fig5Config(diversity=base, pair_sample_size=80 if self.full else 40)
+        config = Fig5Config(diversity=base, pair_sample_size=80 if self.full else 40)
+        if self.seed is not None:
+            config = replace(config, geography_seed=self.seed)
+        return config
 
     def fig6(self) -> Fig6Config:
         """Fig. 6 configuration."""
@@ -128,8 +145,14 @@ def main() -> None:
         action="store_true",
         help="run paper-scale trial counts and sample sizes (slower)",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed every experiment for an end-to-end reproducible run",
+    )
     arguments = parser.parse_args()
-    print(run_all(RunnerConfig(full=arguments.full)))
+    print(run_all(RunnerConfig(full=arguments.full, seed=arguments.seed)))
 
 
 if __name__ == "__main__":

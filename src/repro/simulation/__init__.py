@@ -1,0 +1,82 @@
+"""Discrete-event simulation of dynamic networks and agreement lifecycles.
+
+The engine gives the library's one-shot layers a time axis: an event
+queue over a virtual clock (:mod:`~repro.simulation.events`,
+:mod:`~repro.simulation.engine`), a dynamic topology with failing and
+recovering links (:mod:`~repro.simulation.network`,
+:mod:`~repro.simulation.failures`), periodic SCION-style beaconing and
+BGP reconvergence (:mod:`~repro.simulation.routing`), time-varying
+traffic demand (:mod:`~repro.simulation.traffic`), agreement lifecycles
+from negotiation to billing (:mod:`~repro.simulation.lifecycle`), and a
+deterministic metrics trace (:mod:`~repro.simulation.metrics`).  Canned
+scenarios live in :mod:`~repro.simulation.scenarios` and behind the
+``repro simulate`` CLI subcommand.
+"""
+
+from repro.simulation.engine import Process, SimulationEngine
+from repro.simulation.events import (
+    Event,
+    EventQueue,
+    SimulationClock,
+    SimulationError,
+)
+from repro.simulation.failures import (
+    LINK_DOWN,
+    LINK_UP,
+    DeterministicFailureSchedule,
+    FailureInjector,
+    LinkEvent,
+    StochasticFailureModel,
+)
+from repro.simulation.lifecycle import ActiveAgreement, AgreementLifecycleManager
+from repro.simulation.metrics import MetricsTrace, TraceRecord
+from repro.simulation.network import DynamicNetwork
+from repro.simulation.routing import (
+    AvailabilityMonitor,
+    BGPRoutingService,
+    PANRoutingService,
+    RoutingService,
+)
+from repro.simulation.scenarios import (
+    SCENARIOS,
+    AgreementMarketplaceScenario,
+    FailureChurnScenario,
+    FlashCrowdScenario,
+    ScenarioResult,
+    SimulationScenario,
+    run_scenario,
+)
+from repro.simulation.traffic import FlashCrowd, TimeVaryingDemand
+
+__all__ = [
+    "SimulationError",
+    "Event",
+    "EventQueue",
+    "SimulationClock",
+    "Process",
+    "SimulationEngine",
+    "MetricsTrace",
+    "TraceRecord",
+    "DynamicNetwork",
+    "LINK_DOWN",
+    "LINK_UP",
+    "LinkEvent",
+    "DeterministicFailureSchedule",
+    "StochasticFailureModel",
+    "FailureInjector",
+    "RoutingService",
+    "BGPRoutingService",
+    "PANRoutingService",
+    "AvailabilityMonitor",
+    "TimeVaryingDemand",
+    "FlashCrowd",
+    "ActiveAgreement",
+    "AgreementLifecycleManager",
+    "SimulationScenario",
+    "ScenarioResult",
+    "FailureChurnScenario",
+    "AgreementMarketplaceScenario",
+    "FlashCrowdScenario",
+    "SCENARIOS",
+    "run_scenario",
+]

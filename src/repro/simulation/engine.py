@@ -1,0 +1,148 @@
+"""The discrete-event simulation engine.
+
+The engine owns the event queue, the virtual clock, the metrics trace,
+and a single seeded random generator.  Processes (beaconing, failure
+injection, traffic, agreement lifecycles, …) register with the engine,
+schedule their events, and record observations into the shared trace.
+
+Virtual time is unitless by convention; the canned scenarios interpret
+it as hours, which makes the diurnal traffic model line up naturally.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.simulation.events import Event, EventQueue, SimulationClock, SimulationError
+from repro.simulation.metrics import MetricsTrace
+
+
+class Process(abc.ABC):
+    """A simulation process: registers its events when the run starts."""
+
+    name: str = "process"
+
+    @abc.abstractmethod
+    def start(self, engine: "SimulationEngine") -> None:
+        """Schedule the process's initial events on the engine."""
+
+
+class SimulationEngine:
+    """Event loop over a virtual clock with a shared metrics trace."""
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self.clock = SimulationClock()
+        self.queue = EventQueue()
+        self.trace = MetricsTrace()
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.events_processed = 0
+        self._processes: list[Process] = []
+        self._started = False
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.clock.now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule an event ``delay`` time units from now."""
+        if delay < 0.0:
+            raise SimulationError(f"cannot schedule into the past (delay {delay})")
+        return self.queue.push(self.now + delay, action, priority=priority, name=name)
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule an event at an absolute virtual time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}, the clock is already at {self.now}"
+            )
+        return self.queue.push(time, action, priority=priority, name=name)
+
+    def schedule_every(
+        self,
+        interval: float,
+        action: Callable[[], None],
+        *,
+        start: float | None = None,
+        priority: int = 0,
+        name: str = "",
+    ) -> None:
+        """Schedule a periodic event; the first firing is at ``start``.
+
+        The period keeps rescheduling itself after every firing, so it
+        runs until the simulation horizon cuts it off.
+        """
+        if interval <= 0.0:
+            raise SimulationError(f"periodic interval must be positive, got {interval}")
+
+        def fire() -> None:
+            action()
+            self.schedule(interval, fire, priority=priority, name=name)
+
+        first = self.now if start is None else start
+        self.schedule_at(first, fire, priority=priority, name=name)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        self.queue.cancel(event)
+
+    # ------------------------------------------------------------------
+    # Processes and the run loop
+    # ------------------------------------------------------------------
+    def add_process(self, process: Process) -> None:
+        """Register a process; started processes schedule immediately."""
+        self._processes.append(process)
+        if self._started:
+            process.start(self)
+
+    def stop(self) -> None:
+        """Stop the run after the current event."""
+        self._stopped = True
+
+    def run(self, until: float) -> MetricsTrace:
+        """Run events in order until the horizon; returns the trace.
+
+        Events scheduled exactly at the horizon still fire (so a final
+        sampling pass at ``until`` is included in the trace).
+        """
+        if until < self.now:
+            raise SimulationError(f"horizon {until} lies before current time {self.now}")
+        if not self._started:
+            self._started = True
+            for process in self._processes:
+                process.start(self)
+        self._stopped = False
+        while self.queue:
+            next_time = self.queue.peek_time()
+            if next_time is None or next_time > until:
+                break
+            event = self.queue.pop()
+            self.clock.advance_to(event.time)
+            event.action()
+            self.events_processed += 1
+            if self._stopped:
+                break
+        self.clock.advance_to(until)
+        return self.trace

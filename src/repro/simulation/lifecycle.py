@@ -1,0 +1,322 @@
+"""Agreement lifecycles: negotiate → activate → meter → bill → renegotiate.
+
+The static layers already know how to *evaluate* an agreement (utility
+of an :class:`~repro.agreements.scenario.AgreementScenario`), how to
+*negotiate* one (the BOSCO mechanism of §V), and how to *bill* traffic
+(pricing functions and billing rules of §III-A).  This process strings
+those one-shot computations into a lifecycle over virtual time:
+
+1. **Negotiate** — build the maximal mutuality-based agreement for a
+   peering pair, evaluate both parties' utilities from their demand
+   levels via Eq. 7, normalize into the BOSCO utility scale, and run the
+   published equilibrium strategies.  A negative apparent surplus means
+   no deal; the pair retries later (demand may have shifted).
+2. **Activate** — authorize the agreement's segments on the PAN and
+   start metering.
+3. **Meter** — sample both directions of segment traffic from
+   time-varying demand models at every metering interval.
+4. **Bill** — at expiry, reduce each direction's samples to the billed
+   volume under the configured billing rule and settle revenue with the
+   per-usage price; the negotiated cash compensation is applied on top.
+5. **Renegotiate** — the lifecycle restarts with fresh demand-dependent
+   utilities, so marketplace runs show agreements coming and going.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agreements.agreement import Agreement
+from repro.agreements.mutuality import mutuality_agreement
+from repro.agreements.scenario import AgreementScenario, SegmentTraffic
+from repro.agreements.utility import joint_utilities
+from repro.bargaining.distributions import (
+    JointUtilityDistribution,
+    paper_distribution_u1,
+)
+from repro.bargaining.mechanism import BoscoService, MechanismInformation
+from repro.economics.business import ASBusiness, default_business_models
+from repro.economics.pricing import PerUsagePricing
+from repro.economics.timeseries import BillingRule, billed_volume
+from repro.economics.traffic import ENDHOSTS, FlowVector
+from repro.simulation.engine import Process, SimulationEngine
+from repro.simulation.network import DynamicNetwork
+from repro.simulation.traffic import FlashCrowd, TimeVaryingDemand
+
+
+@dataclass
+class ActiveAgreement:
+    """Book-keeping of one activated agreement term."""
+
+    agreement: Agreement
+    activated_at: float
+    expires_at: float
+    transfer_x_to_y: float
+    #: metered per-direction traffic samples (party -> samples it sent)
+    samples: dict[int, list[float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for party in self.agreement.parties:
+            self.samples.setdefault(party, [])
+
+
+@dataclass
+class AgreementLifecycleManager(Process):
+    """Drives the lifecycle of mutuality agreements over peering pairs."""
+
+    network: DynamicNetwork
+    pairs: tuple[tuple[int, int], ...]
+    term_duration: float = 24.0 * 30.0
+    metering_interval: float = 1.0
+    retry_delay: float = 24.0
+    billing_rule: BillingRule = BillingRule.NINETY_FIFTH_PERCENTILE
+    unit_price: float = 1.0
+    mean_demand: float = 10.0
+    num_choices: int = 10
+    configuration_trials: int = 5
+    seed: int = 0
+    distribution: JointUtilityDistribution = field(default_factory=paper_distribution_u1)
+    flash_crowds: tuple[FlashCrowd, ...] = ()
+    name: str = "agreement-lifecycle"
+
+    _engine: SimulationEngine | None = field(default=None, init=False)
+    _mechanism: MechanismInformation | None = field(default=None, init=False)
+    _businesses: dict[int, ASBusiness] = field(default_factory=dict, init=False)
+    _demands: dict[tuple[int, int], TimeVaryingDemand] = field(
+        default_factory=dict, init=False
+    )
+    _active: dict[tuple[int, int], ActiveAgreement] = field(
+        default_factory=dict, init=False
+    )
+    negotiations: int = field(default=0, init=False)
+    concluded: int = field(default=0, init=False)
+    billed_terms: int = field(default=0, init=False)
+
+    # ------------------------------------------------------------------
+    # Process start
+    # ------------------------------------------------------------------
+    def start(self, engine: SimulationEngine) -> None:
+        self._engine = engine
+        self.pairs = tuple(sorted((min(a, b), max(a, b)) for a, b in self.pairs))
+        self._businesses = default_business_models(self.network.base_graph)
+        # One BOSCO configuration is published for the whole marketplace;
+        # every negotiation applies its equilibrium strategies (§V-B).
+        service = BoscoService(self.distribution, seed=self.seed)
+        self._mechanism = service.configure(
+            self.num_choices, trials=self.configuration_trials
+        )
+        engine.trace.record(
+            engine.now,
+            "bosco_configured",
+            price_of_dishonesty=self._mechanism.price_of_dishonesty,
+            num_choices=self.num_choices,
+        )
+        for index, pair in enumerate(self.pairs):
+            for party in pair:
+                direction = (party, pair[0] if party == pair[1] else pair[1])
+                self._demands[direction] = TimeVaryingDemand(
+                    mean_volume=self.mean_demand,
+                    seed=(self.seed, *direction),
+                    flash_crowds=self.flash_crowds,
+                )
+            # Stagger the opening negotiations so the marketplace does not
+            # fire everything in one mega-event.
+            engine.schedule(
+                float(index) * self.metering_interval,
+                self._negotiator(pair),
+                name=f"{self.name}:negotiate",
+            )
+
+    # ------------------------------------------------------------------
+    # 1. Negotiation
+    # ------------------------------------------------------------------
+    def _negotiator(self, pair: tuple[int, int]):
+        def negotiate() -> None:
+            engine = self._engine
+            assert engine is not None and self._mechanism is not None
+            self.negotiations += 1
+            left, right = pair
+            graph = self.network.base_graph
+            agreement = None
+            if self.network.is_link_up(left, right):
+                agreement = mutuality_agreement(graph, left, right)
+            if agreement is None:
+                engine.trace.record(
+                    engine.now, "negotiation_skipped", pair=[left, right]
+                )
+                engine.schedule(self.retry_delay, negotiate, name=f"{self.name}:retry")
+                return
+            utilities = joint_utilities(
+                self._scenario(agreement), self._businesses
+            )
+            u_left, u_right = utilities[left], utilities[right]
+            # BOSCO strategies are defined over the published utility
+            # distribution; economic utilities are normalized into its
+            # support so the equilibrium thresholds apply.
+            scale = max(abs(u_left), abs(u_right), 1e-9)
+            outcome = BoscoService.negotiate(
+                self._mechanism, u_left / scale, u_right / scale
+            )
+            engine.trace.record(
+                engine.now,
+                "negotiation",
+                pair=[left, right],
+                utility_x=u_left,
+                utility_y=u_right,
+                concluded=outcome.concluded,
+                transfer_x_to_y=outcome.transfer_x_to_y * scale,
+            )
+            if outcome.concluded:
+                self._activate(agreement, outcome.transfer_x_to_y * scale)
+            else:
+                engine.schedule(self.retry_delay, negotiate, name=f"{self.name}:retry")
+
+        return negotiate
+
+    def _scenario(self, agreement: Agreement) -> AgreementScenario:
+        """Expected-traffic scenario from current mean demand (Eq. 7).
+
+        Each party reroutes provider traffic onto the agreement link and
+        attracts fresh end-host demand; the baseline carries enough
+        provider volume to make the rerouting claim consistent.
+        """
+        segments: list[SegmentTraffic] = []
+        baseline: dict[int, FlowVector] = {}
+        graph = self.network.base_graph
+        for party in agreement.parties:
+            party_segments = agreement.segments_for(party)[:3]
+            providers = sorted(graph.providers(party))
+            rerouted_per_segment = self.mean_demand / max(len(party_segments), 1)
+            flows = FlowVector({ENDHOSTS: self.mean_demand * 2.0})
+            if providers:
+                flows.set(providers[0], self.mean_demand * 2.0)
+            baseline[party] = flows
+            for segment in party_segments:
+                rerouted = (
+                    {providers[0]: rerouted_per_segment} if providers else {}
+                )
+                segments.append(
+                    SegmentTraffic(
+                        segment=segment,
+                        rerouted=rerouted,
+                        attracted={ENDHOSTS: rerouted_per_segment * 0.5},
+                    )
+                )
+        return AgreementScenario(
+            agreement=agreement, segments=segments, baseline=baseline
+        )
+
+    # ------------------------------------------------------------------
+    # 2.–3. Activation and metering
+    # ------------------------------------------------------------------
+    def _activate(self, agreement: Agreement, transfer_x_to_y: float) -> None:
+        engine = self._engine
+        assert engine is not None
+        pair = (min(agreement.parties), max(agreement.parties))
+        active = ActiveAgreement(
+            agreement=agreement,
+            activated_at=engine.now,
+            expires_at=engine.now + self.term_duration,
+            transfer_x_to_y=transfer_x_to_y,
+        )
+        self._active[pair] = active
+        self.concluded += 1
+        engine.trace.record(
+            engine.now,
+            "agreement_activated",
+            pair=list(pair),
+            expires_at=active.expires_at,
+            segments=len(agreement.all_segments()),
+        )
+        if engine.now + self.metering_interval <= active.expires_at:
+            engine.schedule(
+                self.metering_interval,
+                self._meter(active),
+                name=f"{self.name}:meter",
+            )
+        # Priority 5: the final metering sample at the expiry instant is
+        # taken before the term is billed.
+        engine.schedule_at(
+            active.expires_at,
+            self._expire(pair, active),
+            priority=5,
+            name=f"{self.name}:expire",
+        )
+
+    def _meter(self, active: ActiveAgreement):
+        def meter() -> None:
+            engine = self._engine
+            assert engine is not None
+            x, y = active.agreement.parties
+            for sender, receiver in ((x, y), (y, x)):
+                demand = self._demands[(sender, receiver)]
+                # Metering pauses while the agreement link is down — no
+                # traffic crosses a failed peering link.
+                volume = (
+                    demand.sample(engine.now)
+                    if self.network.is_link_up(x, y)
+                    else 0.0
+                )
+                active.samples[sender].append(volume)
+            # The chain reschedules itself only while the term lasts, so
+            # expired agreements leave no periodic events behind.
+            if engine.now + self.metering_interval <= active.expires_at:
+                engine.schedule(
+                    self.metering_interval, meter, name=f"{self.name}:meter"
+                )
+
+        return meter
+
+    # ------------------------------------------------------------------
+    # 4.–5. Billing, expiry, renegotiation
+    # ------------------------------------------------------------------
+    def _expire(self, pair: tuple[int, int], active: ActiveAgreement):
+        def expire() -> None:
+            engine = self._engine
+            assert engine is not None
+            pricing = PerUsagePricing(self.unit_price)
+            x, y = active.agreement.parties
+            billed = {
+                party: billed_volume(active.samples[party], self.billing_rule)
+                for party in (x, y)
+            }
+            # Each party bills the counterparty for the traffic it carried
+            # on the counterparty's behalf; the negotiated cash
+            # compensation settles the remaining asymmetry.
+            revenue_x = pricing(billed[y]) - active.transfer_x_to_y
+            revenue_y = pricing(billed[x]) + active.transfer_x_to_y
+            utility_x = revenue_x - pricing(billed[x])
+            utility_y = revenue_y - pricing(billed[y])
+            self.billed_terms += 1
+            engine.trace.record(
+                engine.now,
+                "billing",
+                pair=list(pair),
+                rule=self.billing_rule.value,
+                billed_volume_x=billed[x],
+                billed_volume_y=billed[y],
+                samples=len(active.samples[x]),
+                **{
+                    f"revenue_{x}": revenue_x,
+                    f"revenue_{y}": revenue_y,
+                    f"utility_{x}": utility_x,
+                    f"utility_{y}": utility_y,
+                },
+            )
+            engine.trace.record(
+                engine.now, "agreement_expired", pair=list(pair)
+            )
+            self._active.pop(pair, None)
+            # Renegotiate immediately: the marketplace keeps turning.
+            engine.schedule(
+                0.0, self._negotiator(pair), name=f"{self.name}:renegotiate"
+            )
+
+        return expire
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def active_agreements(self) -> tuple[ActiveAgreement, ...]:
+        """Currently active agreements (sorted by pair)."""
+        return tuple(self._active[pair] for pair in sorted(self._active))

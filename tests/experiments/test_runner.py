@@ -36,6 +36,27 @@ class TestRunnerConfig:
         assert config.fig2().trials == 200
         assert config.diversity().sample_size == 500
 
+    def test_seed_overrides_every_experiment(self):
+        config = RunnerConfig(seed=99)
+        assert config.fig2().seed == 99
+        assert config.diversity().seed == 99
+        assert config.fig5().diversity.seed == 99
+        assert config.fig5().geography_seed == 99
+        assert config.fig6().diversity.seed == 99
+
+    def test_no_seed_keeps_the_per_experiment_defaults(self):
+        config = RunnerConfig()
+        assert config.fig2().seed == 7
+        assert config.diversity().seed == 2021
+        assert config.fig5().geography_seed == 11
+
+    def test_seed_composes_with_full(self):
+        config = RunnerConfig(full=True, seed=3)
+        assert config.fig2().trials == 200
+        assert config.fig2().seed == 3
+        assert config.diversity().sample_size == 500
+        assert config.diversity().seed == 3
+
 
 class TestStabilitySection:
     def test_section_mentions_both_gadgets(self):

@@ -1,0 +1,87 @@
+"""Tests for the dynamic-topology wrapper."""
+
+import pytest
+
+from repro.simulation import DynamicNetwork
+from repro.topology import TopologyError, figure1_topology
+from repro.topology.fixtures import AS_A, AS_B, AS_D, AS_E
+
+
+@pytest.fixture()
+def network():
+    return DynamicNetwork(figure1_topology())
+
+
+class TestFailureState:
+    def test_links_start_up(self, network):
+        assert network.is_link_up(AS_D, AS_E)
+        assert network.num_failed_links() == 0
+
+    def test_fail_and_restore(self, network):
+        assert network.fail_link(AS_D, AS_E)
+        assert not network.is_link_up(AS_D, AS_E)
+        assert network.failed_links == ((AS_D, AS_E),)
+        assert network.restore_link(AS_D, AS_E)
+        assert network.is_link_up(AS_D, AS_E)
+        assert network.num_failed_links() == 0
+
+    def test_double_fail_and_double_restore_are_noops(self, network):
+        assert network.fail_link(AS_D, AS_E)
+        assert not network.fail_link(AS_D, AS_E)
+        assert network.restore_link(AS_D, AS_E)
+        assert not network.restore_link(AS_D, AS_E)
+
+    def test_failing_a_missing_link_raises(self, network):
+        with pytest.raises(TopologyError):
+            network.fail_link(AS_A, AS_E)
+
+    def test_unknown_link_is_not_up(self, network):
+        assert not network.is_link_up(AS_A, AS_E)
+
+
+class TestSnapshots:
+    def test_active_graph_drops_failed_links_but_keeps_ases(self, network):
+        base_links = network.base_graph.num_links()
+        network.fail_link(AS_D, AS_E)
+        active = network.active_graph()
+        assert active.num_links() == base_links - 1
+        assert not active.has_link(AS_D, AS_E)
+        assert len(active) == len(network.base_graph)
+
+    def test_active_graph_cache_invalidated_on_change(self, network):
+        first = network.active_graph()
+        assert network.active_graph() is first
+        network.fail_link(AS_D, AS_E)
+        assert network.active_graph() is not first
+
+    def test_path_intactness(self, network):
+        assert network.path_is_intact((AS_B, AS_E, AS_D))
+        network.fail_link(AS_D, AS_E)
+        assert not network.path_is_intact((AS_B, AS_E, AS_D))
+        assert network.path_is_intact((AS_B, AS_E))
+        assert not network.path_is_intact((AS_B,))
+
+
+class TestNotifications:
+    def test_listeners_observe_changes_in_order(self, network):
+        seen = []
+        network.subscribe(lambda time, change, link: seen.append((time, change, link)))
+        network.fail_link(AS_E, AS_D, time=1.5)
+        network.restore_link(AS_E, AS_D, time=2.5)
+        assert seen == [
+            (1.5, "link_down", (AS_D, AS_E)),
+            (2.5, "link_up", (AS_D, AS_E)),
+        ]
+
+    def test_noop_changes_do_not_notify(self, network):
+        seen = []
+        network.fail_link(AS_D, AS_E)
+        network.subscribe(lambda *args: seen.append(args))
+        network.fail_link(AS_D, AS_E)
+        assert seen == []
+
+    def test_version_counts_changes(self, network):
+        assert network.version == 0
+        network.fail_link(AS_D, AS_E)
+        network.restore_link(AS_D, AS_E)
+        assert network.version == 2

@@ -1,0 +1,77 @@
+"""Tests for the event queue and the virtual clock."""
+
+import pytest
+
+from repro.simulation import EventQueue, SimulationClock, SimulationError
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(3.0, lambda: fired.append("c"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(2.0, lambda: fired.append("b"))
+        while queue:
+            queue.pop().action()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_ties_broken_by_priority_then_fifo(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, name="first")
+        queue.push(1.0, lambda: None, name="second")
+        queue.push(1.0, lambda: None, priority=-1, name="urgent")
+        assert [queue.pop().name for _ in range(3)] == ["urgent", "first", "second"]
+
+    def test_tie_break_is_deterministic_across_builds(self):
+        def build() -> list[str]:
+            queue = EventQueue()
+            for index in range(20):
+                queue.push(float(index % 3), lambda: None, name=f"e{index}")
+            return [queue.pop().name for _ in range(20)]
+
+        assert build() == build()
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, lambda: None, name="keep")
+        drop = queue.push(0.5, lambda: None, name="drop")
+        queue.cancel(drop)
+        assert len(queue) == 1
+        assert queue.pop() is keep
+        assert not queue
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        drop = queue.push(0.5, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.cancel(drop)
+        assert queue.peek_time() == 2.0
+
+    def test_pop_from_empty_queue_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, lambda: None)
+
+
+class TestSimulationClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = SimulationClock()
+        assert clock.now == 0.0
+        clock.advance_to(3.5)
+        assert clock.now == 3.5
+
+    def test_advancing_to_the_same_time_is_allowed(self):
+        clock = SimulationClock()
+        clock.advance_to(1.0)
+        clock.advance_to(1.0)
+        assert clock.now == 1.0
+
+    def test_moving_backwards_raises(self):
+        clock = SimulationClock()
+        clock.advance_to(2.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(1.0)

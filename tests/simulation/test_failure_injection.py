@@ -1,0 +1,130 @@
+"""Tests for failure schedules and the failure injector."""
+
+import pytest
+
+from repro.simulation import (
+    LINK_DOWN,
+    LINK_UP,
+    DeterministicFailureSchedule,
+    DynamicNetwork,
+    FailureInjector,
+    LinkEvent,
+    SimulationEngine,
+    SimulationError,
+    StochasticFailureModel,
+)
+from repro.topology import figure1_topology
+from repro.topology.fixtures import AS_C, AS_D, AS_E, AS_F
+
+
+class TestLinkEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(SimulationError):
+            LinkEvent(time=1.0, kind="explode", left=1, right=2)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(SimulationError):
+            LinkEvent(time=-1.0, kind=LINK_DOWN, left=1, right=2)
+
+    def test_link_endpoints_are_sorted(self):
+        event = LinkEvent(time=0.0, kind=LINK_DOWN, left=5, right=3)
+        assert event.link == (3, 5)
+
+
+class TestDeterministicSchedule:
+    def test_events_sorted_and_horizon_filtered(self):
+        schedule = DeterministicFailureSchedule.of(
+            (5.0, LINK_UP, 1, 2),
+            (2.0, LINK_DOWN, 1, 2),
+            (9.0, LINK_DOWN, 3, 4),
+        )
+        events = schedule.link_events(horizon=6.0)
+        assert [(e.time, e.kind) for e in events] == [(2.0, "down"), (5.0, "up")]
+
+
+class TestStochasticModel:
+    def test_same_seed_same_events(self):
+        links = ((1, 2), (3, 4))
+        model_a = StochasticFailureModel(
+            links=links, mean_time_to_failure=10.0, mean_time_to_repair=2.0, seed=5
+        )
+        model_b = StochasticFailureModel(
+            links=links, mean_time_to_failure=10.0, mean_time_to_repair=2.0, seed=5
+        )
+        assert model_a.link_events(100.0) == model_b.link_events(100.0)
+
+    def test_different_seeds_differ(self):
+        links = ((1, 2), (3, 4))
+        model_a = StochasticFailureModel(
+            links=links, mean_time_to_failure=10.0, mean_time_to_repair=2.0, seed=5
+        )
+        model_b = StochasticFailureModel(
+            links=links, mean_time_to_failure=10.0, mean_time_to_repair=2.0, seed=6
+        )
+        assert model_a.link_events(100.0) != model_b.link_events(100.0)
+
+    def test_link_order_does_not_matter(self):
+        model_a = StochasticFailureModel(
+            links=((1, 2), (3, 4)),
+            mean_time_to_failure=10.0,
+            mean_time_to_repair=2.0,
+            seed=5,
+        )
+        model_b = StochasticFailureModel(
+            links=((4, 3), (2, 1)),
+            mean_time_to_failure=10.0,
+            mean_time_to_repair=2.0,
+            seed=5,
+        )
+        assert model_a.link_events(100.0) == model_b.link_events(100.0)
+
+    def test_each_link_alternates_down_up(self):
+        model = StochasticFailureModel(
+            links=((1, 2),), mean_time_to_failure=5.0, mean_time_to_repair=1.0, seed=0
+        )
+        kinds = [event.kind for event in model.link_events(200.0)]
+        assert kinds, "expected some churn over the horizon"
+        expected = [LINK_DOWN if i % 2 == 0 else LINK_UP for i in range(len(kinds))]
+        assert kinds == expected
+
+    def test_invalid_means_rejected(self):
+        with pytest.raises(SimulationError):
+            StochasticFailureModel(
+                links=((1, 2),), mean_time_to_failure=0.0, mean_time_to_repair=1.0
+            )
+
+
+class TestFailureInjector:
+    def test_applies_schedule_at_the_right_times(self):
+        engine = SimulationEngine()
+        network = DynamicNetwork(figure1_topology())
+        schedule = DeterministicFailureSchedule.of(
+            (1.0, LINK_DOWN, AS_D, AS_E),
+            (2.0, LINK_DOWN, AS_C, AS_D),
+            (3.0, LINK_UP, AS_D, AS_E),
+        )
+        injector = FailureInjector(network=network, schedule=schedule, horizon=10.0)
+        engine.add_process(injector)
+
+        engine.run(until=1.5)
+        assert not network.is_link_up(AS_D, AS_E)
+        assert network.is_link_up(AS_C, AS_D)
+
+        engine.run(until=10.0)
+        assert network.is_link_up(AS_D, AS_E)
+        assert not network.is_link_up(AS_C, AS_D)
+        assert injector.applied_events == 3
+        assert len(engine.trace.of_kind("link_event")) == 3
+
+    def test_redundant_events_do_not_trace(self):
+        engine = SimulationEngine()
+        network = DynamicNetwork(figure1_topology())
+        schedule = DeterministicFailureSchedule.of(
+            (1.0, LINK_DOWN, AS_E, AS_F),
+            (2.0, LINK_DOWN, AS_E, AS_F),
+        )
+        engine.add_process(
+            FailureInjector(network=network, schedule=schedule, horizon=10.0)
+        )
+        engine.run(until=10.0)
+        assert len(engine.trace.of_kind("link_event")) == 1

@@ -1,0 +1,97 @@
+"""Tests for the agreement lifecycle process."""
+
+import pytest
+
+from repro.simulation import (
+    AgreementLifecycleManager,
+    DynamicNetwork,
+    SimulationEngine,
+)
+from repro.topology import figure1_topology
+from repro.topology.fixtures import AS_D, AS_E
+
+
+def run_manager(*, seed=0, until=30.0, term=12.0, fail_link=False, **overrides):
+    engine = SimulationEngine(seed=seed)
+    network = DynamicNetwork(figure1_topology())
+    if fail_link:
+        network.fail_link(AS_D, AS_E)
+    manager = AgreementLifecycleManager(
+        network=network,
+        pairs=((AS_D, AS_E),),
+        term_duration=term,
+        metering_interval=1.0,
+        retry_delay=5.0,
+        seed=seed,
+        **overrides,
+    )
+    engine.add_process(manager)
+    trace = engine.run(until=until)
+    return engine, manager, trace
+
+
+class TestLifecycle:
+    def test_full_cycle_negotiate_activate_meter_bill_expire(self):
+        _, manager, trace = run_manager(until=13.0, term=12.0)
+        assert [r.kind for r in trace.records[:2]] == [
+            "bosco_configured",
+            "negotiation",
+        ]
+        assert len(trace.of_kind("agreement_activated")) >= 1
+        billing = trace.of_kind("billing")
+        assert len(billing) == 1
+        # One metering sample per interval over the whole term.
+        assert billing[0].data["samples"] == 12
+        assert billing[0].data["billed_volume_x"] > 0.0
+        assert len(trace.of_kind("agreement_expired")) == 1
+
+    def test_expiry_triggers_renegotiation(self):
+        _, manager, trace = run_manager(until=30.0, term=12.0)
+        negotiations = trace.of_kind("negotiation")
+        assert len(negotiations) >= 2
+        assert manager.billed_terms >= 2
+        # The renegotiated term starts right at the previous expiry.
+        activations = trace.of_kind("agreement_activated")
+        expiries = trace.of_kind("agreement_expired")
+        assert activations[1].time == expiries[0].time
+
+    def test_billing_reports_both_parties(self):
+        _, _, trace = run_manager(until=13.0, term=12.0)
+        record = trace.of_kind("billing")[0]
+        assert f"revenue_{AS_D}" in record.data
+        assert f"revenue_{AS_E}" in record.data
+        assert f"utility_{AS_D}" in record.data
+        assert f"utility_{AS_E}" in record.data
+        revenue = trace.revenue_by_as()
+        assert set(revenue) == {AS_D, AS_E}
+
+    def test_down_peering_link_skips_negotiation(self):
+        _, manager, trace = run_manager(until=4.0, fail_link=True)
+        assert len(trace.of_kind("negotiation_skipped")) == 1
+        assert manager.concluded == 0
+        assert not trace.of_kind("agreement_activated")
+
+    def test_retry_after_skip(self):
+        _, manager, trace = run_manager(until=11.0, fail_link=True)
+        # retry_delay=5.0: skipped at t=0, 5, 10.
+        assert len(trace.of_kind("negotiation_skipped")) == 3
+
+    def test_metering_pauses_while_the_link_is_down(self):
+        engine, manager, trace = run_manager(until=5.0, term=12.0)
+        active = manager.active_agreements()[0]
+        before = sum(active.samples[AS_D])
+        assert before > 0.0
+        manager.network.fail_link(AS_D, AS_E, time=engine.now)
+        engine.run(until=10.0)
+        # All samples taken while the link was down are zero.
+        assert sum(active.samples[AS_D]) == pytest.approx(before)
+
+    def test_same_seed_reproduces_the_trace(self):
+        _, _, trace_a = run_manager(seed=11, until=30.0)
+        _, _, trace_b = run_manager(seed=11, until=30.0)
+        assert trace_a.to_jsonl() == trace_b.to_jsonl()
+
+    def test_different_seed_changes_the_trace(self):
+        _, _, trace_a = run_manager(seed=11, until=30.0)
+        _, _, trace_b = run_manager(seed=12, until=30.0)
+        assert trace_a.to_jsonl() != trace_b.to_jsonl()

@@ -23,6 +23,41 @@ class TestParser:
     def test_experiments_full_flag(self):
         args = build_parser().parse_args(["experiments", "--full"])
         assert args.full
+        assert args.seed is None
+
+    def test_experiments_seed_flag(self):
+        args = build_parser().parse_args(["experiments", "--seed", "5"])
+        assert args.seed == 5
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.scenario == "failure-churn"
+        assert args.seed is None
+        assert args.duration is None
+        assert args.trace_out is None
+
+    def test_simulate_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "simulate",
+                "--scenario",
+                "marketplace",
+                "--seed",
+                "9",
+                "--duration",
+                "48",
+                "--trace-out",
+                "trace.jsonl",
+            ]
+        )
+        assert args.scenario == "marketplace"
+        assert args.seed == 9
+        assert args.duration == 48.0
+        assert args.trace_out == "trace.jsonl"
+
+    def test_simulate_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--scenario", "nope"])
 
 
 class TestTopologyCommand:
@@ -48,6 +83,71 @@ class TestTopologyCommand:
         graph = load_as_rel(output)
         assert len(graph) == 3 + 6 + 15 + 40
         assert "wrote" in capsys.readouterr().out
+
+
+class TestSimulateCommand:
+    def test_failure_churn_prints_availability_summary(self, capsys):
+        code = main(["simulate", "--duration", "6", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario: failure-churn" in out
+        assert "mean path availability  BGP:" in out
+        assert "mean path availability  PAN:" in out
+        assert "PAN >= BGP availability: True" in out
+
+    def test_trace_out_writes_reproducible_jsonl(self, tmp_path, capsys):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        for target in (first, second):
+            code = main(
+                [
+                    "simulate",
+                    "--scenario",
+                    "flash-crowd",
+                    "--seed",
+                    "4",
+                    "--duration",
+                    "30",
+                    "--trace-out",
+                    str(target),
+                ]
+            )
+            assert code == 0
+        assert "trace written" in capsys.readouterr().out
+        assert first.read_bytes() == second.read_bytes()
+        assert first.read_text().startswith('{"')
+
+    def test_negative_duration_is_a_clean_error(self, capsys):
+        code = main(["simulate", "--duration", "-5"])
+        assert code == 2
+        assert "--duration must be a non-negative finite" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("duration", ["nan", "inf"])
+    def test_non_finite_duration_is_a_clean_error(self, duration, capsys):
+        code = main(["simulate", "--duration", duration])
+        assert code == 2
+        assert "--duration must be a non-negative finite" in capsys.readouterr().err
+
+    def test_negative_seed_is_a_clean_error(self, capsys):
+        assert main(["simulate", "--seed", "-1"]) == 2
+        assert "--seed must be non-negative" in capsys.readouterr().err
+        assert main(["experiments", "--seed", "-1"]) == 2
+        assert "--seed must be non-negative" in capsys.readouterr().err
+
+    def test_unwritable_trace_path_is_a_clean_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "simulate",
+                "--scenario",
+                "flash-crowd",
+                "--duration",
+                "1",
+                "--trace-out",
+                str(tmp_path / "missing-dir" / "t.jsonl"),
+            ]
+        )
+        assert code == 1
+        assert "cannot write trace" in capsys.readouterr().err
 
 
 class TestDiversityCommand:
