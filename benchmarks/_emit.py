@@ -1,0 +1,66 @@
+"""Machine-readable benchmark results.
+
+Every benchmark that wants its numbers consumed by tooling (CI trend
+jobs, perf dashboards, the acceptance checks of performance PRs) calls
+:func:`emit` with its headline measurements.  The helper writes one
+``BENCH_<name>.json`` file per benchmark containing the wall time, the
+derived ops/sec, and the scale knobs the numbers were measured at — so a
+reader never has to guess which configuration produced a result.
+
+The output directory defaults to the current working directory and can
+be redirected with the ``REPRO_BENCH_DIR`` environment variable (CI
+points it at a scratch dir and uploads the JSON as artifacts).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+
+def bench_output_dir() -> Path:
+    """Directory benchmark JSON files are written to."""
+    return Path(os.environ.get("REPRO_BENCH_DIR", "."))
+
+
+def emit(
+    name: str,
+    *,
+    wall_time_s: float,
+    operations: int | None = None,
+    scale: dict[str, Any] | None = None,
+    extra: dict[str, Any] | None = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``operations`` is the number of logical operations the wall time
+    covers (e.g. sources enumerated); ``ops_per_sec`` is derived from it
+    when given.  ``scale`` records the size knobs of the run and
+    ``extra`` any benchmark-specific measurements (speedups, per-phase
+    times, …).
+    """
+    if wall_time_s < 0.0:
+        raise ValueError(f"wall time cannot be negative, got {wall_time_s}")
+    record: dict[str, Any] = {
+        "name": name,
+        "wall_time_s": wall_time_s,
+    }
+    if operations is not None:
+        record["operations"] = operations
+        # None rather than float("inf") for an immeasurably short run:
+        # json.dumps would emit the bare token `Infinity`, which strict
+        # JSON parsers reject.
+        record["ops_per_sec"] = (
+            operations / wall_time_s if wall_time_s > 0.0 else None
+        )
+    if scale:
+        record["scale"] = scale
+    if extra:
+        record.update(extra)
+    directory = bench_output_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path

@@ -2,17 +2,31 @@
 
 Regenerates the six CDF series of Fig. 3 on the synthetic topology and
 prints the per-scenario distribution plus the §VI-A headline statistics
-(average / maximum additional paths per AS).
+(average / maximum additional paths per AS).  Headline numbers are also
+emitted to ``BENCH_fig3_paths.json`` (see ``_emit``).
 """
 
 from __future__ import annotations
+
+import time
+from dataclasses import asdict
+
+from _emit import emit
 
 from repro.experiments.fig3_paths import run_fig3
 from repro.experiments.reporting import format_comparisons
 
 
 def test_fig3_length3_paths(benchmark, run_once, diversity_config):
+    started = time.perf_counter()
     result = run_once(run_fig3, diversity_config)
+    emit(
+        "fig3_paths",
+        wall_time_s=time.perf_counter() - started,
+        operations=diversity_config.sample_size,
+        scale=asdict(diversity_config),
+        extra={"num_agreements": result.num_agreements},
+    )
 
     print()
     print(format_comparisons("Fig. 3 — length-3 paths per AS", result.comparisons()))

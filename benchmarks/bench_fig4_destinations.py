@@ -2,17 +2,31 @@
 
 Regenerates the six CDF series of Fig. 4 and prints the per-scenario
 distribution plus the §VI-A headline statistics (average / maximum
-additionally reachable destinations per AS).
+additionally reachable destinations per AS).  Headline numbers are also
+emitted to ``BENCH_fig4_destinations.json`` (see ``_emit``).
 """
 
 from __future__ import annotations
+
+import time
+from dataclasses import asdict
+
+from _emit import emit
 
 from repro.experiments.fig4_destinations import run_fig4
 from repro.experiments.reporting import format_comparisons
 
 
 def test_fig4_nearby_destinations(benchmark, run_once, diversity_config):
+    started = time.perf_counter()
     result = run_once(run_fig4, diversity_config)
+    emit(
+        "fig4_destinations",
+        wall_time_s=time.perf_counter() - started,
+        operations=diversity_config.sample_size,
+        scale=asdict(diversity_config),
+        extra={"num_agreements": result.num_agreements},
+    )
 
     print()
     print(format_comparisons("Fig. 4 — nearby destinations per AS", result.comparisons()))

@@ -1,0 +1,114 @@
+"""Benchmark: batched PathEngine vs. per-source GRC path enumeration.
+
+The workload is the §VI primitive every figure consumes: for *all*
+sources of the synthetic topology, the number of GRC-conforming
+length-3 paths and the number of destinations those paths reach.  The
+baseline is the pre-refactor approach — one naive graph walk per source
+(:func:`repro.paths.grc.iter_grc_length3_paths`) — and the contender is
+a cold :class:`repro.core.PathEngine` (compile time included).
+
+Scales (``REPRO_BENCH_SCALE`` env var, or ``--paper-scale``):
+
+- ``tiny`` — CI smoke scale: proves the harness and the equivalence
+  assertion work, makes no speedup claim.
+- ``default`` — the reduced experiment scale.
+- ``full`` — the ``repro experiments --full`` diversity scale
+  (8/60/200/800 tiers, ~1.1k ASes); here the benchmark *asserts* the
+  ≥ 5× speedup the compiled core is contracted to deliver.
+
+Results are emitted to ``BENCH_path_engine.json`` via ``_emit``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from _emit import emit
+
+from repro.core import PathEngine, compile_topology
+from repro.paths.grc import iter_grc_length3_paths
+from repro.topology.generator import generate_topology
+
+_SCALES = {
+    "tiny": dict(num_tier1=3, num_tier2=8, num_tier3=25, num_stubs=70),
+    "default": dict(num_tier1=8, num_tier2=40, num_tier3=120, num_stubs=400),
+    "full": dict(num_tier1=8, num_tier2=60, num_tier3=200, num_stubs=800),
+}
+
+#: The contracted minimum speedup at full (paper) scale.
+FULL_SCALE_MIN_SPEEDUP = 5.0
+
+
+def _scale_name(paper_scale: bool) -> str:
+    env = os.environ.get("REPRO_BENCH_SCALE")
+    if env:
+        if env not in _SCALES:
+            raise ValueError(
+                f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {env!r}"
+            )
+        return env
+    return "full" if paper_scale else "default"
+
+
+def _naive_all_sources(graph) -> dict[int, tuple[int, int]]:
+    """(path count, destination count) per source, one graph walk each."""
+    results: dict[int, tuple[int, int]] = {}
+    for source in graph:
+        count = 0
+        destinations: set[int] = set()
+        for path in iter_grc_length3_paths(graph, source):
+            count += 1
+            destinations.add(path[2])
+        results[source] = (count, len(destinations))
+    return results
+
+
+def _engine_all_sources(graph) -> dict[int, tuple[int, int]]:
+    """The same quantities from a cold compiled engine (compile included)."""
+    engine = PathEngine(compile_topology(graph))
+    counts = engine.counts_by_source()
+    destination_counts = engine.destination_counts_by_source()
+    return {asn: (counts[asn], destination_counts[asn]) for asn in counts}
+
+
+def test_path_engine_speedup(paper_scale):
+    scale = _scale_name(paper_scale)
+    seed = 2021
+    graph = generate_topology(seed=seed, **_SCALES[scale]).graph
+
+    started = time.perf_counter()
+    naive = _naive_all_sources(graph)
+    naive_time = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batched = _engine_all_sources(graph)
+    engine_time = time.perf_counter() - started
+
+    # The engine must agree with the reference exactly, at every scale.
+    assert batched == naive
+
+    speedup = naive_time / engine_time if engine_time > 0.0 else float("inf")
+    total_paths = sum(count for count, _ in naive.values())
+    emit(
+        "path_engine",
+        wall_time_s=engine_time,
+        operations=len(naive),
+        scale={"name": scale, "seed": seed, "ases": len(graph), **_SCALES[scale]},
+        extra={
+            "naive_wall_time_s": naive_time,
+            "speedup": speedup,
+            "total_grc_length3_paths": total_paths,
+        },
+    )
+    print(
+        f"\n[{scale}] all-sources GRC length-3 sweep over {len(graph)} ASes "
+        f"({total_paths} paths): naive {naive_time:.3f}s, "
+        f"engine {engine_time:.3f}s, speedup {speedup:.1f}x"
+    )
+
+    if scale == "full":
+        assert speedup >= FULL_SCALE_MIN_SPEEDUP, (
+            f"compiled path engine regressed: {speedup:.1f}x < "
+            f"{FULL_SCALE_MIN_SPEEDUP:.0f}x at full scale"
+        )

@@ -8,6 +8,9 @@ The package is organized in layers, bottom-up:
   provider–customer and peering links, a CAIDA-compatible serialization
   format, a synthetic Internet-like topology generator, geographic
   embedding, and degree-gravity link capacities.
+- :mod:`repro.core` — the compiled performance substrate: array-compiled
+  topology snapshots with O(1) role tests and the batched GRC length-3
+  path engine every analysis layer shares.
 - :mod:`repro.economics` — the AS business model of §III-A: pricing
   functions, internal-cost functions, traffic vectors, and AS utility.
 - :mod:`repro.agreements` — interconnection agreements (§III-B): classic
@@ -25,14 +28,19 @@ The package is organized in layers, bottom-up:
 """
 
 from repro.topology import ASGraph, Relationship
+from repro.core import CompiledTopology, PathEngine, compile_topology, path_engine_for
 from repro.agreements import AccessOffer, Agreement
 from repro.economics import ASBusiness, PricingFunction
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ASGraph",
     "Relationship",
+    "CompiledTopology",
+    "compile_topology",
+    "PathEngine",
+    "path_engine_for",
     "Agreement",
     "AccessOffer",
     "ASBusiness",

@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 
 from repro.agreements.agreement import AccessOffer, Agreement, AgreementError
+from repro.core import CompiledTopology, compile_topology
 from repro.topology.fixtures import AS_A, AS_B, AS_D, AS_E, AS_F
 from repro.topology.graph import ASGraph
 
@@ -30,6 +31,7 @@ def mutuality_agreement(
     *,
     include_peers: bool = True,
     include_providers: bool = True,
+    compiled: CompiledTopology | None = None,
 ) -> Agreement | None:
     """Build the maximal mutuality-based agreement between two peers.
 
@@ -37,17 +39,30 @@ def mutuality_agreement(
     that are not already customers of ``right`` (reaching them through
     ``right``'s own customer links would be pointless), and vice versa.
     Returns ``None`` when neither side has anything to offer.
+
+    Membership tests run against the compiled topology (``compiled``
+    defaults to the graph's cached compile): its cached frozenset views
+    avoid re-allocating the beneficiary's customer set for every
+    candidate pair of a full enumeration.  The *iterated* neighbor sets
+    deliberately stay the graph's own frozensets — downstream tie-breaks
+    (Top-n agreement ranking) follow segment insertion order, so the
+    offer sets must be built in the exact same order as before the
+    compiled core existed to keep seeded experiment output
+    byte-identical.
     """
-    if left not in graph or right not in graph:
+    topo = compiled if compiled is not None else compile_topology(graph)
+    if left not in topo or right not in topo:
         raise AgreementError("both parties must exist in the topology")
-    if right not in graph.peers(left):
+    if right not in topo.peers(left):
         raise AgreementError(
             f"mutuality-based agreements are concluded between peers; "
             f"ASes {left} and {right} are not peers"
         )
 
     def build_offer(owner: int, beneficiary: int) -> AccessOffer:
-        excluded = graph.customers(beneficiary) | {owner, beneficiary}
+        # The compiled customer set is only probed for membership, never
+        # iterated, so the cached view is safe order-wise.
+        excluded = topo.customers(beneficiary) | {owner, beneficiary}
         providers = graph.providers(owner) - excluded if include_providers else frozenset()
         peers = graph.peers(owner) - excluded if include_peers else frozenset()
         return AccessOffer.of(providers=providers, peers=peers)
@@ -65,7 +80,15 @@ def enumerate_mutuality_agreements(
     include_peers: bool = True,
     include_providers: bool = True,
 ) -> Iterator[Agreement]:
-    """Yield the maximal MA for every peering link of the topology (§VI)."""
+    """Yield the maximal MA for every peering link of the topology (§VI).
+
+    One compiled view is shared across all candidate pairs for the
+    membership-heavy offer construction.  The candidate iteration itself
+    stays on the graph's own peer sets: enumeration order feeds the
+    Top-n tie-breaks downstream, and the graph frozensets are the order
+    the seeded experiment outputs were recorded with.
+    """
+    topo = compile_topology(graph)
     seen: set[frozenset[int]] = set()
     for asn in graph:
         for peer in graph.peers(asn):
@@ -79,6 +102,7 @@ def enumerate_mutuality_agreements(
                 peer,
                 include_peers=include_peers,
                 include_providers=include_providers,
+                compiled=topo,
             )
             if agreement is not None:
                 yield agreement

@@ -85,6 +85,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed every experiment for an end-to-end reproducible run "
         "(defaults to each experiment's own seed)",
     )
+    experiments.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run the figure sections in N worker processes; the report is "
+        "merged in a fixed order, so seeded output is byte-identical to a "
+        "sequential run (default: 1)",
+    )
 
     simulate = subparsers.add_parser(
         "simulate", help="run a discrete-event simulation scenario"
@@ -156,7 +164,14 @@ def _run_diversity(args: argparse.Namespace) -> int:
 def _run_experiments(args: argparse.Namespace) -> int:
     if not _check_seed(args, "experiments"):
         return 2
-    print(run_all(RunnerConfig(full=args.full, seed=args.seed)))
+    if args.jobs < 1:
+        print(
+            f"repro experiments: error: --jobs must be a positive integer, "
+            f"got {args.jobs}",
+            file=sys.stderr,
+        )
+        return 2
+    print(run_all(RunnerConfig(full=args.full, seed=args.seed), jobs=args.jobs))
     return 0
 
 

@@ -1,0 +1,30 @@
+"""Compiled topology core shared by every analysis layer.
+
+This package is the performance substrate of the reproduction:
+
+- :class:`~repro.core.compiled.CompiledTopology` freezes an
+  :class:`~repro.topology.graph.ASGraph` (the mixed §III-A graph
+  ``G = (A, L_peer, L_pc)``) into contiguous index-based adjacency
+  arrays with O(1) role tests and an explicit staleness/rebuild
+  contract.
+- :class:`~repro.core.path_engine.PathEngine` computes the GRC
+  length-3 paths of *all* sources in one batched sweep over the
+  compiled arrays, memoizes per-source results, and supports
+  dirty-region invalidation under topology churn.
+
+Higher layers (``paths``, ``agreements``, ``experiments``,
+``simulation``) consume these through the cached helpers
+:func:`compile_topology` and :func:`path_engine_for`, so repeated
+analyses of the same graph share one compiled view.
+"""
+
+from repro.core.compiled import CompiledTopology, compile_topology
+from repro.core.path_engine import DENSE_LIMIT, PathEngine, path_engine_for
+
+__all__ = [
+    "CompiledTopology",
+    "compile_topology",
+    "PathEngine",
+    "path_engine_for",
+    "DENSE_LIMIT",
+]

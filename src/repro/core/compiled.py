@@ -1,0 +1,275 @@
+"""Compiled, index-based view of the mixed AS graph ``G = (A, L_peer, L_pc)``.
+
+:class:`repro.topology.graph.ASGraph` stores the §III-A mixed graph as
+dicts of Python sets, which is ideal for incremental construction but
+slow to traverse repeatedly: every analysis pass re-allocates frozensets
+and re-hashes ASNs.  :class:`CompiledTopology` freezes one mutation
+state of an ``ASGraph`` into contiguous arrays:
+
+- **Interning** — ASNs are mapped to dense indices ``0 … n-1`` in sorted
+  ASN order, so any per-AS quantity becomes a flat array.
+- **CSR adjacency** — the neighbor set ``π(X) ∪ ε(X) ∪ γ(X)`` and the
+  per-role sets ``π(X)`` (providers), ``ε(X)`` (peers), ``γ(X)``
+  (customers) of every AS are stored as index arrays with row pointers
+  (compressed sparse rows), each row sorted ascending.
+- **O(1) role tests** — per-AS membership tables answer "is ``v`` a
+  customer of ``u``" and "is there a link ``u – v``" in constant time
+  without building sets.
+
+A compiled view is immutable.  The invalidation contract is explicit:
+the view remembers the source graph's :attr:`ASGraph.mutation_count`
+and reports staleness via :meth:`CompiledTopology.is_stale`; callers
+obtain a fresh (or cached) view through :func:`compile_topology`, which
+rebuilds exactly when the graph has mutated.  The dynamic-network layer
+(:mod:`repro.simulation.network`) builds on this contract to recompile
+on link churn while preserving work for the unaffected region.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.topology.graph import ASGraph, TopologyError
+from repro.topology.relationships import Role
+
+
+def _csr(rows: list[list[int]]) -> tuple[np.ndarray, np.ndarray]:
+    """Pack per-index adjacency rows into (indptr, indices) CSR arrays."""
+    lengths = np.fromiter((len(row) for row in rows), dtype=np.int64, count=len(rows))
+    indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+    if indptr[-1] == 0:
+        return indptr, np.empty(0, dtype=np.int32)
+    indices = np.concatenate([np.asarray(row, dtype=np.int32) for row in rows if row])
+    return indptr, indices
+
+
+class CompiledTopology:
+    """An immutable array-compiled snapshot of one :class:`ASGraph` state.
+
+    Build via :meth:`compile` (or the cached :func:`compile_topology`).
+    All index-level accessors return read-only numpy slices; the
+    ``*_set`` accessors return cached frozensets of ASNs for call sites
+    that need Python set algebra without re-allocating per call.
+    """
+
+    def __init__(self, graph: ASGraph) -> None:
+        asns = sorted(graph.ases)
+        self.asns: tuple[int, ...] = tuple(asns)
+        self.n = len(asns)
+        self._index: dict[int, int] = {asn: i for i, asn in enumerate(asns)}
+        self.asn_array = np.asarray(asns, dtype=np.int64)
+        self.source_mutation_count = graph.mutation_count
+        self._source_ref: weakref.ref[ASGraph] = weakref.ref(graph)
+
+        prov_rows: list[list[int]] = []
+        peer_rows: list[list[int]] = []
+        cust_rows: list[list[int]] = []
+        nbr_rows: list[list[int]] = []
+        index = self._index
+        for asn in asns:
+            providers = sorted(index[p] for p in graph.providers(asn))
+            peers = sorted(index[p] for p in graph.peers(asn))
+            customers = sorted(index[c] for c in graph.customers(asn))
+            prov_rows.append(providers)
+            peer_rows.append(peers)
+            cust_rows.append(customers)
+            nbr_rows.append(sorted(providers + peers + customers))
+
+        self.prov_indptr, self.prov_indices = _csr(prov_rows)
+        self.peer_indptr, self.peer_indices = _csr(peer_rows)
+        self.cust_indptr, self.cust_indices = _csr(cust_rows)
+        self.nbr_indptr, self.nbr_indices = _csr(nbr_rows)
+        for array in (
+            self.prov_indices, self.peer_indices,
+            self.cust_indices, self.nbr_indices,
+        ):
+            array.setflags(write=False)
+
+        self.degrees = np.diff(self.nbr_indptr)
+        self.customer_counts = np.diff(self.cust_indptr)
+
+        # Pair membership tables: encoded as u*n+v so a single set lookup
+        # answers the role test.  Memory is O(links), not O(n²).
+        n = self.n
+        self._customer_pairs: set[int] = {
+            u * n + v
+            for u, row in enumerate(cust_rows)
+            for v in row
+        }
+        self._peer_pairs: set[int] = {
+            u * n + v
+            for u, row in enumerate(peer_rows)
+            for v in row
+        }
+        self._link_pairs: set[int] = {
+            min(u, v) * n + max(u, v)
+            for u, row in enumerate(nbr_rows)
+            for v in row
+        }
+        self.num_links = len(self._link_pairs)
+
+        # Lazily filled frozenset views (ASN-level), one slot per index.
+        self._nbr_sets: list[frozenset[int] | None] = [None] * n
+        self._cust_sets: list[frozenset[int] | None] = [None] * n
+        self._peer_sets: list[frozenset[int] | None] = [None] * n
+        self._prov_sets: list[frozenset[int] | None] = [None] * n
+
+    # ------------------------------------------------------------------
+    # Construction / invalidation contract
+    # ------------------------------------------------------------------
+    @classmethod
+    def compile(cls, graph: ASGraph) -> "CompiledTopology":
+        """Compile a fresh immutable view of the graph's current state."""
+        return cls(graph)
+
+    def is_stale(self, graph: ASGraph | None = None) -> bool:
+        """Whether the source graph has mutated since compilation.
+
+        With no argument, checks against the original source graph (a
+        garbage-collected source counts as stale); pass a graph to check
+        against it explicitly.
+        """
+        if graph is None:
+            graph = self._source_ref()
+            if graph is None:
+                return True
+        return graph.mutation_count != self.source_mutation_count
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+    def index_of(self, asn: int) -> int:
+        """Dense index of an ASN (raises :class:`TopologyError` if unknown)."""
+        try:
+            return self._index[asn]
+        except KeyError:
+            raise TopologyError(f"unknown AS: {asn}") from None
+
+    def asn_of(self, index: int) -> int:
+        """ASN at a dense index."""
+        return self.asns[index]
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._index
+
+    def __len__(self) -> int:
+        return self.n
+
+    # ------------------------------------------------------------------
+    # Index-level adjacency (numpy views)
+    # ------------------------------------------------------------------
+    def neighbors_idx(self, index: int) -> np.ndarray:
+        """Sorted neighbor indices of the AS at ``index``."""
+        return self.nbr_indices[self.nbr_indptr[index]:self.nbr_indptr[index + 1]]
+
+    def customers_idx(self, index: int) -> np.ndarray:
+        """Sorted customer indices (``γ``) of the AS at ``index``."""
+        return self.cust_indices[self.cust_indptr[index]:self.cust_indptr[index + 1]]
+
+    def peers_idx(self, index: int) -> np.ndarray:
+        """Sorted peer indices (``ε``) of the AS at ``index``."""
+        return self.peer_indices[self.peer_indptr[index]:self.peer_indptr[index + 1]]
+
+    def providers_idx(self, index: int) -> np.ndarray:
+        """Sorted provider indices (``π``) of the AS at ``index``."""
+        return self.prov_indices[self.prov_indptr[index]:self.prov_indptr[index + 1]]
+
+    # ------------------------------------------------------------------
+    # O(1) membership / role tests
+    # ------------------------------------------------------------------
+    def is_customer_idx(self, owner: int, candidate: int) -> bool:
+        """Whether ``candidate`` is a customer of ``owner`` (dense indices)."""
+        return owner * self.n + candidate in self._customer_pairs
+
+    def has_link_idx(self, left: int, right: int) -> bool:
+        """Whether any link joins the two dense indices."""
+        return min(left, right) * self.n + max(left, right) in self._link_pairs
+
+    def is_customer(self, owner: int, candidate: int) -> bool:
+        """Whether AS ``candidate`` is in ``γ(owner)`` (ASN-level, O(1))."""
+        return self.is_customer_idx(self.index_of(owner), self.index_of(candidate))
+
+    def has_link(self, left: int, right: int) -> bool:
+        """Whether any link joins the two ASes (ASN-level, O(1))."""
+        return self.has_link_idx(self.index_of(left), self.index_of(right))
+
+    def role_of(self, asn: int, neighbor: int) -> Role:
+        """Role ``neighbor`` plays for ``asn``, mirroring :meth:`ASGraph.role_of`."""
+        u = self.index_of(asn)
+        v = self.index_of(neighbor)
+        n = self.n
+        if v * n + u in self._customer_pairs:
+            return Role.PROVIDER  # asn is the neighbor's customer
+        if u * n + v in self._peer_pairs:
+            return Role.PEER
+        if u * n + v in self._customer_pairs:
+            return Role.CUSTOMER
+        raise TopologyError(f"AS {neighbor} is not a neighbor of AS {asn}")
+
+    def degree(self, asn: int) -> int:
+        """Total number of neighbors of an AS."""
+        return int(self.degrees[self.index_of(asn)])
+
+    # ------------------------------------------------------------------
+    # ASN-level cached set views
+    # ------------------------------------------------------------------
+    def _set_view(
+        self,
+        cache: list[frozenset[int] | None],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        asn: int,
+    ) -> frozenset[int]:
+        i = self.index_of(asn)
+        view = cache[i]
+        if view is None:
+            row = indices[indptr[i]:indptr[i + 1]]
+            view = frozenset(int(self.asn_array[j]) for j in row)
+            cache[i] = view
+        return view
+
+    def neighbors(self, asn: int) -> frozenset[int]:
+        """All neighbors of an AS (cached frozenset of ASNs)."""
+        return self._set_view(self._nbr_sets, self.nbr_indptr, self.nbr_indices, asn)
+
+    def customers(self, asn: int) -> frozenset[int]:
+        """The customer set ``γ(X)`` (cached frozenset of ASNs)."""
+        return self._set_view(self._cust_sets, self.cust_indptr, self.cust_indices, asn)
+
+    def peers(self, asn: int) -> frozenset[int]:
+        """The peer set ``ε(X)`` (cached frozenset of ASNs)."""
+        return self._set_view(self._peer_sets, self.peer_indptr, self.peer_indices, asn)
+
+    def providers(self, asn: int) -> frozenset[int]:
+        """The provider set ``π(X)`` (cached frozenset of ASNs)."""
+        return self._set_view(self._prov_sets, self.prov_indptr, self.prov_indices, asn)
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledTopology(ases={self.n}, links={self.num_links}, "
+            f"source_mutation_count={self.source_mutation_count})"
+        )
+
+
+#: Per-graph compile cache.  Weakly keyed so snapshots (e.g. the rolling
+#: active graphs of a DynamicNetwork) do not accumulate.
+_COMPILE_CACHE: "weakref.WeakKeyDictionary[ASGraph, CompiledTopology]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compile_topology(graph: ASGraph) -> CompiledTopology:
+    """Return a compiled view of the graph, rebuilding only when stale.
+
+    This is the canonical entry point of the invalidation contract:
+    repeated calls on an unmutated graph return the same object, and the
+    first call after any mutation compiles a fresh view.
+    """
+    compiled = _COMPILE_CACHE.get(graph)
+    if compiled is None or compiled.is_stale(graph):
+        compiled = CompiledTopology.compile(graph)
+        _COMPILE_CACHE[graph] = compiled
+    return compiled

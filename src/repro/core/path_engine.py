@@ -1,0 +1,329 @@
+"""Batched GRC length-3 path engine over a :class:`CompiledTopology`.
+
+The §VI analyses all consume the same primitive: the GRC-conforming
+length-3 paths ``(source, transit, destination)`` of every AS — a path
+is conforming exactly when the transit is willing to forward, i.e. when
+``source ∈ γ(transit)`` or ``destination ∈ γ(transit)``.  The naive
+reference (:func:`repro.paths.grc.iter_grc_length3_paths`) re-walks the
+dict/set graph per source; this engine instead computes *all* sources in
+one batched sweep over the compiled CSR arrays:
+
+- **Counts** — the number of paths of source ``s`` decomposes per
+  transit ``t ∈ N(s)``: ``|N(t)| - 1`` paths when ``s ∈ γ(t)`` (the
+  transit exports everything to its customer) and ``|γ(t)|`` paths
+  otherwise (only customer destinations are exported).  Summing this
+  per-edge contribution with one vectorized pass gives every per-source
+  count in O(links).
+- **Destination sets** — the same decomposition as a boolean-matrix
+  union: ``dest(s) = ⋃ N(t)`` over customer transits ``∪ ⋃ γ(t)`` over
+  the rest, minus ``s`` itself.
+- **Path sets** — materialized lazily per source (they are the only
+  O(paths) product) and memoized.
+
+Results are memoized per source; :meth:`PathEngine.refresh` implements
+the dirty-region invalidation contract used under topology churn: only
+sources whose path set can have changed are dropped, everything else is
+carried over (an AS's paths depend only on its 2-hop neighborhood, so a
+changed link ``a – b`` can only affect ``{a, b} ∪ N(a) ∪ N(b)``).
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.core.compiled import CompiledTopology, compile_topology
+from repro.topology.graph import ASGraph
+
+#: Above this many ASes the dense boolean destination matrices (n²
+#: bytes each) are not worth the memory; the engine falls back to a
+#: per-source sweep over the CSR rows, which is still batched and far
+#: cheaper than the naive per-source graph walk.
+DENSE_LIMIT = 4096
+
+
+class PathEngine:
+    """All-sources GRC length-3 path queries with per-source memoization.
+
+    The engine exposes the :mod:`repro.paths.grc` vocabulary on top of a
+    :class:`CompiledTopology`: :meth:`paths`, :meth:`destinations`,
+    :meth:`count`, and :meth:`paths_between` match the semantics of
+    ``grc_length3_paths``, ``grc_length3_destinations``,
+    ``count_grc_length3_paths``, and ``grc_paths_between`` exactly (the
+    property tests assert set-level equality against the naive
+    reference).
+    """
+
+    def __init__(self, topology: CompiledTopology) -> None:
+        self._topo = topology
+        self._path_memo: dict[int, frozenset[tuple[int, int, int]]] = {}
+        self._dest_memo: dict[int, frozenset[int]] = {}
+        self._reset_batches()
+
+    @property
+    def topology(self) -> CompiledTopology:
+        """The compiled topology the engine currently answers for."""
+        return self._topo
+
+    def _reset_batches(self) -> None:
+        self._counts: np.ndarray | None = None
+        self._dest_counts: np.ndarray | None = None
+        self._dest_matrix: np.ndarray | None = None
+        self._nbr_matrix: np.ndarray | None = None
+        self._cust_matrix: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Invalidation / rebuild contract
+    # ------------------------------------------------------------------
+    def refresh(
+        self,
+        topology: CompiledTopology,
+        *,
+        dirty_sources: set[int] | frozenset[int] | None = None,
+    ) -> None:
+        """Swap in a newly compiled topology.
+
+        ``dirty_sources`` is the set of source ASNs whose results may
+        have changed; their memoized entries are dropped while all other
+        per-source results are carried over.  ``None`` means "unknown
+        extent" and clears everything.  Callers are responsible for the
+        dirty set being a superset of the truly affected sources — the
+        dynamic-network layer derives it from the endpoints and
+        neighborhoods of the churned links.
+        """
+        if dirty_sources is None:
+            self._path_memo.clear()
+            self._dest_memo.clear()
+        else:
+            for asn in dirty_sources:
+                self._path_memo.pop(asn, None)
+                self._dest_memo.pop(asn, None)
+        self._topo = topology
+        self._reset_batches()
+
+    # ------------------------------------------------------------------
+    # Batched sweeps
+    # ------------------------------------------------------------------
+    def _edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """(source index, transit index) per directed adjacency edge."""
+        topo = self._topo
+        sources = np.repeat(np.arange(topo.n), np.diff(topo.nbr_indptr))
+        return sources, topo.nbr_indices
+
+    def _membership_matrices(self) -> tuple[np.ndarray, np.ndarray]:
+        """Dense boolean neighbor/customer row matrices (small-n path)."""
+        if self._nbr_matrix is None:
+            topo = self._topo
+            n = topo.n
+            nbr = np.zeros((n, n), dtype=bool)
+            cust = np.zeros((n, n), dtype=bool)
+            rows, cols = self._edge_arrays()
+            nbr[rows, cols] = True
+            cust_rows = np.repeat(np.arange(n), np.diff(topo.cust_indptr))
+            cust[cust_rows, topo.cust_indices] = True
+            self._nbr_matrix = nbr
+            self._cust_matrix = cust
+        assert self._cust_matrix is not None
+        return self._nbr_matrix, self._cust_matrix
+
+    def _compute_counts(self) -> np.ndarray:
+        topo = self._topo
+        n = topo.n
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        sources, transits = self._edge_arrays()
+        if n <= DENSE_LIMIT:
+            _, cust = self._membership_matrices()
+            source_is_customer = cust[transits, sources]
+        else:
+            pairs = topo._customer_pairs
+            source_is_customer = np.fromiter(
+                (int(t) * n + int(s) in pairs for s, t in zip(sources, transits)),
+                dtype=bool,
+                count=len(sources),
+            )
+        contributions = np.where(
+            source_is_customer,
+            topo.degrees[transits] - 1,
+            topo.customer_counts[transits],
+        )
+        return np.bincount(sources, weights=contributions, minlength=n).astype(np.int64)
+
+    def _counts_array(self) -> np.ndarray:
+        if self._counts is None:
+            self._counts = self._compute_counts()
+        return self._counts
+
+    def _compute_destinations_dense(self) -> np.ndarray:
+        topo = self._topo
+        n = topo.n
+        nbr, cust = self._membership_matrices()
+        destinations = np.zeros((n, n), dtype=bool)
+        for s in range(n):
+            transits = topo.neighbors_idx(s)
+            if transits.size == 0:
+                continue
+            customer_of = cust[transits, s]
+            mask = destinations[s]
+            via_customer = transits[customer_of]
+            if via_customer.size:
+                np.logical_or.reduce(nbr[via_customer], axis=0, out=mask)
+            via_other = transits[~customer_of]
+            if via_other.size:
+                mask |= np.logical_or.reduce(cust[via_other], axis=0)
+            mask[s] = False
+        return destinations
+
+    def _destination_matrix(self) -> np.ndarray:
+        if self._dest_matrix is None:
+            self._dest_matrix = self._compute_destinations_dense()
+        return self._dest_matrix
+
+    def _destination_indices(self, index: int) -> np.ndarray:
+        """Destination indices of one source (dense or CSR sweep)."""
+        topo = self._topo
+        if topo.n <= DENSE_LIMIT:
+            return np.nonzero(self._destination_matrix()[index])[0]
+        rows = []
+        for t in topo.neighbors_idx(index):
+            t = int(t)
+            if topo.is_customer_idx(t, index):
+                rows.append(topo.neighbors_idx(t))
+            else:
+                rows.append(topo.customers_idx(t))
+        if not rows:
+            return np.empty(0, dtype=np.int32)
+        merged = np.unique(np.concatenate(rows))
+        return merged[merged != index]
+
+    def _dest_counts_array(self) -> np.ndarray:
+        if self._dest_counts is None:
+            topo = self._topo
+            if topo.n == 0:
+                self._dest_counts = np.zeros(0, dtype=np.int64)
+            elif topo.n <= DENSE_LIMIT:
+                self._dest_counts = self._destination_matrix().sum(axis=1)
+            else:
+                self._dest_counts = np.fromiter(
+                    (len(self._destination_indices(i)) for i in range(topo.n)),
+                    dtype=np.int64,
+                    count=topo.n,
+                )
+        return self._dest_counts
+
+    # ------------------------------------------------------------------
+    # Per-source queries (grc.py semantics)
+    # ------------------------------------------------------------------
+    def count(self, source: int) -> int:
+        """Number of GRC length-3 paths starting at ``source``."""
+        return int(self._counts_array()[self._topo.index_of(source)])
+
+    def destination_count(self, source: int) -> int:
+        """Number of destinations reachable from ``source``."""
+        return int(self._dest_counts_array()[self._topo.index_of(source)])
+
+    def counts_by_source(self) -> dict[int, int]:
+        """``{source ASN: path count}`` for every AS, in sorted ASN order."""
+        counts = self._counts_array()
+        return {asn: int(counts[i]) for i, asn in enumerate(self._topo.asns)}
+
+    def destination_counts_by_source(self) -> dict[int, int]:
+        """``{source ASN: destination count}`` for every AS."""
+        counts = self._dest_counts_array()
+        return {asn: int(counts[i]) for i, asn in enumerate(self._topo.asns)}
+
+    def destinations(self, source: int) -> frozenset[int]:
+        """Destinations reachable from ``source`` over GRC length-3 paths."""
+        memo = self._dest_memo.get(source)
+        if memo is None:
+            topo = self._topo
+            indices = self._destination_indices(topo.index_of(source))
+            memo = frozenset(int(asn) for asn in topo.asn_array[indices])
+            self._dest_memo[source] = memo
+        return memo
+
+    def paths(self, source: int) -> frozenset[tuple[int, int, int]]:
+        """All GRC length-3 paths starting at ``source`` (memoized)."""
+        memo = self._path_memo.get(source)
+        if memo is None:
+            topo = self._topo
+            s = topo.index_of(source)
+            asn = topo.asn_array
+            collected: list[tuple[int, int, int]] = []
+            for t in topo.neighbors_idx(s):
+                t = int(t)
+                transit_asn = int(asn[t])
+                if topo.is_customer_idx(t, s):
+                    dests = topo.neighbors_idx(t)
+                else:
+                    dests = topo.customers_idx(t)
+                for d in dests:
+                    if d != s:
+                        collected.append((source, transit_asn, int(asn[d])))
+            memo = frozenset(collected)
+            self._path_memo[source] = memo
+        return memo
+
+    def paths_between(
+        self, source: int, destination: int
+    ) -> frozenset[tuple[int, int, int]]:
+        """GRC length-3 paths between a specific AS pair (O(deg(source)))."""
+        topo = self._topo
+        s = topo.index_of(source)
+        d = topo.index_of(destination)
+        if s == d:
+            return frozenset()
+        found = []
+        asn = topo.asn_array
+        for t in topo.neighbors_idx(s):
+            t = int(t)
+            if t == d or not topo.has_link_idx(t, d):
+                continue
+            if topo.is_customer_idx(t, s) or topo.is_customer_idx(t, d):
+                found.append((source, int(asn[t]), destination))
+        return frozenset(found)
+
+    def is_grc_path(self, source: int, transit: int, destination: int) -> bool:
+        """Whether ``(source, transit, destination)`` is a GRC length-3 path."""
+        topo = self._topo
+        s = topo.index_of(source)
+        t = topo.index_of(transit)
+        d = topo.index_of(destination)
+        if len({s, t, d}) != 3:
+            return False
+        if not (topo.has_link_idx(s, t) and topo.has_link_idx(t, d)):
+            return False
+        return topo.is_customer_idx(t, s) or topo.is_customer_idx(t, d)
+
+    # grc.py-compatible aliases ----------------------------------------
+    grc_length3_paths = paths
+    grc_length3_destinations = destinations
+    count_grc_length3_paths = count
+    grc_paths_between = paths_between
+
+
+#: Per-graph engine cache, weakly keyed like the compile cache.
+_ENGINE_CACHE: "weakref.WeakKeyDictionary[ASGraph, PathEngine]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def path_engine_for(graph: ASGraph) -> PathEngine:
+    """Shared engine for a graph, recompiled transparently on mutation.
+
+    This is what lets the :mod:`repro.paths.grc` module-level API keep
+    its ``(graph, source)`` signature while every consumer shares one
+    compiled topology and one memo per graph.  A mutation between calls
+    triggers a full refresh (no dirty-region knowledge at this level —
+    the dynamic-network layer, which does know the churned links, calls
+    :meth:`PathEngine.refresh` with an explicit dirty set instead).
+    """
+    compiled = compile_topology(graph)
+    engine = _ENGINE_CACHE.get(graph)
+    if engine is None:
+        engine = PathEngine(compiled)
+        _ENGINE_CACHE[graph] = engine
+    elif engine.topology is not compiled:
+        engine.refresh(compiled)
+    return engine

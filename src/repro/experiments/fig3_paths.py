@@ -12,10 +12,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.agreements.mutuality import enumerate_mutuality_agreements
+from typing import TYPE_CHECKING
+
 from repro.experiments.reporting import PaperComparison, format_cdf_series, format_table
 from repro.paths.diversity import DEFAULT_SCENARIOS, DiversityResult, analyze_path_diversity
-from repro.topology.generator import GeneratedTopology, TopologyParameters, generate_topology
+from repro.topology.generator import GeneratedTopology, TopologyParameters
+
+if TYPE_CHECKING:
+    from repro.experiments.context import DiversityContext
 
 
 @dataclass(frozen=True)
@@ -107,23 +111,28 @@ class Fig3Result:
         return f"{table}\n\nCDF series (paths, fraction of ASes):\n{series}"
 
 
-def run_fig3(config: PathDiversityConfig | None = None) -> Fig3Result:
-    """Run the Fig. 3 experiment."""
+def run_fig3(
+    config: PathDiversityConfig | None = None,
+    *,
+    context: "DiversityContext | None" = None,
+) -> Fig3Result:
+    """Run the Fig. 3 experiment.
+
+    ``context`` lets the combined runner share one topology, compiled
+    path engine, and MA enumeration across Figs. 3–6; standalone calls
+    build their own.
+    """
+    from repro.experiments.context import context_for
+
     config = config or PathDiversityConfig()
-    topology = generate_topology(
-        num_tier1=config.num_tier1,
-        num_tier2=config.num_tier2,
-        num_tier3=config.num_tier3,
-        num_stubs=config.num_stubs,
-        seed=config.seed,
-    )
-    agreements = list(enumerate_mutuality_agreements(topology.graph))
+    ctx = context_for(config, context)
     diversity = analyze_path_diversity(
-        topology.graph,
-        agreements=agreements,
+        ctx.topology.graph,
         sample_size=config.sample_size,
         seed=config.seed,
+        engine=ctx.engine,
+        index=ctx.index,
     )
     return Fig3Result(
-        diversity=diversity, topology=topology, num_agreements=len(agreements)
+        diversity=diversity, topology=ctx.topology, num_agreements=len(ctx.agreements)
     )

@@ -10,12 +10,15 @@ destinations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.agreements.mutuality import enumerate_mutuality_agreements
 from repro.experiments.fig3_paths import PathDiversityConfig
 from repro.experiments.reporting import PaperComparison, format_cdf_series, format_table
 from repro.paths.diversity import DEFAULT_SCENARIOS, DiversityResult, analyze_path_diversity
-from repro.topology.generator import GeneratedTopology, generate_topology
+from repro.topology.generator import GeneratedTopology
+
+if TYPE_CHECKING:
+    from repro.experiments.context import DiversityContext
 
 
 @dataclass
@@ -96,23 +99,27 @@ def _relative_spread(diversity: DiversityResult, kind: str) -> float:
     return summary["max"] / summary["mean"]
 
 
-def run_fig4(config: PathDiversityConfig | None = None) -> Fig4Result:
-    """Run the Fig. 4 experiment."""
+def run_fig4(
+    config: PathDiversityConfig | None = None,
+    *,
+    context: "DiversityContext | None" = None,
+) -> Fig4Result:
+    """Run the Fig. 4 experiment.
+
+    Shares the topology, compiled path engine, and MA enumeration with
+    the other figures when the combined runner passes a ``context``.
+    """
+    from repro.experiments.context import context_for
+
     config = config or PathDiversityConfig()
-    topology = generate_topology(
-        num_tier1=config.num_tier1,
-        num_tier2=config.num_tier2,
-        num_tier3=config.num_tier3,
-        num_stubs=config.num_stubs,
-        seed=config.seed,
-    )
-    agreements = list(enumerate_mutuality_agreements(topology.graph))
+    ctx = context_for(config, context)
     diversity = analyze_path_diversity(
-        topology.graph,
-        agreements=agreements,
+        ctx.topology.graph,
         sample_size=config.sample_size,
         seed=config.seed,
+        engine=ctx.engine,
+        index=ctx.index,
     )
     return Fig4Result(
-        diversity=diversity, topology=topology, num_agreements=len(agreements)
+        diversity=diversity, topology=ctx.topology, num_agreements=len(ctx.agreements)
     )

@@ -11,13 +11,16 @@ benefiting pairs (Fig. 5b).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.agreements.mutuality import enumerate_mutuality_agreements
 from repro.experiments.fig3_paths import PathDiversityConfig
 from repro.experiments.reporting import PaperComparison, format_cdf_series, format_table
 from repro.paths.geodistance import GeodistanceResult, analyze_geodistance
-from repro.topology.generator import GeneratedTopology, generate_topology
+from repro.topology.generator import GeneratedTopology
 from repro.topology.geography import SyntheticGeographyGenerator
+
+if TYPE_CHECKING:
+    from repro.experiments.context import DiversityContext
 
 
 @dataclass(frozen=True)
@@ -85,28 +88,33 @@ class Fig5Result:
         return f"{table}\n\n{reduction}"
 
 
-def run_fig5(config: Fig5Config | None = None) -> Fig5Result:
-    """Run the Fig. 5 experiment."""
+def run_fig5(
+    config: Fig5Config | None = None,
+    *,
+    context: "DiversityContext | None" = None,
+) -> Fig5Result:
+    """Run the Fig. 5 experiment.
+
+    Shares the topology, compiled path engine, and MA path index with
+    the other figures when the combined runner passes a ``context``;
+    only the geographic embedding is figure-specific.
+    """
+    from repro.experiments.context import context_for
+
     config = config or Fig5Config()
     diversity = config.diversity
-    topology = generate_topology(
-        num_tier1=diversity.num_tier1,
-        num_tier2=diversity.num_tier2,
-        num_tier3=diversity.num_tier3,
-        num_stubs=diversity.num_stubs,
-        seed=diversity.seed,
-    )
+    ctx = context_for(diversity, context)
     embedding = SyntheticGeographyGenerator(seed=config.geography_seed).embed(
-        topology.graph
+        ctx.topology.graph
     )
-    agreements = list(enumerate_mutuality_agreements(topology.graph))
     geodistance = analyze_geodistance(
-        topology.graph,
+        ctx.topology.graph,
         embedding,
-        agreements=agreements,
+        index=ctx.index,
         sample_size=config.pair_sample_size,
         seed=diversity.seed,
+        engine=ctx.engine,
     )
     return Fig5Result(
-        geodistance=geodistance, topology=topology, num_agreements=len(agreements)
+        geodistance=geodistance, topology=ctx.topology, num_agreements=len(ctx.agreements)
     )

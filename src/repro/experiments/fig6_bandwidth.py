@@ -11,21 +11,38 @@ the benefiting pairs (Fig. 6b).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.agreements.mutuality import enumerate_mutuality_agreements
 from repro.experiments.fig3_paths import PathDiversityConfig
 from repro.experiments.reporting import PaperComparison, format_cdf_series, format_table
 from repro.paths.bandwidth import BandwidthResult, analyze_bandwidth
 from repro.topology.bandwidth import degree_gravity_capacities
-from repro.topology.generator import GeneratedTopology, generate_topology
+from repro.topology.generator import GeneratedTopology
+
+if TYPE_CHECKING:
+    from repro.experiments.context import DiversityContext
 
 
 @dataclass(frozen=True)
 class Fig6Config:
-    """Parameters of the Fig. 6 experiment."""
+    """Parameters of the Fig. 6 experiment.
+
+    ``sampling_seed`` seeds the AS-pair sample of the bandwidth
+    analysis; ``None`` falls back to the diversity seed (the historical
+    behavior).  It exists so a runner-level ``--seed`` override reaches
+    this figure explicitly, mirroring Fig. 5's ``geography_seed``.
+    """
 
     diversity: PathDiversityConfig = PathDiversityConfig(sample_size=60)
     pair_sample_size: int = 60
+    sampling_seed: int | None = None
+
+    @property
+    def effective_sampling_seed(self) -> int:
+        """The seed the pair sampling actually uses."""
+        if self.sampling_seed is not None:
+            return self.sampling_seed
+        return self.diversity.seed
 
 
 @dataclass
@@ -77,26 +94,31 @@ class Fig6Result:
         return f"{table}\n\n{increase}"
 
 
-def run_fig6(config: Fig6Config | None = None) -> Fig6Result:
-    """Run the Fig. 6 experiment."""
+def run_fig6(
+    config: Fig6Config | None = None,
+    *,
+    context: "DiversityContext | None" = None,
+) -> Fig6Result:
+    """Run the Fig. 6 experiment.
+
+    Shares the topology, compiled path engine, and MA path index with
+    the other figures when the combined runner passes a ``context``;
+    only the degree-gravity capacity model is figure-specific.
+    """
+    from repro.experiments.context import context_for
+
     config = config or Fig6Config()
     diversity = config.diversity
-    topology = generate_topology(
-        num_tier1=diversity.num_tier1,
-        num_tier2=diversity.num_tier2,
-        num_tier3=diversity.num_tier3,
-        num_stubs=diversity.num_stubs,
-        seed=diversity.seed,
-    )
-    capacities = degree_gravity_capacities(topology.graph)
-    agreements = list(enumerate_mutuality_agreements(topology.graph))
+    ctx = context_for(diversity, context)
+    capacities = degree_gravity_capacities(ctx.topology.graph)
     bandwidth = analyze_bandwidth(
-        topology.graph,
+        ctx.topology.graph,
         capacities,
-        agreements=agreements,
+        index=ctx.index,
         sample_size=config.pair_sample_size,
-        seed=diversity.seed,
+        seed=config.effective_sampling_seed,
+        engine=ctx.engine,
     )
     return Fig6Result(
-        bandwidth=bandwidth, topology=topology, num_agreements=len(agreements)
+        bandwidth=bandwidth, topology=ctx.topology, num_agreements=len(ctx.agreements)
     )

@@ -4,11 +4,21 @@
 figures (with reduced default sizes; pass ``--full`` for paper-scale
 trial counts) and prints paper-vs-measured comparison tables, the same
 content that EXPERIMENTS.md records.
+
+A sequential run shares one :class:`DiversityContext` (topology,
+compiled path engine, MA enumeration and path index) across Figs. 3–6
+instead of rebuilding it per figure.  ``--jobs N`` opts into
+process-parallel figure execution: each section runs in its own worker
+process (rebuilding its own context — cheaper than shipping compiled
+arrays across process boundaries) and the results are merged in the
+fixed section order, so seeded output is byte-identical to a
+sequential run.
 """
 
 from __future__ import annotations
 
 import argparse
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 
 from repro.experiments.fig2_pod import Fig2Config, run_fig2
@@ -66,56 +76,18 @@ class RunnerConfig:
     def fig6(self) -> Fig6Config:
         """Fig. 6 configuration."""
         base = self.diversity()
-        return Fig6Config(diversity=base, pair_sample_size=80 if self.full else 40)
+        config = Fig6Config(diversity=base, pair_sample_size=80 if self.full else 40)
+        if self.seed is not None:
+            config = replace(config, sampling_seed=self.seed)
+        return config
 
 
-def run_all(config: RunnerConfig | None = None) -> str:
-    """Run every experiment and return the combined text report."""
-    config = config or RunnerConfig()
-    sections = []
-
-    stability = _stability_section()
-    sections.append(stability)
-
-    fig2 = run_fig2(config.fig2())
-    sections.append(
-        format_comparisons("Fig. 2 — Price of Dishonesty", fig2.comparisons())
-        + "\n\n"
-        + fig2.report()
-    )
-
-    fig3 = run_fig3(config.diversity())
-    sections.append(
-        format_comparisons("Fig. 3 — length-3 paths per AS", fig3.comparisons())
-        + "\n\n"
-        + fig3.report()
-    )
-
-    fig4 = run_fig4(config.diversity())
-    sections.append(
-        format_comparisons("Fig. 4 — nearby destinations per AS", fig4.comparisons())
-        + "\n\n"
-        + fig4.report()
-    )
-
-    fig5 = run_fig5(config.fig5())
-    sections.append(
-        format_comparisons("Fig. 5 — geodistance of MA paths", fig5.comparisons())
-        + "\n\n"
-        + fig5.report()
-    )
-
-    fig6 = run_fig6(config.fig6())
-    sections.append(
-        format_comparisons("Fig. 6 — bandwidth of MA paths", fig6.comparisons())
-        + "\n\n"
-        + fig6.report()
-    )
-
-    return "\n\n" + "\n\n\n".join(sections) + "\n"
-
-
-def _stability_section() -> str:
+# ----------------------------------------------------------------------
+# Sections.  Each is a module-level function of (config, context) so the
+# parallel path can pickle and dispatch them; the tuple fixes the merge
+# order, which is what keeps seeded output byte-identical under --jobs.
+# ----------------------------------------------------------------------
+def _section_stability(config: RunnerConfig, context=None) -> str:
     """§II stability comparison: DISAGREE and BAD GADGET under BGP."""
     disagree = analyze_gadget(disagree_topology())
     bad = analyze_gadget(bad_gadget_topology())
@@ -137,6 +109,108 @@ def _stability_section() -> str:
     return "\n".join(lines)
 
 
+def _section_fig2(config: RunnerConfig, context=None) -> str:
+    fig2 = run_fig2(config.fig2())
+    return (
+        format_comparisons("Fig. 2 — Price of Dishonesty", fig2.comparisons())
+        + "\n\n"
+        + fig2.report()
+    )
+
+
+def _section_fig3(config: RunnerConfig, context=None) -> str:
+    fig3 = run_fig3(config.diversity(), context=context)
+    return (
+        format_comparisons("Fig. 3 — length-3 paths per AS", fig3.comparisons())
+        + "\n\n"
+        + fig3.report()
+    )
+
+
+def _section_fig4(config: RunnerConfig, context=None) -> str:
+    fig4 = run_fig4(config.diversity(), context=context)
+    return (
+        format_comparisons("Fig. 4 — nearby destinations per AS", fig4.comparisons())
+        + "\n\n"
+        + fig4.report()
+    )
+
+
+def _section_fig5(config: RunnerConfig, context=None) -> str:
+    fig5 = run_fig5(config.fig5(), context=context)
+    return (
+        format_comparisons("Fig. 5 — geodistance of MA paths", fig5.comparisons())
+        + "\n\n"
+        + fig5.report()
+    )
+
+
+def _section_fig6(config: RunnerConfig, context=None) -> str:
+    fig6 = run_fig6(config.fig6(), context=context)
+    return (
+        format_comparisons("Fig. 6 — bandwidth of MA paths", fig6.comparisons())
+        + "\n\n"
+        + fig6.report()
+    )
+
+
+#: The report sections in output order.
+_SECTIONS = (
+    _section_stability,
+    _section_fig2,
+    _section_fig3,
+    _section_fig4,
+    _section_fig5,
+    _section_fig6,
+)
+
+#: Sections that consume the shared diversity context.
+_CONTEXT_SECTIONS = frozenset(
+    {_section_fig3, _section_fig4, _section_fig5, _section_fig6}
+)
+
+
+def _run_section(index: int, config: RunnerConfig) -> str:
+    """Worker entry point for process-parallel execution."""
+    return _SECTIONS[index](config)
+
+
+def run_all(config: RunnerConfig | None = None, *, jobs: int = 1) -> str:
+    """Run every experiment and return the combined text report.
+
+    ``jobs`` > 1 runs the sections in that many worker processes.  The
+    merge order is the fixed section order regardless of completion
+    order, and every section is deterministic given its config, so the
+    report is byte-identical to a sequential run.
+    """
+    config = config or RunnerConfig()
+    if jobs < 1:
+        raise ValueError(f"jobs must be a positive integer, got {jobs}")
+
+    if jobs == 1:
+        from repro.experiments.context import DiversityContext
+
+        context = DiversityContext.build(config.diversity())
+        sections = [
+            section(config, context) if section in _CONTEXT_SECTIONS else section(config)
+            for section in _SECTIONS
+        ]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(_SECTIONS))) as executor:
+            futures = [
+                executor.submit(_run_section, index, config)
+                for index in range(len(_SECTIONS))
+            ]
+            sections = [future.result() for future in futures]
+
+    return "\n\n" + "\n\n\n".join(sections) + "\n"
+
+
+def _stability_section() -> str:
+    """Backward-compatible alias for the §II stability section."""
+    return _section_stability(RunnerConfig())
+
+
 def main() -> None:
     """Command-line entry point."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -151,8 +225,22 @@ def main() -> None:
         default=None,
         help="seed every experiment for an end-to-end reproducible run",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run the figure sections in N worker processes (deterministic "
+        "merge order; default: sequential)",
+    )
     arguments = parser.parse_args()
-    print(run_all(RunnerConfig(full=arguments.full, seed=arguments.seed)))
+    if arguments.jobs < 1:
+        parser.error(f"--jobs must be a positive integer, got {arguments.jobs}")
+    print(
+        run_all(
+            RunnerConfig(full=arguments.full, seed=arguments.seed),
+            jobs=arguments.jobs,
+        )
+    )
 
 
 if __name__ == "__main__":

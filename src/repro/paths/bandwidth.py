@@ -17,8 +17,8 @@ import numpy as np
 
 from repro.agreements.agreement import Agreement
 from repro.agreements.mutuality import enumerate_mutuality_agreements
+from repro.core import PathEngine, path_engine_for
 from repro.paths.diversity import sample_ases
-from repro.paths.grc import iter_grc_length3_paths
 from repro.paths.ma_paths import MAPathIndex, build_ma_path_index
 from repro.paths.metrics import EmpiricalCDF
 from repro.topology.bandwidth import LinkCapacityModel
@@ -117,19 +117,26 @@ def analyze_bandwidth(
     index: MAPathIndex | None = None,
     sample_size: int = 100,
     seed: int = 0,
+    engine: PathEngine | None = None,
 ) -> BandwidthResult:
-    """Run the Fig. 6 analysis over a sample of source ASes."""
+    """Run the Fig. 6 analysis over a sample of source ASes.
+
+    GRC paths come from the compiled path engine (``engine`` defaults to
+    the graph's shared one).
+    """
     if index is None:
         if agreements is None:
             agreements = list(enumerate_mutuality_agreements(graph))
         index = build_ma_path_index(agreements)
+    if engine is None:
+        engine = path_engine_for(graph)
     result = BandwidthResult()
     for source in sample_ases(graph, sample_size, seed=seed):
-        grc_paths = set(iter_grc_length3_paths(graph, source))
+        grc_paths = engine.paths(source)
         if not grc_paths:
             continue
         grc_by_pair = path_bandwidths(grc_paths, capacities)
-        ma_paths = index.all_paths(source) - frozenset(grc_paths)
+        ma_paths = index.all_paths(source) - grc_paths
         ma_by_pair = path_bandwidths(ma_paths, capacities)
         for (src, dst), grc_values in grc_by_pair.items():
             values = np.array(grc_values)

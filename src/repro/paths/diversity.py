@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.agreements.agreement import Agreement
 from repro.agreements.mutuality import enumerate_mutuality_agreements
-from repro.paths.grc import grc_length3_destinations, grc_length3_paths
+from repro.core import PathEngine, path_engine_for
 from repro.paths.ma_paths import MAPathIndex, build_ma_path_index
 from repro.paths.metrics import EmpiricalCDF, summarize
 from repro.topology.graph import ASGraph
@@ -97,10 +97,18 @@ def analyze_as(
     asn: int,
     *,
     top_n_values: tuple[int, ...] = (1, 5, 50),
+    engine: PathEngine | None = None,
 ) -> ASDiversityRecord:
-    """Compute path/destination counts for one AS under every scenario."""
-    grc_paths = grc_length3_paths(graph, asn)
-    grc_destinations = grc_length3_destinations(graph, asn)
+    """Compute path/destination counts for one AS under every scenario.
+
+    ``engine`` is the compiled path engine to read GRC paths from; it
+    defaults to the shared per-graph engine, so the GRC path set is
+    computed once per AS no matter how many scenarios consume it.
+    """
+    if engine is None:
+        engine = path_engine_for(graph)
+    grc_paths = engine.paths(asn)
+    grc_destinations = engine.destinations(asn)
 
     direct = index.direct_paths(asn) - grc_paths
     all_ma = index.all_paths(asn) - grc_paths
@@ -109,7 +117,7 @@ def analyze_as(
     destination_counts: dict[str, int] = {"GRC": len(grc_destinations)}
 
     for n in top_n_values:
-        top_paths = index.top_n_paths(asn, n, graph)
+        top_paths = index.top_n_paths(asn, n, grc=grc_paths)
         scenario = f"MA* (Top {n})"
         path_counts[scenario] = len(grc_paths) + len(top_paths)
         destination_counts[scenario] = len(
@@ -133,18 +141,26 @@ def analyze_path_diversity(
     sample_size: int = 500,
     seed: int = 0,
     top_n_values: tuple[int, ...] = (1, 5, 50),
+    engine: PathEngine | None = None,
+    index: MAPathIndex | None = None,
 ) -> DiversityResult:
     """Run the full Figs. 3/4 analysis over a sample of ASes.
 
     ``agreements`` defaults to all maximal mutuality-based agreements of
-    the topology (the paper's "all possible MAs" case).
+    the topology (the paper's "all possible MAs" case); ``engine`` and
+    ``index`` default to the shared compiled path engine of the graph
+    and a freshly built MA path index, so callers that already hold them
+    (the experiment context) pay for neither twice.
     """
-    if agreements is None:
-        agreements = list(enumerate_mutuality_agreements(graph))
-    index = build_ma_path_index(agreements)
+    if index is None:
+        if agreements is None:
+            agreements = list(enumerate_mutuality_agreements(graph))
+        index = build_ma_path_index(agreements)
+    if engine is None:
+        engine = path_engine_for(graph)
     result = DiversityResult()
     for asn in sample_ases(graph, sample_size, seed=seed):
         result.records.append(
-            analyze_as(graph, index, asn, top_n_values=top_n_values)
+            analyze_as(graph, index, asn, top_n_values=top_n_values, engine=engine)
         )
     return result

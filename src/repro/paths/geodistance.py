@@ -16,8 +16,8 @@ import numpy as np
 
 from repro.agreements.agreement import Agreement
 from repro.agreements.mutuality import enumerate_mutuality_agreements
+from repro.core import PathEngine, path_engine_for
 from repro.paths.diversity import sample_ases
-from repro.paths.grc import iter_grc_length3_paths
 from repro.paths.ma_paths import MAPathIndex, build_ma_path_index
 from repro.paths.metrics import EmpiricalCDF
 from repro.topology.geography import GeographicEmbedding
@@ -123,23 +123,28 @@ def analyze_geodistance(
     index: MAPathIndex | None = None,
     sample_size: int = 100,
     seed: int = 0,
+    engine: PathEngine | None = None,
 ) -> GeodistanceResult:
     """Run the Fig. 5 analysis over a sample of source ASes.
 
     For every sampled source AS, every destination reachable via at least
     one GRC length-3 path contributes one AS pair to the analysis.
+    GRC paths come from the compiled path engine (``engine`` defaults to
+    the graph's shared one).
     """
     if index is None:
         if agreements is None:
             agreements = list(enumerate_mutuality_agreements(graph))
         index = build_ma_path_index(agreements)
+    if engine is None:
+        engine = path_engine_for(graph)
     result = GeodistanceResult()
     for source in sample_ases(graph, sample_size, seed=seed):
-        grc_paths = set(iter_grc_length3_paths(graph, source))
+        grc_paths = engine.paths(source)
         if not grc_paths:
             continue
         grc_by_pair = path_geodistances(grc_paths, embedding)
-        ma_paths = index.all_paths(source) - frozenset(grc_paths)
+        ma_paths = index.all_paths(source) - grc_paths
         ma_by_pair = path_geodistances(ma_paths, embedding)
         for (src, dst), grc_distances in grc_by_pair.items():
             distances = np.array(grc_distances)

@@ -7,12 +7,23 @@ destinations").  A path ``A – B – C`` is GRC-conforming exactly when the
 transit AS ``B`` is willing to forward between ``A`` and ``C`` under a
 GRC-conforming export policy, i.e. when at least one of ``A`` and ``C``
 is a customer of ``B``.
+
+Two implementations coexist here:
+
+- :func:`iter_grc_length3_paths` is the *naive reference*: a direct
+  generator over the dict/set graph, kept as the executable definition
+  the property tests compare against.
+- Every other function delegates to the shared, per-graph-cached
+  :class:`repro.core.PathEngine`, which batch-computes all sources over
+  the compiled topology and memoizes per-source results — so repeated
+  queries (the common case in the §VI analyses) cost a dict lookup.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
 
+from repro.core import path_engine_for
 from repro.topology.graph import ASGraph
 
 
@@ -26,7 +37,10 @@ def iter_grc_length3_paths(graph: ASGraph, source: int) -> Iterator[tuple[int, i
     """Yield every GRC-conforming length-3 path starting at ``source``.
 
     Paths are tuples ``(source, transit, destination)`` with three
-    distinct ASes and two existing links.
+    distinct ASes and two existing links.  This is the naive reference
+    implementation (one uncached graph walk per call); analysis code
+    should prefer :func:`grc_length3_paths` and friends, which share the
+    compiled path engine.
     """
     for transit in graph.neighbors(source):
         transit_customers = graph.customers(transit)
@@ -40,12 +54,12 @@ def iter_grc_length3_paths(graph: ASGraph, source: int) -> Iterator[tuple[int, i
 
 def grc_length3_paths(graph: ASGraph, source: int) -> frozenset[tuple[int, int, int]]:
     """All GRC-conforming length-3 paths starting at ``source``."""
-    return frozenset(iter_grc_length3_paths(graph, source))
+    return path_engine_for(graph).paths(source)
 
 
 def grc_length3_destinations(graph: ASGraph, source: int) -> frozenset[int]:
     """Destinations reachable from ``source`` over GRC-conforming length-3 paths."""
-    return frozenset(path[2] for path in iter_grc_length3_paths(graph, source))
+    return path_engine_for(graph).destinations(source)
 
 
 def grc_paths_between(
@@ -57,13 +71,9 @@ def grc_paths_between(
     destination are disjoint (they only share the endpoints), a property
     the paper points out and the path-diversity tests verify.
     """
-    return frozenset(
-        path
-        for path in iter_grc_length3_paths(graph, source)
-        if path[2] == destination
-    )
+    return path_engine_for(graph).paths_between(source, destination)
 
 
 def count_grc_length3_paths(graph: ASGraph, source: int) -> int:
     """Number of GRC-conforming length-3 paths starting at ``source``."""
-    return sum(1 for _ in iter_grc_length3_paths(graph, source))
+    return path_engine_for(graph).count(source)

@@ -55,7 +55,12 @@ class MAPathIndex:
         return self.direct_paths(asn) | self.indirect_paths(asn)
 
     def top_n_paths(
-        self, asn: int, n: int, graph: ASGraph | None = None
+        self,
+        asn: int,
+        n: int,
+        graph: ASGraph | None = None,
+        *,
+        grc: frozenset[tuple[int, int, int]] | None = None,
     ) -> frozenset[tuple[int, int, int]]:
         """Directly gained paths from the AS's ``n`` most attractive MAs.
 
@@ -63,11 +68,15 @@ class MAPathIndex:
         paths they provide to the AS (paths that are not already
         GRC-conforming are new; when a topology is supplied the GRC
         paths are excluded from the ranking and the result, matching the
-        paper's "additional paths" notion).
+        paper's "additional paths" notion).  Callers that already hold
+        the AS's GRC path set (e.g. the diversity analysis, which gets
+        it from the shared path engine) can pass it via ``grc`` to skip
+        the lookup.
         """
         if n < 0:
             raise ValueError("n must be non-negative")
-        grc = grc_length3_paths(graph, asn) if graph is not None else frozenset()
+        if grc is None:
+            grc = grc_length3_paths(graph, asn) if graph is not None else frozenset()
         per_agreement: dict[int, set[tuple[int, int, int]]] = defaultdict(set)
         for path, agreement in self.direct.get(asn, {}).items():
             if path in grc:

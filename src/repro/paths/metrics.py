@@ -84,7 +84,7 @@ class EmpiricalCDF:
         if not self.values:
             return ((), ())
         xs = self.values
-        ys = tuple((i + 1) / self.count for i in range(self.count))
+        ys = tuple((np.arange(1, self.count + 1) / self.count).tolist())
         return xs, ys
 
 

@@ -34,6 +34,7 @@ from repro.simulation.network import DynamicNetwork
 from repro.simulation.routing import (
     AvailabilityMonitor,
     BGPRoutingService,
+    GRCPathAvailabilityService,
     PANRoutingService,
     RoutingService,
 )
@@ -67,6 +68,7 @@ __all__ = [
     "RoutingService",
     "BGPRoutingService",
     "PANRoutingService",
+    "GRCPathAvailabilityService",
     "AvailabilityMonitor",
     "TimeVaryingDemand",
     "FlashCrowd",

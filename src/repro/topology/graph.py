@@ -44,6 +44,18 @@ class ASGraph:
         self._peers: dict[int, set[int]] = {}
         self._customers: dict[int, set[int]] = {}
         self._links: dict[frozenset[int], Link] = {}
+        self._mutations = 0
+
+    @property
+    def mutation_count(self) -> int:
+        """Monotonic counter bumped on every structural change.
+
+        :mod:`repro.core` compiles this graph into immutable array form
+        and uses the counter to detect staleness: a compiled view built
+        at mutation count ``m`` is valid exactly while the graph's
+        counter still reads ``m``.
+        """
+        return self._mutations
 
     # ------------------------------------------------------------------
     # Construction
@@ -54,6 +66,7 @@ class ASGraph:
             self._providers[asn] = set()
             self._peers[asn] = set()
             self._customers[asn] = set()
+            self._mutations += 1
 
     def add_provider_customer(self, provider: int, customer: int) -> None:
         """Add a transit link where ``provider`` sells transit to ``customer``."""
@@ -80,6 +93,7 @@ class ASGraph:
         self.add_as(link.first)
         self.add_as(link.second)
         self._links[key] = link
+        self._mutations += 1
         if link.relationship is Relationship.PROVIDER_TO_CUSTOMER:
             self._customers[link.provider].add(link.customer)
             self._providers[link.customer].add(link.provider)
@@ -93,6 +107,7 @@ class ASGraph:
         link = self._links.pop(key, None)
         if link is None:
             raise TopologyError(f"no link between {left} and {right}")
+        self._mutations += 1
         if link.relationship is Relationship.PROVIDER_TO_CUSTOMER:
             self._customers[link.provider].discard(link.customer)
             self._providers[link.customer].discard(link.provider)

@@ -1,0 +1,136 @@
+"""Tests for the array-compiled topology view."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompiledTopology, compile_topology
+from repro.topology import TopologyError, figure1_topology
+from repro.topology.fixtures import AS_A, AS_B, AS_C, AS_D, AS_E, AS_H
+from repro.topology.generator import generate_topology
+from repro.topology.relationships import Role
+
+
+@pytest.fixture()
+def graph():
+    return figure1_topology()
+
+
+@pytest.fixture()
+def compiled(graph):
+    return CompiledTopology.compile(graph)
+
+
+class TestInterning:
+    def test_indices_cover_sorted_asns(self, graph, compiled):
+        assert compiled.asns == tuple(sorted(graph.ases))
+        for i, asn in enumerate(compiled.asns):
+            assert compiled.index_of(asn) == i
+            assert compiled.asn_of(i) == asn
+
+    def test_unknown_asn_raises_topology_error(self, compiled):
+        with pytest.raises(TopologyError):
+            compiled.index_of(999_999)
+
+    def test_contains_and_len(self, graph, compiled):
+        assert len(compiled) == len(graph)
+        assert AS_D in compiled
+        assert 999_999 not in compiled
+
+
+class TestAdjacency:
+    def test_role_sets_match_the_graph(self, graph, compiled):
+        for asn in graph:
+            assert compiled.neighbors(asn) == graph.neighbors(asn)
+            assert compiled.customers(asn) == graph.customers(asn)
+            assert compiled.peers(asn) == graph.peers(asn)
+            assert compiled.providers(asn) == graph.providers(asn)
+
+    def test_index_rows_are_sorted(self, graph, compiled):
+        for asn in graph:
+            row = compiled.neighbors_idx(compiled.index_of(asn))
+            assert list(row) == sorted(row)
+
+    def test_set_views_are_cached(self, compiled):
+        assert compiled.neighbors(AS_D) is compiled.neighbors(AS_D)
+
+    def test_degrees_match(self, graph, compiled):
+        for asn in graph:
+            assert compiled.degree(asn) == graph.degree(asn)
+        assert np.array_equal(
+            compiled.customer_counts,
+            [len(graph.customers(a)) for a in compiled.asns],
+        )
+
+
+class TestMembershipTables:
+    def test_has_link_matches_the_graph(self, graph, compiled):
+        for left in graph:
+            for right in graph:
+                if left != right:
+                    assert compiled.has_link(left, right) == graph.has_link(left, right)
+
+    def test_is_customer(self, compiled):
+        assert compiled.is_customer(AS_A, AS_D)  # D buys transit from A
+        assert not compiled.is_customer(AS_D, AS_A)
+        assert not compiled.is_customer(AS_D, AS_E)  # peers
+
+    def test_role_of_matches_the_graph(self, graph, compiled):
+        for asn in graph:
+            for neighbor in graph.neighbors(asn):
+                assert compiled.role_of(asn, neighbor) == graph.role_of(asn, neighbor)
+
+    def test_role_of_non_neighbor_raises(self, compiled):
+        with pytest.raises(TopologyError):
+            compiled.role_of(AS_H, AS_B)
+
+    def test_roles_on_generated_topology(self):
+        graph = generate_topology(
+            num_tier1=3, num_tier2=10, num_tier3=30, num_stubs=80, seed=5
+        ).graph
+        compiled = compile_topology(graph)
+        for asn in sorted(graph.ases)[:25]:
+            for neighbor in graph.neighbors(asn):
+                assert compiled.role_of(asn, neighbor) is graph.role_of(asn, neighbor)
+                assert compiled.has_link(asn, neighbor)
+
+
+class TestInvalidationContract:
+    def test_fresh_compile_is_not_stale(self, graph):
+        compiled = compile_topology(graph)
+        assert not compiled.is_stale(graph)
+        assert not compiled.is_stale()
+
+    def test_mutation_marks_the_view_stale(self, graph):
+        compiled = compile_topology(graph)
+        graph.remove_link(AS_D, AS_E)
+        assert compiled.is_stale(graph)
+
+    def test_compile_cache_returns_same_object_until_mutation(self, graph):
+        first = compile_topology(graph)
+        assert compile_topology(graph) is first
+        graph.add_peering(AS_C, AS_B)
+        second = compile_topology(graph)
+        assert second is not first
+        assert AS_B in second.peers(AS_C)
+
+    def test_every_mutation_kind_bumps_the_counter(self, graph):
+        before = graph.mutation_count
+        graph.add_as(424242)
+        after_add_as = graph.mutation_count
+        assert after_add_as > before
+        graph.add_provider_customer(424242, AS_H)
+        after_link = graph.mutation_count
+        assert after_link > after_add_as
+        graph.remove_link(424242, AS_H)
+        assert graph.mutation_count > after_link
+
+    def test_idempotent_operations_do_not_bump(self, graph):
+        graph.add_as(AS_D)  # already present
+        before = graph.mutation_count
+        graph.add_as(AS_D)
+        graph.add_peering(AS_D, AS_E)  # identical existing link
+        assert graph.mutation_count == before
+
+    def test_stale_after_source_is_garbage_collected(self):
+        compiled = compile_topology(figure1_topology())
+        assert compiled.is_stale()  # source graph dropped immediately

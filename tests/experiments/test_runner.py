@@ -44,6 +44,29 @@ class TestRunnerConfig:
         assert config.fig5().geography_seed == 99
         assert config.fig6().diversity.seed == 99
 
+    def test_seed_reaches_all_five_figure_configs(self):
+        """Regression: fig6 used to silently drop the runner seed override.
+
+        Every figure config must carry the override in *every* seed
+        field it owns, not only the shared diversity sub-config.
+        """
+        config = RunnerConfig(seed=41)
+        assert config.fig2().seed == 41  # Fig. 2
+        assert config.diversity().seed == 41  # Figs. 3 and 4
+        fig5 = config.fig5()  # Fig. 5
+        assert fig5.diversity.seed == 41
+        assert fig5.geography_seed == 41
+        fig6 = config.fig6()  # Fig. 6
+        assert fig6.diversity.seed == 41
+        assert fig6.sampling_seed == 41
+        assert fig6.effective_sampling_seed == 41
+
+    def test_fig6_sampling_seed_defaults_to_the_diversity_seed(self):
+        config = RunnerConfig()
+        fig6 = config.fig6()
+        assert fig6.sampling_seed is None
+        assert fig6.effective_sampling_seed == fig6.diversity.seed
+
     def test_no_seed_keeps_the_per_experiment_defaults(self):
         config = RunnerConfig()
         assert config.fig2().seed == 7
@@ -80,3 +103,17 @@ class TestRunAll:
             "Fig. 6 — bandwidth of MA paths",
         ):
             assert heading in report
+
+    def test_parallel_run_is_byte_identical_to_sequential(self):
+        from repro.experiments.runner import run_all
+
+        config = TinyRunnerConfig(seed=13)
+        assert run_all(config, jobs=3) == run_all(config, jobs=1)
+
+    def test_jobs_must_be_positive(self):
+        import pytest
+
+        from repro.experiments.runner import run_all
+
+        with pytest.raises(ValueError):
+            run_all(TinyRunnerConfig(), jobs=0)

@@ -29,6 +29,11 @@ class TestParser:
         args = build_parser().parse_args(["experiments", "--seed", "5"])
         assert args.seed == 5
 
+    def test_experiments_jobs_flag(self):
+        args = build_parser().parse_args(["experiments", "--jobs", "4"])
+        assert args.jobs == 4
+        assert build_parser().parse_args(["experiments"]).jobs == 1
+
     def test_simulate_defaults(self):
         args = build_parser().parse_args(["simulate"])
         assert args.scenario == "failure-churn"
@@ -133,6 +138,10 @@ class TestSimulateCommand:
         assert "--seed must be non-negative" in capsys.readouterr().err
         assert main(["experiments", "--seed", "-1"]) == 2
         assert "--seed must be non-negative" in capsys.readouterr().err
+
+    def test_non_positive_jobs_is_a_clean_error(self, capsys):
+        assert main(["experiments", "--jobs", "0"]) == 2
+        assert "--jobs must be a positive integer" in capsys.readouterr().err
 
     def test_unwritable_trace_path_is_a_clean_error(self, tmp_path, capsys):
         code = main(
