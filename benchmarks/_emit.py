@@ -64,3 +64,30 @@ def emit(
     path = directory / f"BENCH_{name}.json"
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     return path
+
+
+def emit_from_benchmark(
+    bench_fixture: Any,
+    name: str,
+    *,
+    operations: int | None = None,
+    scale: dict[str, Any] | None = None,
+    extra: dict[str, Any] | None = None,
+) -> Path:
+    """Emit the mean round time of a finished pytest-benchmark run.
+
+    For multi-round micro-benchmarks (``benchmark(fn)``) the mean per
+    round is the comparable number; single-shot experiment benches keep
+    timing themselves with ``time.perf_counter`` instead.
+    """
+    stats = bench_fixture.stats.stats
+    measurements = {"rounds": int(stats.rounds), "stddev_s": float(stats.stddev)}
+    if extra:
+        measurements.update(extra)
+    return emit(
+        name,
+        wall_time_s=float(stats.mean),
+        operations=operations,
+        scale=scale,
+        extra=measurements,
+    )

@@ -14,7 +14,11 @@ import numpy as np
 from repro.agreements import AgreementScenario, SegmentTraffic, enumerate_mutuality_agreements
 from repro.economics import ENDHOSTS, FlowVector, default_business_models
 from repro.experiments.reporting import format_table
-from repro.optimization import compare_methods, negotiate_cash_agreement, optimize_flow_volume_targets
+from repro.optimization import (
+    compare_methods,
+    negotiate_cash_agreement,
+    optimize_flow_volume_targets,
+)
 from repro.topology import generate_topology
 
 
@@ -72,7 +76,10 @@ def test_method_comparison_population(benchmark):
     cash_only = sum(1 for c in comparisons if c.flexibility_advantage_cash)
     mean_cash_gap = float(np.mean([c.cash_fairness_gap for c in comparisons]))
     mean_flow_gap = float(
-        np.mean([c.flow_volume_fairness_gap for c in comparisons if c.flow_volume_concluded] or [0.0])
+        np.mean(
+            [c.flow_volume_fairness_gap for c in comparisons if c.flow_volume_concluded]
+            or [0.0]
+        )
     )
 
     print()

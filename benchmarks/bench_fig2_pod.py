@@ -3,17 +3,34 @@
 Regenerates the two series of Fig. 2 (minimum and mean PoD over random
 choice-set trials for the utility distributions U(1) and U(2)) and
 prints them next to the paper's headline reading (PoD flattening out
-around 10 % at W ≈ 50).
+around 10 % at W ≈ 50).  Headline numbers are also emitted to
+``BENCH_fig2_pod.json`` (see ``_emit``).
 """
 
 from __future__ import annotations
+
+import time
+from dataclasses import asdict
+
+from _emit import emit
 
 from repro.experiments.fig2_pod import run_fig2
 from repro.experiments.reporting import format_comparisons
 
 
 def test_fig2_price_of_dishonesty(benchmark, run_once, fig2_config):
+    started = time.perf_counter()
     result = run_once(run_fig2, fig2_config)
+    emit(
+        "fig2_pod",
+        wall_time_s=time.perf_counter() - started,
+        operations=len(fig2_config.choice_counts) * fig2_config.trials,
+        scale=asdict(fig2_config),
+        extra={
+            "best_pod_u1": result.best_pod("U(1)"),
+            "best_pod_u2": result.best_pod("U(2)"),
+        },
+    )
 
     print()
     print(format_comparisons("Fig. 2 — Price of Dishonesty", result.comparisons()))

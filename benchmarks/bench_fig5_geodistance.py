@@ -2,17 +2,31 @@
 
 Regenerates the three condition series of Fig. 5a (MA paths beating the
 maximum / median / minimum GRC geodistance per AS pair) and the relative
-geodistance-reduction CDF of Fig. 5b.
+geodistance-reduction CDF of Fig. 5b.  Headline numbers are also
+emitted to ``BENCH_fig5_geodistance.json`` (see ``_emit``).
 """
 
 from __future__ import annotations
+
+import time
+from dataclasses import asdict
+
+from _emit import emit
 
 from repro.experiments.fig5_geodistance import run_fig5
 from repro.experiments.reporting import format_comparisons
 
 
 def test_fig5_geodistance(benchmark, run_once, fig5_config):
+    started = time.perf_counter()
     result = run_once(run_fig5, fig5_config)
+    emit(
+        "fig5_geodistance",
+        wall_time_s=time.perf_counter() - started,
+        operations=fig5_config.pair_sample_size,
+        scale=asdict(fig5_config),
+        extra={"num_agreements": result.num_agreements},
+    )
 
     print()
     print(format_comparisons("Fig. 5 — geodistance of MA paths", result.comparisons()))

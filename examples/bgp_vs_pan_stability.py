@@ -85,7 +85,8 @@ def main() -> None:
         names = "".join(FIGURE1_NAMES[asn] for asn in path)
         print(
             f"  packet along {names}: delivered = {result.delivered}, "
-            f"hops = {result.hops}, loop-free = {len(set(result.traversed)) == len(result.traversed)}"
+            f"hops = {result.hops}, "
+            f"loop-free = {len(set(result.traversed)) == len(result.traversed)}"
         )
     print(
         "  Forwarding only consults the path in the packet header and the\n"

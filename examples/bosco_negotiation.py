@@ -28,7 +28,10 @@ def main() -> None:
     information = service.configure(num_choices=40, trials=20)
     print(f"  choices per party: {len(information.choices_x.finite_values)}")
     print(f"  expected Nash product of the equilibrium: {information.expected_nash_product:.4f}")
-    print(f"  truthful expected Nash product:           {service.truthful_expected_nash_product:.4f}")
+    print(
+        "  truthful expected Nash product:           "
+        f"{service.truthful_expected_nash_product:.4f}"
+    )
     print(f"  Price of Dishonesty: {information.price_of_dishonesty:.1%}")
     print(f"  parties can verify the equilibrium: {information.verify_equilibrium()}")
     played_x = information.equilibrium.strategy_x.equilibrium_choice_indices()

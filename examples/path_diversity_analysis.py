@@ -79,7 +79,10 @@ def main() -> None:
         graph, capacities, agreements=agreements, sample_size=40, seed=2
     )
     fraction = bandwidth.fraction_of_pairs_improving("max", 1)
-    print(f"  pairs with ≥1 MA path above the GRC maximum bandwidth: {fraction:.0%} (paper: ≈35%)")
+    print(
+        f"  pairs with ≥1 MA path above the GRC maximum bandwidth: "
+        f"{fraction:.0%} (paper: ≈35%)"
+    )
     increase = bandwidth.increase_cdf()
     if increase.count:
         print(

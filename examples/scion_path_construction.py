@@ -24,7 +24,6 @@ from repro.routing import (
     PathServer,
 )
 from repro.topology import (
-    AS_A,
     AS_B,
     AS_D,
     AS_H,

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""CI benchmark regression gate.
+
+Compares freshly emitted ``BENCH_<name>.json`` files (see
+``benchmarks/_emit.py``) against the committed baselines under
+``benchmarks/baselines/`` and fails when a benchmark got slower than the
+tolerance allows::
+
+    python scripts/check_bench_regression.py --results bench-results
+    python scripts/check_bench_regression.py --results bench-results --tolerance 2.0
+    python scripts/check_bench_regression.py --results bench-results --update
+
+Rules:
+
+- every baseline must have a fresh result (a silently skipped benchmark
+  would otherwise disarm the gate);
+- a fresh result is a regression when its ``wall_time_s`` exceeds
+  ``baseline * (1 + tolerance)``; runs faster than the measurement floor
+  on both sides are ignored as noise;
+- fresh results without a baseline are reported (run with ``--update``
+  to adopt them — that is also the baseline-refresh workflow after an
+  intentional performance change: regenerate, eyeball, commit).
+
+Exit codes: 0 ok, 1 regression or missing result, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINES = REPO_ROOT / "benchmarks" / "baselines"
+
+#: Below this wall time (seconds) on both sides, differences are noise.
+MEASUREMENT_FLOOR_S = 0.005
+
+
+def load_bench(path: Path) -> dict:
+    with path.open(encoding="utf-8") as handle:
+        record = json.load(handle)
+    if "name" not in record or "wall_time_s" not in record:
+        raise ValueError(f"{path} is not a BENCH_*.json record")
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results",
+        required=True,
+        help="directory holding the freshly emitted BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--baselines",
+        default=str(DEFAULT_BASELINES),
+        help=f"committed baseline directory (default: {DEFAULT_BASELINES})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed slowdown as a fraction of the baseline wall time "
+        "(default: 0.30, i.e. fail when >30%% slower)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="adopt the fresh results as the new baselines instead of checking",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 0.0:
+        parser.error(f"--tolerance must be non-negative, got {args.tolerance}")
+
+    results_dir = Path(args.results)
+    baselines_dir = Path(args.baselines)
+    if not results_dir.is_dir():
+        print(f"error: results directory {results_dir} does not exist", file=sys.stderr)
+        return 2
+
+    fresh = {p.name: p for p in sorted(results_dir.glob("BENCH_*.json"))}
+    if args.update:
+        baselines_dir.mkdir(parents=True, exist_ok=True)
+        for name, path in fresh.items():
+            shutil.copyfile(path, baselines_dir / name)
+            print(f"baseline updated: {name}")
+        if not fresh:
+            print("error: no BENCH_*.json results to adopt", file=sys.stderr)
+            return 2
+        return 0
+
+    baselines = {p.name: p for p in sorted(baselines_dir.glob("BENCH_*.json"))}
+    if not baselines:
+        print(f"error: no baselines under {baselines_dir}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name, baseline_path in baselines.items():
+        baseline = load_bench(baseline_path)
+        if name not in fresh:
+            failures.append(f"{name}: no fresh result emitted (benchmark skipped?)")
+            continue
+        result = load_bench(fresh[name])
+        base_time = float(baseline["wall_time_s"])
+        new_time = float(result["wall_time_s"])
+        if new_time < MEASUREMENT_FLOOR_S:
+            print(f"ok   {name}: {new_time * 1e3:.2f}ms (below measurement floor)")
+            continue
+        # A sub-floor baseline would make any measurable fresh time look
+        # like a regression; compare against the floor instead so a
+        # fast-machine baseline doesn't fail slower CI runners on noise.
+        limit = max(base_time, MEASUREMENT_FLOOR_S) * (1.0 + args.tolerance)
+        status = "FAIL" if new_time > limit else "ok  "
+        ratio = new_time / base_time if base_time > 0.0 else float("inf")
+        print(
+            f"{status} {name}: {new_time:.3f}s vs baseline {base_time:.3f}s "
+            f"({ratio:.2f}x, limit {limit:.3f}s)"
+        )
+        if new_time > limit:
+            failures.append(
+                f"{name}: {new_time:.3f}s is more than "
+                f"{args.tolerance:.0%} slower than the {base_time:.3f}s baseline"
+            )
+
+    extra = sorted(set(fresh) - set(baselines))
+    for name in extra:
+        print(f"note {name}: no committed baseline (adopt with --update)")
+
+    if failures:
+        print("\nbenchmark regressions detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(baselines)} baselined benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

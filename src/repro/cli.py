@@ -21,6 +21,12 @@ Three subcommands cover the workflows a downstream user needs:
     agreement marketplace, flash crowd) and print its metrics summary;
     optionally write the full JSONL metrics trace to a file.
 
+``repro sweep``
+    Expand a declarative sweep spec (scales × seeds × figures ×
+    scenario knobs) into shards, run them process-parallel with a
+    resumable on-disk cache, and write the byte-reproducible
+    ``sweep_summary.json`` + per-metric CSV tables.
+
 Invoke as ``python -m repro.cli <subcommand> …``.
 """
 
@@ -35,6 +41,14 @@ from repro.agreements import enumerate_mutuality_agreements
 from repro.experiments.runner import RunnerConfig, run_all
 from repro.paths import analyze_path_diversity
 from repro.simulation import SCENARIOS, run_scenario
+from repro.sweep import (
+    DEFAULT_CACHE_DIR,
+    DEFAULT_OUT_DIR,
+    SweepSpec,
+    SweepSpecError,
+    run_sweep,
+    smoke_spec,
+)
 from repro.topology import generate_topology, load_as_rel, save_as_rel
 
 
@@ -115,6 +129,50 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--trace-out",
         help="write the full JSONL metrics trace to this file",
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a sharded, resumable parameter sweep"
+    )
+    source = sweep.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--spec",
+        help="JSON sweep spec file (see README 'Sweeps & CI' for the format)",
+    )
+    source.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the built-in tiny CI smoke grid instead of a spec file",
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run shards in N worker processes (results merge in a fixed "
+        "order, so the summary is byte-identical to a sequential run)",
+    )
+    sweep.add_argument(
+        "--out",
+        default=DEFAULT_OUT_DIR,
+        help=f"directory for sweep_summary.json and the per-metric CSV "
+        f"tables (default: {DEFAULT_OUT_DIR})",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"shard result cache directory; re-runs and interrupted sweeps "
+        f"resume from it (default: {DEFAULT_CACHE_DIR})",
+    )
+    sweep.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute every shard even when a cached result exists",
+    )
+    sweep.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_shards",
+        help="print the expanded shard list without running anything",
     )
 
     return parser
@@ -215,6 +273,37 @@ def _run_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_sweep(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        print(
+            f"repro sweep: error: --jobs must be a positive integer, "
+            f"got {args.jobs}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        spec = smoke_spec() if args.smoke else SweepSpec.from_json_file(args.spec)
+    except SweepSpecError as error:
+        print(f"repro sweep: error: {error}", file=sys.stderr)
+        return 2
+    if args.list_shards:
+        shards = spec.expand()
+        for shard in shards:
+            print(shard.shard_id)
+        print(f"{len(shards)} shards")
+        return 0
+    result = run_sweep(
+        spec,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        out_dir=args.out,
+        force=args.force,
+        progress=lambda message: print(f"sweep: {message}", file=sys.stderr),
+    )
+    print(result.report())
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -227,6 +316,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_experiments(args)
     if args.command == "simulate":
         return _run_simulate(args)
+    if args.command == "sweep":
+        return _run_sweep(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -62,6 +62,7 @@ class CompiledTopology:
         self._index: dict[int, int] = {asn: i for i, asn in enumerate(asns)}
         self.asn_array = np.asarray(asns, dtype=np.int64)
         self.source_mutation_count = graph.mutation_count
+        self._source_fingerprint: str | None = None
         self._source_ref: weakref.ref[ASGraph] = weakref.ref(graph)
 
         prov_rows: list[list[int]] = []
@@ -124,6 +125,30 @@ class CompiledTopology:
     def compile(cls, graph: ASGraph) -> "CompiledTopology":
         """Compile a fresh immutable view of the graph's current state."""
         return cls(graph)
+
+    @property
+    def source_fingerprint(self) -> str:
+        """Content digest of the source graph at compile time.
+
+        Together with :attr:`source_mutation_count` this extends the
+        staleness contract across process boundaries: on-disk sweep
+        caches stamp results with the fingerprint, so a cache hit is
+        guaranteed to describe byte-identical topology content.
+
+        Computed lazily on first access — churn-driven recompiles (the
+        simulation hot path) never pay for the hash — and only while the
+        source graph is alive and unmutated, so the digest can never
+        describe different content than the compiled arrays.
+        """
+        if self._source_fingerprint is None:
+            graph = self._source_ref()
+            if graph is None or graph.mutation_count != self.source_mutation_count:
+                raise RuntimeError(
+                    "source graph is gone or has mutated since compilation; "
+                    "its fingerprint can no longer be derived"
+                )
+            self._source_fingerprint = graph.content_fingerprint()
+        return self._source_fingerprint
 
     def is_stale(self, graph: ASGraph | None = None) -> bool:
         """Whether the source graph has mutated since compilation.

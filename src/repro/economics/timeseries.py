@@ -116,6 +116,8 @@ def simulate_billing_period(
     agreement conditions need headroom over the *average* volumes they
     were negotiated from (§IV-C's predictability discussion).
     """
-    model = DiurnalTrafficModel(mean_volume=mean_volume, **model_overrides)  # type: ignore[arg-type]
+    model = DiurnalTrafficModel(
+        mean_volume=mean_volume, **model_overrides
+    )  # type: ignore[arg-type]
     samples = model.generate(np.random.default_rng(seed))
     return billed_volume(samples, rule)

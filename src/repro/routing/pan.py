@@ -23,7 +23,7 @@ forwarding along embedded paths lives in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.agreements.agreement import Agreement
 from repro.topology.bandwidth import LinkCapacityModel

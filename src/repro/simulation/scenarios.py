@@ -19,6 +19,7 @@ metrics trace (:meth:`ScenarioResult.trace_text`).
 from __future__ import annotations
 
 import abc
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -332,18 +333,50 @@ SCENARIOS: dict[str, type[SimulationScenario]] = {
 }
 
 
+def scenario_field_names(name: str) -> frozenset[str]:
+    """The sweepable public fields of a scenario (its init'able knobs).
+
+    This is the validation surface of the sweep spec's ``scenarios``
+    axis: any field listed here can be overridden per sweep
+    configuration; ``name``/``description`` are identity, not knobs.
+    """
+    if name not in SCENARIOS:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(sorted(SCENARIOS))}"
+        )
+    return frozenset(
+        field.name for field in dataclasses.fields(SCENARIOS[name]) if field.init
+    )
+
+
 def run_scenario(
     name: str,
     *,
     seed: int | None = None,
     duration: float | None = None,
+    **overrides: float,
 ) -> ScenarioResult:
-    """Run a canned scenario by name with optional overrides."""
+    """Run a canned scenario by name with optional overrides.
+
+    ``overrides`` may set any sweepable scenario field (see
+    :func:`scenario_field_names`) — the hook the sweep orchestrator uses
+    to explore scenario knobs (failure rates, demand levels, topology
+    sizes, …) without hand-editing scenario classes.
+    """
     if name not in SCENARIOS:
         raise KeyError(
             f"unknown scenario {name!r}; available: {', '.join(sorted(SCENARIOS))}"
         )
+    allowed = scenario_field_names(name)
+    unknown = set(overrides) - allowed
+    if unknown:
+        raise TypeError(
+            f"scenario {name!r} has no field(s) {sorted(unknown)}; "
+            f"available: {', '.join(sorted(allowed))}"
+        )
     scenario = SCENARIOS[name]()
+    for key, value in sorted(overrides.items()):
+        setattr(scenario, key, value)
     if seed is not None:
         scenario.seed = seed
     if duration is not None:

@@ -1,0 +1,59 @@
+"""Parameter-sweep orchestration: sharded, resumable, byte-reproducible.
+
+This package turns "how do the paper's metrics behave across a grid of
+topology scales × seeds × figure selections × simulation-scenario
+knobs?" into one declarative spec and one command (``repro sweep``):
+
+- :mod:`repro.sweep.spec` — the spec format, named scales, and
+  deterministic grid expansion into shards;
+- :mod:`repro.sweep.shard` — executes one shard (all selected figures
+  sharing one compiled context, or one scenario configuration);
+- :mod:`repro.sweep.cache` — content-addressed on-disk results keyed by
+  (format, code version, shard params) for instant resume;
+- :mod:`repro.sweep.executor` — process-parallel orchestration with
+  atomic per-shard persistence;
+- :mod:`repro.sweep.aggregate` — fixed-order merging into
+  ``sweep_summary.json`` + per-metric CSV tables.
+"""
+
+from repro.sweep.aggregate import build_summary, summary_text, write_outputs
+from repro.sweep.cache import SweepCache, code_version, shard_key
+from repro.sweep.executor import (
+    DEFAULT_CACHE_DIR,
+    DEFAULT_OUT_DIR,
+    SweepRunResult,
+    run_sweep,
+)
+from repro.sweep.shard import run_shard
+from repro.sweep.spec import (
+    FIGURES,
+    NAMED_SCALES,
+    ScaleSpec,
+    ScenarioSpec,
+    Shard,
+    SweepSpec,
+    SweepSpecError,
+    smoke_spec,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_OUT_DIR",
+    "FIGURES",
+    "NAMED_SCALES",
+    "ScaleSpec",
+    "ScenarioSpec",
+    "Shard",
+    "SweepCache",
+    "SweepRunResult",
+    "SweepSpec",
+    "SweepSpecError",
+    "build_summary",
+    "code_version",
+    "run_shard",
+    "run_sweep",
+    "shard_key",
+    "smoke_spec",
+    "summary_text",
+    "write_outputs",
+]

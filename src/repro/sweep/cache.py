@@ -1,0 +1,129 @@
+"""Content-addressed on-disk cache for sweep shard results.
+
+Every shard result is stored as one JSON file named by the SHA-256 of
+the canonical triple ``(cache format, code version, shard params)``:
+
+- **code version** — a digest over every source file of the ``repro``
+  package, so editing any analysis code invalidates all cached results
+  (the on-disk analogue of the in-memory mutation-count staleness
+  contract of :mod:`repro.core`);
+- **shard params** — the canonical parameter mapping of the shard, so
+  changing one grid point's parameters dirties exactly that shard and
+  no other.
+
+Writes are atomic (temp file + ``os.replace``), so a sweep killed
+mid-run leaves only complete entries behind and a resumed run recomputes
+exactly the missing shards.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+import repro
+
+from repro.sweep.spec import canonical_json
+
+#: Bump to invalidate every existing cache entry on format changes.
+CACHE_FORMAT = 1
+
+_CODE_VERSION: str | None = None
+
+
+def code_version() -> str:
+    """Digest of the ``repro`` package sources (memoized per process)."""
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        package_dir = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(package_dir.rglob("*.py")):
+            digest.update(path.relative_to(package_dir).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()
+    return _CODE_VERSION
+
+
+def shard_key(shard_params: dict[str, Any], *, code: str | None = None) -> str:
+    """The cache key of one shard: sha256(format, code version, params)."""
+    payload = {
+        "format": CACHE_FORMAT,
+        "code": code if code is not None else code_version(),
+        "shard": shard_params,
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+class SweepCache:
+    """A directory of content-addressed shard result files."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    def path_for(self, key: str) -> Path:
+        """The file path of a cache key's entry."""
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> dict[str, Any] | None:
+        """The cached record for ``key``, or ``None`` if absent/corrupt.
+
+        A truncated or hand-edited entry (e.g. from a kill during a
+        non-atomic copy) is treated as a miss, never an error: the shard
+        is simply recomputed and the entry rewritten.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(record, dict) or record.get("key") != key:
+            return None
+        return record
+
+    def store(self, key: str, record: dict[str, Any]) -> Path:
+        """Atomically persist ``record`` under ``key`` and return its path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        payload = dict(record, key=key)
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            encoding="utf-8",
+            dir=self.directory,
+            prefix=f".{key[:16]}.",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                handle.write(text)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def keys(self) -> tuple[str, ...]:
+        """All entry keys currently in the cache directory (sorted)."""
+        if not self.directory.is_dir():
+            return ()
+        return tuple(
+            sorted(
+                path.stem
+                for path in self.directory.glob("*.json")
+                if not path.name.startswith(".")
+            )
+        )

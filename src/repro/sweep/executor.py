@@ -1,0 +1,148 @@
+"""Sharded, resumable sweep execution.
+
+:func:`run_sweep` is the orchestration core behind ``repro sweep``:
+
+1. expand the spec into its deterministic shard list;
+2. probe the content-addressed cache — hits are reused verbatim,
+   misses become the work list (``--force`` dirties everything);
+3. execute missing shards, either in-process or across a
+   :class:`~concurrent.futures.ProcessPoolExecutor`, persisting each
+   result atomically *as it completes* so a killed run loses at most
+   the shards still in flight;
+4. merge all shard records in expansion order into the byte-reproducible
+   ``sweep_summary.json`` and per-metric CSV tables.
+
+Worker processes rebuild their own topology contexts (cheaper than
+shipping compiled numpy arrays across process boundaries, the same
+trade-off as ``repro experiments --jobs``); the per-process context memo
+in :mod:`repro.experiments.context` lets shards that share a (scale,
+seed) reuse work when they land on the same worker.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.sweep.aggregate import build_summary, summary_text, write_outputs
+from repro.sweep.cache import SweepCache, code_version, shard_key
+from repro.sweep.shard import run_shard
+from repro.sweep.spec import Shard, SweepSpec
+
+#: Default locations relative to the working directory.
+DEFAULT_CACHE_DIR = ".sweep-cache"
+DEFAULT_OUT_DIR = "sweep-results"
+
+
+@dataclass(frozen=True)
+class SweepRunResult:
+    """Outcome of one :func:`run_sweep` call."""
+
+    spec: SweepSpec
+    summary: dict[str, Any]
+    executed: tuple[str, ...]  # shard ids computed this run
+    reused: tuple[str, ...]  # shard ids served from the cache
+    written: dict[str, Path]  # output files (summary + metric tables)
+
+    @property
+    def summary_path(self) -> Path:
+        """Path of the written ``sweep_summary.json``."""
+        return self.written["summary"]
+
+    def summary_bytes(self) -> bytes:
+        """The canonical summary serialization."""
+        return summary_text(self.summary).encode("utf-8")
+
+    def report(self) -> str:
+        """Short human-readable run report."""
+        lines = [
+            f"== sweep: {self.spec.name} "
+            f"({len(self.executed) + len(self.reused)} shards) ==",
+            f"computed: {len(self.executed)}   cached: {len(self.reused)}",
+            f"summary:  {self.written['summary']}",
+            f"tables:   {len(self.written) - 1} metric CSVs",
+        ]
+        return "\n".join(lines)
+
+
+def _execute_shard(shard: Shard) -> tuple[dict[str, Any], float]:
+    """Worker entry point: run one shard, returning (record, elapsed)."""
+    started = time.perf_counter()
+    record = run_shard(shard)
+    return record, time.perf_counter() - started
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    jobs: int = 1,
+    cache_dir: str | Path = DEFAULT_CACHE_DIR,
+    out_dir: str | Path = DEFAULT_OUT_DIR,
+    force: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> SweepRunResult:
+    """Run (or resume) a sweep and write its outputs.
+
+    The cache makes this idempotent and interrupt-safe: re-running the
+    same spec against the same code recomputes nothing and rewrites a
+    byte-identical summary; after a kill, only the shards without a
+    completed cache entry run again.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be a positive integer, got {jobs}")
+    shards = spec.expand()
+    cache = SweepCache(cache_dir)
+    code = code_version()
+    keys = {shard: shard_key(shard.params(), code=code) for shard in shards}
+
+    records: dict[Shard, dict[str, Any]] = {}
+    pending: list[Shard] = []
+    for shard in shards:
+        cached = None if force else cache.load(keys[shard])
+        if cached is not None:
+            records[shard] = cached
+        else:
+            pending.append(shard)
+    reused = tuple(shard.shard_id for shard in shards if shard in records)
+    if progress:
+        progress(
+            f"{len(shards)} shards: {len(reused)} cached, {len(pending)} to compute"
+        )
+
+    def _persist(shard: Shard, record: dict[str, Any], elapsed: float) -> None:
+        entry = dict(record, elapsed_s=elapsed, code_version=code)
+        cache.store(keys[shard], entry)
+        records[shard] = entry
+        if progress:
+            progress(f"done {shard.shard_id} ({elapsed:.2f}s)")
+
+    if pending and jobs == 1:
+        for shard in pending:
+            record, elapsed = _execute_shard(shard)
+            _persist(shard, record, elapsed)
+    elif pending:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as executor:
+            futures = {
+                executor.submit(_execute_shard, shard): shard for shard in pending
+            }
+            remaining = set(futures)
+            # Persist as results land (not in submission order), so an
+            # interrupt preserves every completed shard.
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    record, elapsed = future.result()
+                    _persist(futures[future], record, elapsed)
+
+    summary = build_summary(spec, [records[shard] for shard in shards], code=code)
+    written = write_outputs(summary, out_dir)
+    return SweepRunResult(
+        spec=spec,
+        summary=summary,
+        executed=tuple(shard.shard_id for shard in pending),
+        reused=reused,
+        written=written,
+    )

@@ -10,7 +10,7 @@ from repro.agreements.compliance import (
     realized_scenario,
 )
 from repro.optimization.flow_volume import optimize_flow_volume_targets
-from repro.topology import AS_A, AS_B, AS_D, AS_E, AS_F
+from repro.topology import AS_B, AS_D, AS_E, AS_F
 
 
 @pytest.fixture()

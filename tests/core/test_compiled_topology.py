@@ -7,7 +7,6 @@ from repro.core import CompiledTopology, compile_topology
 from repro.topology import TopologyError, figure1_topology
 from repro.topology.fixtures import AS_A, AS_B, AS_C, AS_D, AS_E, AS_H
 from repro.topology.generator import generate_topology
-from repro.topology.relationships import Role
 
 
 @pytest.fixture()
@@ -134,3 +133,45 @@ class TestInvalidationContract:
     def test_stale_after_source_is_garbage_collected(self):
         compiled = compile_topology(figure1_topology())
         assert compiled.is_stale()  # source graph dropped immediately
+
+
+class TestSourceFingerprint:
+    def test_captured_at_compile_time(self):
+        graph = figure1_topology()
+        compiled = CompiledTopology(graph)
+        assert compiled.source_fingerprint == graph.content_fingerprint()
+
+    def test_identical_content_same_fingerprint_across_instances(self):
+        # The source graphs must stay alive: the fingerprint is derived
+        # lazily through the compiled view's weak source reference.
+        first_graph, second_graph = figure1_topology(), figure1_topology()
+        first = CompiledTopology(first_graph)
+        second = CompiledTopology(second_graph)
+        assert first.source_fingerprint == second.source_fingerprint
+
+    def test_distinguishes_topologies(self):
+        fig1_graph = figure1_topology()
+        synthetic_topology = generate_topology(
+            num_tier1=2, num_tier2=3, num_tier3=4, num_stubs=5, seed=1
+        )
+        fig1 = CompiledTopology(fig1_graph)
+        synthetic = CompiledTopology(synthetic_topology.graph)
+        assert fig1.source_fingerprint != synthetic.source_fingerprint
+
+    def test_collected_source_refuses_fingerprint(self):
+        compiled = CompiledTopology(figure1_topology())  # source dropped
+        with pytest.raises(RuntimeError, match="gone or has mutated"):
+            _ = compiled.source_fingerprint
+
+    def test_lazy_fingerprint_refuses_stale_or_collected_source(self):
+        graph = figure1_topology()
+        compiled = CompiledTopology(graph)
+        graph.add_peering(424242, AS_H)
+        with pytest.raises(RuntimeError, match="mutated since compilation"):
+            _ = compiled.source_fingerprint
+
+    def test_lazy_fingerprint_memoized_while_source_alive(self):
+        graph = figure1_topology()
+        compiled = CompiledTopology(graph)
+        first = compiled.source_fingerprint
+        assert compiled.source_fingerprint is first

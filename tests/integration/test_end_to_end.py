@@ -13,16 +13,15 @@ from repro.agreements import (
     AgreementScenario,
     SegmentTraffic,
     enumerate_mutuality_agreements,
-    figure1_mutuality_agreement,
     joint_utilities,
 )
 from repro.bargaining import BoscoService, JointUtilityDistribution, UniformUtilityDistribution
-from repro.economics import ENDHOSTS, FlowVector, default_business_models
+from repro.economics import ENDHOSTS, default_business_models
 from repro.optimization import compare_methods, negotiate_cash_agreement
 from repro.paths import analyze_path_diversity, build_ma_path_index, grc_length3_paths
 from repro.routing import BGPSimulator, ForwardingEngine, Packet, PathAwareNetwork
 from repro.routing.policies import gao_rexford_policies
-from repro.topology import AS_A, AS_B, AS_D, AS_E, figure1_topology, generate_topology
+from repro.topology import AS_A, AS_B, AS_D, AS_E, figure1_topology
 
 
 class TestAgreementLifecycle:

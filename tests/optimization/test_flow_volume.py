@@ -8,9 +8,9 @@ from repro.agreements import (
     joint_utilities,
 )
 from repro.agreements.agreement import PathSegment
-from repro.economics import ENDHOSTS, FlowVector
+from repro.economics import FlowVector
 from repro.optimization.flow_volume import optimize_flow_volume_targets
-from repro.topology import AS_A, AS_B, AS_D, AS_E, AS_H
+from repro.topology import AS_A, AS_B, AS_D, AS_E
 
 
 class TestFlowVolumeOptimization:

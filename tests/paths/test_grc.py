@@ -14,7 +14,6 @@ from repro.topology import (
     AS_D,
     AS_E,
     AS_F,
-    AS_G,
     AS_H,
     AS_I,
     figure1_topology,

@@ -8,7 +8,6 @@ from repro.topology import (
     AS_A,
     AS_B,
     AS_D,
-    AS_E,
     AS_H,
     bad_gadget_topology,
     disagree_topology,

@@ -6,8 +6,6 @@ reconverge (and GRC-violating configurations can even degrade into a
 BAD GADGET after a failure, §II).
 """
 
-import pytest
-
 from repro.agreements import figure1_mutuality_agreement
 from repro.routing import (
     BGPSimulator,

@@ -7,7 +7,6 @@ from repro.routing.pan import PathAwareNetwork
 from repro.topology import (
     AS_A,
     AS_B,
-    AS_C,
     AS_D,
     AS_E,
     AS_F,

@@ -1,0 +1,67 @@
+"""Content-addressed cache keys and atomic entry storage."""
+
+import json
+
+from repro.sweep import SweepCache, code_version, shard_key, smoke_spec
+
+
+class TestShardKey:
+    def test_stable_for_identical_params(self):
+        params = smoke_spec().expand()[0].params()
+        assert shard_key(params, code="c1") == shard_key(params, code="c1")
+
+    def test_changes_with_any_shard_param(self):
+        shards = smoke_spec().expand()
+        base = shard_key(shards[0].params(), code="c1")
+        for other in shards[1:]:
+            assert shard_key(other.params(), code="c1") != base
+        mutated = dict(shards[0].params(), seed=999)
+        assert shard_key(mutated, code="c1") != base
+
+    def test_changes_with_code_version(self):
+        params = smoke_spec().expand()[0].params()
+        assert shard_key(params, code="c1") != shard_key(params, code="c2")
+
+    def test_code_version_is_memoized_and_wellformed(self):
+        first = code_version()
+        assert first == code_version()
+        assert len(first) == 64
+        int(first, 16)  # valid hex digest
+
+
+class TestSweepCache:
+    def test_roundtrip(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        record = {"id": "x", "metrics": {"m": 1.5}}
+        path = cache.store("k1", record)
+        assert path.is_file()
+        loaded = cache.load("k1")
+        assert loaded is not None
+        assert loaded["metrics"] == {"m": 1.5}
+        assert loaded["key"] == "k1"
+
+    def test_missing_entry_is_none(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        assert cache.load("nope") is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        cache.store("k1", {"id": "x", "metrics": {}})
+        cache.path_for("k1").write_text('{"truncated": ')
+        assert cache.load("k1") is None
+
+    def test_mismatched_key_field_is_a_miss(self, tmp_path):
+        # An entry copied to the wrong filename must not be served.
+        cache = SweepCache(tmp_path / "cache")
+        cache.store("k1", {"id": "x", "metrics": {}})
+        payload = json.loads(cache.path_for("k1").read_text())
+        cache.path_for("k2").write_text(json.dumps(payload))
+        assert cache.load("k2") is None
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        for index in range(5):
+            cache.store(f"k{index}", {"id": str(index), "metrics": {}})
+        leftovers = [p for p in (tmp_path / "cache").iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+        assert len(cache.keys()) == 5

@@ -1,0 +1,80 @@
+"""Single-shard execution: metrics content and scenario overrides."""
+
+import json
+
+import pytest
+
+from repro.simulation.scenarios import run_scenario, scenario_field_names
+from repro.sweep import SweepSpec, run_shard
+
+
+def spec_for(**overrides):
+    data = {
+        "name": "s",
+        "scales": [
+            {
+                "name": "t",
+                "num_tier1": 2,
+                "num_tier2": 5,
+                "num_tier3": 12,
+                "num_stubs": 30,
+                "sample_size": 20,
+                "pair_sample_size": 8,
+            }
+        ],
+        "seeds": [7],
+    }
+    data.update(overrides)
+    return SweepSpec.from_mapping(data)
+
+
+def test_figures_shard_metrics_are_json_safe_and_deterministic():
+    spec = spec_for(figures=["fig2", "fig3", "fig4", "fig5", "fig6"])
+    (shard,) = spec.expand()
+    record = run_shard(shard)
+    again = run_shard(shard)
+    assert record == again
+    json.dumps(record)  # strict-JSON serializable (no NaN/inf)
+    metrics = record["metrics"]
+    assert metrics["fig3.ma_mean_paths"] >= metrics["fig3.grc_mean_paths"]
+    assert metrics["fig4.ma_mean_destinations"] >= metrics["fig4.grc_mean_destinations"]
+    assert 0.0 <= metrics["fig2.best_pod_u1"] <= 1.0
+    assert len(record["topology_fingerprint"]) == 64
+
+
+def test_fig2_only_shard_skips_topology_work():
+    spec = spec_for(figures=["fig2"])
+    (shard,) = spec.expand()
+    record = run_shard(shard)
+    assert record["topology_fingerprint"] is None
+    assert set(record["metrics"]) == {"fig2.best_pod_u1", "fig2.best_pod_u2"}
+
+
+def test_scenario_shard_applies_scale_and_overrides():
+    spec = spec_for(
+        scenarios=[
+            {"scenario": "failure-churn", "label": "short", "duration": 2.0},
+            {"scenario": "failure-churn", "label": "long", "duration": 8.0},
+        ]
+    )
+    short, long = spec.expand()
+    short_record = run_shard(short)
+    long_record = run_shard(long)
+    assert short_record["metrics"]["trace_records"] < long_record["metrics"]["trace_records"]
+    assert "availability.BGP" in short_record["metrics"]
+    assert "availability.PAN" in short_record["metrics"]
+
+
+def test_scenario_overrides_reach_run_scenario():
+    short = run_scenario("failure-churn", seed=3, duration=2.0, num_stubs=10)
+    assert short.duration == 2.0
+    with pytest.raises(TypeError, match="no field"):
+        run_scenario("failure-churn", warp_factor=9)
+
+
+def test_scenario_field_names_expose_sweepable_knobs():
+    fields = scenario_field_names("failure-churn")
+    assert {"duration", "mean_time_to_failure", "num_stubs", "seed"} <= fields
+    assert "name" not in fields
+    with pytest.raises(KeyError, match="unknown scenario"):
+        scenario_field_names("apocalypse")

@@ -158,3 +158,52 @@ class TestValidationAndExport:
     def test_repr_contains_counts(self, simple_graph):
         text = repr(simple_graph)
         assert "ases=4" in text
+
+
+class TestContentFingerprint:
+    def test_insertion_order_independent(self):
+        a = ASGraph()
+        a.add_provider_customer(1, 2)
+        a.add_peering(2, 3)
+        b = ASGraph()
+        b.add_peering(2, 3)
+        b.add_provider_customer(1, 2)
+        assert a.content_fingerprint() == b.content_fingerprint()
+
+    def test_changes_on_mutation(self):
+        graph = ASGraph()
+        graph.add_provider_customer(1, 2)
+        before = graph.content_fingerprint()
+        graph.add_peering(2, 3)
+        with_link = graph.content_fingerprint()
+        assert with_link != before
+        # Removing the link keeps AS 3 in the graph: same content as a
+        # fresh graph built that way, distinct from both earlier states.
+        graph.remove_link(2, 3)
+        reference = ASGraph()
+        reference.add_provider_customer(1, 2)
+        reference.add_as(3)
+        assert graph.content_fingerprint() == reference.content_fingerprint()
+        assert graph.content_fingerprint() != with_link
+
+    def test_direction_matters(self):
+        a = ASGraph()
+        a.add_provider_customer(1, 2)
+        b = ASGraph()
+        b.add_provider_customer(2, 1)
+        assert a.content_fingerprint() != b.content_fingerprint()
+
+    def test_relationship_matters(self):
+        a = ASGraph()
+        a.add_provider_customer(1, 2)
+        b = ASGraph()
+        b.add_peering(1, 2)
+        assert a.content_fingerprint() != b.content_fingerprint()
+
+    def test_memo_is_invalidated_by_mutation_count(self):
+        graph = ASGraph()
+        graph.add_peering(1, 2)
+        first = graph.content_fingerprint()
+        assert graph.content_fingerprint() is first  # served from the memo
+        graph.add_peering(1, 3)
+        assert graph.content_fingerprint() != first
