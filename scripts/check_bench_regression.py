@@ -17,9 +17,15 @@ Rules:
 - a fresh result is a regression when its ``wall_time_s`` exceeds
   ``baseline * (1 + tolerance)``; runs faster than the measurement floor
   on both sides are ignored as noise;
+- wall times are only compared between runs of the same recorded
+  ``scale.name`` — a tiny CI smoke run satisfies the freshness check
+  against a full-scale baseline (committed to document a paper-scale
+  contract) without being nonsensically measured against it;
 - fresh results without a baseline are reported (run with ``--update``
   to adopt them — that is also the baseline-refresh workflow after an
-  intentional performance change: regenerate, eyeball, commit).
+  intentional performance change: regenerate, eyeball, commit);
+- ``--update`` refuses to replace an existing baseline with a run of a
+  different ``scale.name`` — refresh such baselines at their own scale.
 
 Exit codes: 0 ok, 1 regression or missing result, 2 usage error.
 """
@@ -85,7 +91,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.update:
         baselines_dir.mkdir(parents=True, exist_ok=True)
         for name, path in fresh.items():
-            shutil.copyfile(path, baselines_dir / name)
+            # Never silently replace a baseline with a run of a
+            # different scale (e.g. the full-scale negotiation
+            # baseline with a tiny smoke result): regenerate at the
+            # baseline's own scale instead.
+            existing = baselines_dir / name
+            if existing.exists():
+                old_scale = (load_bench(existing).get("scale") or {}).get("name")
+                new_scale = (load_bench(path).get("scale") or {}).get("name")
+                if old_scale != new_scale:
+                    print(
+                        f"baseline kept:    {name} (baseline scale {old_scale!r}, "
+                        f"fresh {new_scale!r} — regenerate at the baseline scale "
+                        "to update)"
+                    )
+                    continue
+            shutil.copyfile(path, existing)
             print(f"baseline updated: {name}")
         if not fresh:
             print("error: no BENCH_*.json results to adopt", file=sys.stderr)
@@ -104,6 +125,14 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(f"{name}: no fresh result emitted (benchmark skipped?)")
             continue
         result = load_bench(fresh[name])
+        base_scale = (baseline.get("scale") or {}).get("name")
+        new_scale = (result.get("scale") or {}).get("name")
+        if base_scale != new_scale:
+            print(
+                f"ok   {name}: scale mismatch (baseline {base_scale!r}, "
+                f"fresh {new_scale!r}) — wall times not compared"
+            )
+            continue
         base_time = float(baseline["wall_time_s"])
         new_time = float(result["wall_time_s"])
         if new_time < MEASUREMENT_FLOOR_S:

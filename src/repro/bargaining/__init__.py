@@ -32,11 +32,20 @@ from repro.bargaining.efficiency import (
     nash_product_value,
     price_of_dishonesty,
 )
+from repro.bargaining.engine import (
+    BatchedEquilibria,
+    DistributionKernel,
+    GameBatch,
+    NegotiationEngine,
+    batched_claims,
+    kernel_for,
+)
 from repro.bargaining.game import (
     BargainingGame,
     EquilibriumError,
     StrategyProfile,
     choice_probabilities,
+    profile_delta,
     response_lines,
 )
 from repro.bargaining.mechanism import (
@@ -69,7 +78,14 @@ __all__ = [
     "StrategyProfile",
     "EquilibriumError",
     "choice_probabilities",
+    "profile_delta",
     "response_lines",
+    "NegotiationEngine",
+    "GameBatch",
+    "BatchedEquilibria",
+    "DistributionKernel",
+    "batched_claims",
+    "kernel_for",
     "nash_product_value",
     "expected_nash_product",
     "expected_truthful_nash_product",

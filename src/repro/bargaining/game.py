@@ -30,7 +30,29 @@ from repro.bargaining.strategy import (
 
 
 class EquilibriumError(Exception):
-    """Raised when best-response dynamics fail to converge."""
+    """Raised when best-response dynamics fail to converge.
+
+    Carries a diagnostic payload so callers can log *how* the search
+    failed instead of silently retrying: ``iterations`` is the number of
+    best-response rounds performed by the last attempted start,
+    ``last_delta`` the largest threshold movement in its final round
+    (``∞`` when an infinity flipped sides), and ``skipped_trials`` the
+    number of configuration trials discarded before the failure was
+    raised (set by :class:`~repro.bargaining.mechanism.BoscoService`).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        iterations: int | None = None,
+        last_delta: float | None = None,
+        skipped_trials: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.last_delta = last_delta
+        self.skipped_trials = skipped_trials
 
 
 @dataclass(frozen=True)
@@ -39,6 +61,26 @@ class StrategyProfile:
 
     strategy_x: ThresholdStrategy
     strategy_y: ThresholdStrategy
+
+
+def profile_delta(
+    first: tuple[float, ...], second: tuple[float, ...]
+) -> float:
+    """Largest threshold movement between two threshold series.
+
+    The diagnostic an :class:`EquilibriumError` reports (and the scalar
+    twin of the batched engine's ``last_delta``): ``0.0`` for identical
+    series, ``∞`` when an infinity appears on one side only, otherwise
+    the maximum absolute difference.
+    """
+    delta = 0.0
+    for a, b in zip(first, second):
+        if a == b:
+            continue
+        if math.isinf(a) or math.isinf(b):
+            return float("inf")
+        delta = max(delta, abs(a - b))
+    return delta
 
 
 def choice_probabilities(
@@ -145,15 +187,19 @@ class BargainingGame:
             ]
         else:
             starts = self._default_starting_profiles()
+        iterations_used = 0
+        last_delta = float("inf")
         for start_x, start_y in starts:
-            profile = self._iterate_best_responses(
+            profile, iterations_used, last_delta = self._iterate_best_responses(
                 start_x, start_y, max_iterations=max_iterations, tolerance=tolerance
             )
             if profile is not None:
                 return profile
         raise EquilibriumError(
             f"best-response dynamics did not converge within {max_iterations} "
-            "iterations from any starting profile"
+            "iterations from any starting profile",
+            iterations=iterations_used,
+            last_delta=last_delta,
         )
 
     def _default_starting_profiles(
@@ -186,23 +232,36 @@ class BargainingGame:
         *,
         max_iterations: int,
         tolerance: float,
-    ) -> StrategyProfile | None:
-        """Run best-response dynamics; None when a cycle is detected."""
+    ) -> tuple[StrategyProfile | None, int, float]:
+        """Run best-response dynamics from one starting profile.
+
+        Returns ``(profile, iterations, last_delta)``; the profile is
+        ``None`` when a cycle is detected or the iteration budget runs
+        out, and the other two fields are the diagnostics an
+        :class:`EquilibriumError` carries.
+        """
         seen: set[tuple[tuple[float, ...], tuple[float, ...]]] = set()
-        for _ in range(max_iterations):
+        last_delta = float("inf")
+        iteration = 0
+        for iteration in range(1, max_iterations + 1):
             next_x = self.best_response("x", strategy_y)
             next_y = self.best_response("y", next_x)
             converged = next_x.approximately_equal(
                 strategy_x, tolerance
             ) and next_y.approximately_equal(strategy_y, tolerance)
+            last_delta = profile_delta(
+                next_x.thresholds + next_y.thresholds,
+                strategy_x.thresholds + strategy_y.thresholds,
+            )
             strategy_x, strategy_y = next_x, next_y
             if converged:
-                return StrategyProfile(strategy_x=strategy_x, strategy_y=strategy_y)
+                profile = StrategyProfile(strategy_x=strategy_x, strategy_y=strategy_y)
+                return profile, iteration, last_delta
             signature = (strategy_x.thresholds, strategy_y.thresholds)
             if signature in seen:
-                return None
+                return None, iteration, last_delta
             seen.add(signature)
-        return None
+        return None, iteration, last_delta
 
     def is_equilibrium(
         self, profile: StrategyProfile, tolerance: float = 1e-9

@@ -19,6 +19,7 @@ stages:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -29,6 +30,12 @@ from repro.bargaining.efficiency import (
     expected_nash_product,
     expected_truthful_nash_product,
     price_of_dishonesty,
+)
+from repro.bargaining.engine import (
+    BatchedEquilibria,
+    GameBatch,
+    NegotiationEngine,
+    batched_claims,
 )
 from repro.bargaining.game import BargainingGame, EquilibriumError, StrategyProfile
 
@@ -97,8 +104,33 @@ class ChoiceSetTrialResult:
     converged: bool
 
 
+@dataclass(frozen=True)
+class BatchSolution:
+    """Solved equilibria and ratings of one batch of configuration trials."""
+
+    equilibria: "BatchedEquilibria"
+    nash_products: np.ndarray
+    pods: np.ndarray
+
+
 class BoscoService:
-    """Configures and supervises BOSCO negotiations."""
+    """Configures and supervises BOSCO negotiations.
+
+    ``backend`` selects how configuration trials are evaluated:
+    ``"batched"`` (the default) packs all random trials of a
+    :meth:`configure` / :meth:`pod_statistics` call into one
+    :class:`~repro.bargaining.engine.GameBatch` and solves them with the
+    :class:`~repro.bargaining.engine.NegotiationEngine`'s array kernels;
+    ``"reference"`` keeps the original one-trial-at-a-time Python path.
+    Both backends draw choice sets in the identical RNG order and the
+    engine is bit-exact, so the two produce byte-identical seeded
+    results — the reference path survives as the testing fallback the
+    equivalence suite compares against.
+
+    Non-converging trials are no longer silently dropped:
+    :attr:`skipped_trials` accumulates how many configuration trials
+    failed to reach an equilibrium over the service's lifetime.
+    """
 
     def __init__(
         self,
@@ -106,14 +138,23 @@ class BoscoService:
         *,
         seed: int = 0,
         choice_construction: str = "random",
+        backend: str = "batched",
+        engine: NegotiationEngine | None = None,
     ) -> None:
         if choice_construction not in ("random", "quantile"):
             raise ValueError(
                 f"choice_construction must be 'random' or 'quantile', got "
                 f"{choice_construction!r}"
             )
+        if backend not in ("batched", "reference"):
+            raise ValueError(
+                f"backend must be 'batched' or 'reference', got {backend!r}"
+            )
         self.distribution = distribution
         self.choice_construction = choice_construction
+        self.backend = backend
+        self.engine = engine if engine is not None else NegotiationEngine()
+        self.skipped_trials = 0
         self._rng = np.random.default_rng(seed)
         self._truthful_value = expected_truthful_nash_product(distribution)
 
@@ -125,18 +166,32 @@ class BoscoService:
     # ------------------------------------------------------------------
     # Configuration
     # ------------------------------------------------------------------
-    def run_trial(self, num_choices_x: int, num_choices_y: int) -> ChoiceSetTrialResult:
-        """Run one choice-set construction trial and evaluate its equilibrium."""
+    def _draw_choice_sets(
+        self, num_choices_x: int, num_choices_y: int
+    ) -> tuple[ChoiceSet, ChoiceSet]:
+        """Construct one trial's choice sets (X first, then Y).
+
+        Both backends call this in the same per-trial order, so the
+        random draws consume the service RNG identically and the batched
+        path sees byte-identical choice sets.
+        """
         if self.choice_construction == "random":
-            choices_x = random_choice_set(
-                self.distribution.marginal_x, num_choices_x, self._rng
+            return (
+                random_choice_set(self.distribution.marginal_x, num_choices_x, self._rng),
+                random_choice_set(self.distribution.marginal_y, num_choices_y, self._rng),
             )
-            choices_y = random_choice_set(
-                self.distribution.marginal_y, num_choices_y, self._rng
-            )
-        else:
-            choices_x = quantile_choice_set(self.distribution.marginal_x, num_choices_x)
-            choices_y = quantile_choice_set(self.distribution.marginal_y, num_choices_y)
+        return (
+            quantile_choice_set(self.distribution.marginal_x, num_choices_x),
+            quantile_choice_set(self.distribution.marginal_y, num_choices_y),
+        )
+
+    def run_trial(self, num_choices_x: int, num_choices_y: int) -> ChoiceSetTrialResult:
+        """Run one choice-set construction trial and evaluate its equilibrium.
+
+        This is the naive reference path: one game at a time, pure
+        Python.  The batched backend reproduces it bit for bit.
+        """
+        choices_x, choices_y = self._draw_choice_sets(num_choices_x, num_choices_y)
         game = BargainingGame(
             distribution_x=self.distribution.marginal_x,
             distribution_y=self.distribution.marginal_y,
@@ -160,6 +215,17 @@ class BoscoService:
         )
         return ChoiceSetTrialResult(information=information, converged=True)
 
+    def _solve_trials(
+        self, num_choices: int, trials: int
+    ) -> tuple[GameBatch, "BatchSolution"]:
+        """Draw ``trials`` choice-set pairs and solve them in one batch."""
+        pairs = [self._draw_choice_sets(num_choices, num_choices) for _ in range(trials)]
+        batch = GameBatch.from_choice_sets(self.distribution, pairs)
+        equilibria = self.engine.solve(batch)
+        values = self.engine.expected_nash_products(batch, equilibria)
+        pods = self.engine.prices_of_dishonesty(values, self._truthful_value)
+        return batch, BatchSolution(equilibria=equilibria, nash_products=values, pods=pods)
+
     def configure(
         self,
         num_choices: int,
@@ -170,20 +236,55 @@ class BoscoService:
 
         ``num_choices`` is the number of finite choices per party (the
         paper's ``W_X = W_Y``); the configuration with the lowest Price
-        of Dishonesty is returned.
+        of Dishonesty is returned.  Non-converging trials are counted in
+        :attr:`skipped_trials` rather than silently retried.
         """
         if trials < 1:
             raise ValueError("at least one trial is required")
+        if self.backend == "reference":
+            return self._configure_reference(num_choices, trials)
+        batch, solution = self._solve_trials(num_choices, trials)
+        equilibria = solution.equilibria
+        best: int | None = None
+        for trial in range(trials):
+            if not equilibria.converged[trial]:
+                continue
+            if best is None or solution.pods[trial] < solution.pods[best]:
+                best = trial
+        skipped = trials - int(equilibria.converged.sum())
+        self.skipped_trials += skipped
+        if best is None:
+            raise EquilibriumError(
+                "no choice-set trial produced a converging equilibrium",
+                iterations=int(np.max(equilibria.iterations, initial=0)),
+                last_delta=float(np.nanmax(equilibria.last_delta)),
+                skipped_trials=skipped,
+            )
+        return MechanismInformation(
+            distribution=self.distribution,
+            choices_x=batch.sets_x[best],
+            choices_y=batch.sets_y[best],
+            equilibrium=equilibria.profile(batch, best),
+            price_of_dishonesty=float(solution.pods[best]),
+            expected_nash_product=float(solution.nash_products[best]),
+        )
+
+    def _configure_reference(self, num_choices: int, trials: int) -> MechanismInformation:
+        """The original per-trial configuration loop (testing fallback)."""
         best: MechanismInformation | None = None
+        skipped = 0
         for _ in range(trials):
             result = self.run_trial(num_choices, num_choices)
             if result.information is None:
+                skipped += 1
                 continue
             if best is None or result.information.price_of_dishonesty < best.price_of_dishonesty:
                 best = result.information
+        self.skipped_trials += skipped
         if best is None:
             raise EquilibriumError(
-                "no choice-set trial produced a converging equilibrium"
+                "no choice-set trial produced a converging equilibrium",
+                skipped_trials=skipped,
             )
         return best
 
@@ -193,7 +294,39 @@ class BoscoService:
         *,
         trials: int = 200,
     ) -> dict[str, float]:
-        """Minimum and mean PoD over random choice-set trials (Fig. 2 data)."""
+        """Minimum and mean PoD over random choice-set trials (Fig. 2 data).
+
+        ``skipped_trials`` reports how many of the requested trials did
+        not converge (their PoD is excluded from the statistics, as in
+        the paper's evaluation).
+        """
+        if self.backend == "reference":
+            return self._pod_statistics_reference(num_choices, trials)
+        batch, solution = self._solve_trials(num_choices, trials)
+        equilibria = solution.equilibria
+        counts_x, counts_y = self.engine.equilibrium_choice_counts(equilibria)
+        pods = []
+        equilibrium_choice_counts = []
+        for trial in range(trials):
+            if not equilibria.converged[trial]:
+                continue
+            pods.append(float(solution.pods[trial]))
+            equilibrium_choice_counts.append(
+                (int(counts_x[trial]) + int(counts_y[trial])) / 2.0
+            )
+        skipped = trials - len(pods)
+        self.skipped_trials += skipped
+        if not pods:
+            raise EquilibriumError(
+                "no trial converged; cannot compute PoD statistics",
+                skipped_trials=skipped,
+            )
+        return self._pod_summary(pods, equilibrium_choice_counts, skipped)
+
+    def _pod_statistics_reference(
+        self, num_choices: int, trials: int
+    ) -> dict[str, float]:
+        """The original per-trial PoD loop (testing fallback)."""
         pods = []
         equilibrium_choice_counts = []
         for _ in range(trials):
@@ -209,14 +342,26 @@ class BoscoService:
                 )
                 / 2.0
             )
+        skipped = trials - len(pods)
+        self.skipped_trials += skipped
         if not pods:
-            raise EquilibriumError("no trial converged; cannot compute PoD statistics")
+            raise EquilibriumError(
+                "no trial converged; cannot compute PoD statistics",
+                skipped_trials=skipped,
+            )
+        return self._pod_summary(pods, equilibrium_choice_counts, skipped)
+
+    @staticmethod
+    def _pod_summary(
+        pods: list[float], equilibrium_choice_counts: list[float], skipped: int
+    ) -> dict[str, float]:
         return {
             "min": float(np.min(pods)),
             "mean": float(np.mean(pods)),
             "max": float(np.max(pods)),
             "trials": float(len(pods)),
             "mean_equilibrium_choices": float(np.mean(equilibrium_choice_counts)),
+            "skipped_trials": float(skipped),
         }
 
     # ------------------------------------------------------------------
@@ -241,3 +386,54 @@ class BoscoService:
             true_utility_x=true_utility_x,
             true_utility_y=true_utility_y,
         )
+
+    @staticmethod
+    def negotiate_many(
+        information: MechanismInformation,
+        true_utilities_x: Sequence[float],
+        true_utilities_y: Sequence[float],
+    ) -> list[NegotiationOutcome]:
+        """Execute many negotiations under one published configuration.
+
+        The batched twin of :meth:`negotiate` — claims for all instances
+        come from two vectorized threshold lookups
+        (:func:`~repro.bargaining.engine.batched_claims`), and each
+        outcome is bit-identical to the scalar path.  This is what the
+        simulation lifecycle calls once per billing epoch for every
+        agreement due for (re)negotiation.
+        """
+        if len(true_utilities_x) != len(true_utilities_y):
+            raise ValueError(
+                "need one utility per party and instance, got "
+                f"{len(true_utilities_x)} x-utilities and "
+                f"{len(true_utilities_y)} y-utilities"
+            )
+        if not true_utilities_x:
+            return []
+        claims_x = batched_claims(
+            information.equilibrium.strategy_x,
+            np.asarray(true_utilities_x, dtype=np.float64),
+        )
+        claims_y = batched_claims(
+            information.equilibrium.strategy_y,
+            np.asarray(true_utilities_y, dtype=np.float64),
+        )
+        outcomes = []
+        for utility_x, utility_y, claim_x, claim_y in zip(
+            true_utilities_x, true_utilities_y, claims_x, claims_y
+        ):
+            claim_x = float(claim_x)
+            claim_y = float(claim_y)
+            concluded = claim_x + claim_y >= 0.0
+            transfer = (claim_x - claim_y) / 2.0 if concluded else 0.0
+            outcomes.append(
+                NegotiationOutcome(
+                    claim_x=claim_x,
+                    claim_y=claim_y,
+                    concluded=concluded,
+                    transfer_x_to_y=transfer,
+                    true_utility_x=float(utility_x),
+                    true_utility_y=float(utility_y),
+                )
+            )
+        return outcomes

@@ -100,6 +100,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(defaults to each experiment's own seed)",
     )
     experiments.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="Fig. 2 trials per choice-set cardinality (200 = paper scale; "
+        "defaults to the run scale's own trial count)",
+    )
+    experiments.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -229,7 +236,19 @@ def _run_experiments(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    print(run_all(RunnerConfig(full=args.full, seed=args.seed), jobs=args.jobs))
+    if args.trials is not None and args.trials < 1:
+        print(
+            f"repro experiments: error: --trials must be a positive integer, "
+            f"got {args.trials}",
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        run_all(
+            RunnerConfig(full=args.full, seed=args.seed, trials=args.trials),
+            jobs=args.jobs,
+        )
+    )
     return 0
 
 

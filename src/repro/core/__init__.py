@@ -11,6 +11,10 @@ This package is the performance substrate of the reproduction:
   length-3 paths of *all* sources in one batched sweep over the
   compiled arrays, memoizes per-source results, and supports
   dirty-region invalidation under topology churn.
+- :mod:`~repro.core.arrays` provides the order-preserving reduction
+  and scan kernels that keep batched engines (the path engine, the
+  bargaining :class:`~repro.bargaining.engine.NegotiationEngine`)
+  bit-identical to their naive per-instance reference paths.
 
 Higher layers (``paths``, ``agreements``, ``experiments``,
 ``simulation``) consume these through the cached helpers
@@ -18,6 +22,12 @@ Higher layers (``paths``, ``agreements``, ``experiments``,
 analyses of the same graph share one compiled view.
 """
 
+from repro.core.arrays import (
+    exclusive_suffix_minimum,
+    last_argmax,
+    running_maximum,
+    sequential_sum,
+)
 from repro.core.compiled import CompiledTopology, compile_topology
 from repro.core.path_engine import DENSE_LIMIT, PathEngine, path_engine_for
 
@@ -27,4 +37,8 @@ __all__ = [
     "PathEngine",
     "path_engine_for",
     "DENSE_LIMIT",
+    "sequential_sum",
+    "running_maximum",
+    "exclusive_suffix_minimum",
+    "last_argmax",
 ]

@@ -1,0 +1,82 @@
+"""Order-preserving array kernels shared by the batched engines.
+
+The batched engines (:class:`~repro.core.path_engine.PathEngine`,
+:class:`~repro.bargaining.engine.NegotiationEngine`) are contracted to
+reproduce their naive per-instance reference paths *bit for bit*: seeded
+experiment tables and simulation traces must not change when a consumer
+switches to the vectorized path.  That rules out ``np.sum`` for
+reductions — NumPy's pairwise summation reassociates floating-point
+additions and rounds differently from the reference code's sequential
+``total += term`` loops.
+
+This module collects the small set of primitives that make exact
+vectorization possible:
+
+- :func:`sequential_sum` — a reduction with Python's left-to-right
+  accumulation order (``ufunc.accumulate`` is a sequential scan, unlike
+  ``ufunc.reduce`` which is pairwise);
+- :func:`running_maximum` / :func:`exclusive_suffix_minimum` — scans
+  built from comparisons only, which are always exact;
+- :func:`last_argmax` — tie-breaking toward the *last* maximal element,
+  the vectorized form of "keep updating on ties" scan loops.
+
+Everything operates on ``float64`` (or bool) arrays along the last
+axis and is row-independent: applying a kernel to a subset of rows
+yields the same values as applying it to the full batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sequential_sum(terms: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Sum ``terms`` along ``axis`` in strict left-to-right order.
+
+    Bit-identical to the Python fold ``total = 0.0; for t in terms:
+    total += t`` — including the IEEE-754 signed-zero corner: a fold
+    that starts from ``+0.0`` can never return ``-0.0``, so the scan
+    result is re-rounded through a final ``+ 0.0``.  (``np.cumsum`` is a
+    sequential scan; only ``np.sum``'s pairwise tree reassociates.)
+    """
+    terms = np.asarray(terms)
+    if terms.shape[axis] == 0:
+        shape = list(terms.shape)
+        del shape[axis]
+        return np.zeros(shape, dtype=terms.dtype)
+    moved = np.moveaxis(terms, axis, -1)
+    return np.cumsum(moved, axis=-1)[..., -1] + 0.0
+
+
+def running_maximum(values: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Left-to-right running maximum (the vectorized monotonic clamp).
+
+    Exact by construction: a maximum is a comparison and a select, no
+    rounding is involved.
+    """
+    return np.maximum.accumulate(values, axis=axis)
+
+
+def exclusive_suffix_minimum(values: np.ndarray, fill: float = np.inf) -> np.ndarray:
+    """Minimum over all *strictly later* positions along the last axis.
+
+    ``out[..., i] = min(values[..., i+1:])`` with ``fill`` for the last
+    position (whose suffix is empty).  Comparison-only, hence exact.
+    """
+    values = np.asarray(values)
+    inclusive = np.minimum.accumulate(values[..., ::-1], axis=-1)[..., ::-1]
+    filler = np.full(values.shape[:-1] + (1,), fill, dtype=values.dtype)
+    return np.concatenate([inclusive[..., 1:], filler], axis=-1)
+
+
+def last_argmax(flags: np.ndarray) -> np.ndarray:
+    """Index of the *last* ``True`` along the last axis.
+
+    ``np.argmax`` keeps the first maximal element; scan loops that keep
+    updating on ties keep the last one.  Reversing the axis turns one
+    into the other.  Rows without a set flag return the last index —
+    callers are expected to guarantee at least one ``True`` per row.
+    """
+    flags = np.asarray(flags, dtype=bool)
+    width = flags.shape[-1]
+    return width - 1 - np.argmax(flags[..., ::-1], axis=-1)

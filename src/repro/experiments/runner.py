@@ -38,10 +38,14 @@ class RunnerConfig:
     ``seed`` overrides the per-experiment default seeds so a full run is
     reproducible end-to-end from a single number (``repro experiments
     --seed N``); ``None`` keeps each experiment's own default.
+    ``trials`` overrides the Fig. 2 trial count (``repro experiments
+    --trials 200`` reaches the paper scale without touching ``--full``,
+    which also enlarges every topology-based figure).
     """
 
     full: bool = False
     seed: int | None = None
+    trials: int | None = None
 
     def fig2(self) -> Fig2Config:
         """Fig. 2 configuration (200 trials at full scale, as in the paper)."""
@@ -51,6 +55,8 @@ class RunnerConfig:
             config = Fig2Config(choice_counts=(10, 20, 30, 40, 50), trials=25)
         if self.seed is not None:
             config = replace(config, seed=self.seed)
+        if self.trials is not None:
+            config = replace(config, trials=self.trials)
         return config
 
     def diversity(self) -> PathDiversityConfig:
@@ -226,6 +232,13 @@ def main() -> None:
         help="seed every experiment for an end-to-end reproducible run",
     )
     parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="Fig. 2 trials per cardinality (200 = paper scale; defaults "
+        "to the run scale's own trial count)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -235,9 +248,13 @@ def main() -> None:
     arguments = parser.parse_args()
     if arguments.jobs < 1:
         parser.error(f"--jobs must be a positive integer, got {arguments.jobs}")
+    if arguments.trials is not None and arguments.trials < 1:
+        parser.error(f"--trials must be a positive integer, got {arguments.trials}")
     print(
         run_all(
-            RunnerConfig(full=arguments.full, seed=arguments.seed),
+            RunnerConfig(
+                full=arguments.full, seed=arguments.seed, trials=arguments.trials
+            ),
             jobs=arguments.jobs,
         )
     )

@@ -10,7 +10,12 @@ those one-shot computations into a lifecycle over virtual time:
    peering pair, evaluate both parties' utilities from their demand
    levels via Eq. 7, normalize into the BOSCO utility scale, and run the
    published equilibrium strategies.  A negative apparent surplus means
-   no deal; the pair retries later (demand may have shifted).
+   no deal; the pair retries later (demand may have shifted).  All
+   pairs that come due at the same virtual instant — a billing epoch's
+   worth of renegotiations, a burst of retries — are decided in **one
+   batched engine call** (:meth:`BoscoService.negotiate_many`), with
+   per-pair trace records emitted in request order so the metrics trace
+   stays byte-identical to the per-pair event formulation.
 2. **Activate** — authorize the agreement's segments on the PAN and
    start metering.
 3. **Meter** — sample both directions of segment traffic from
@@ -88,6 +93,10 @@ class AgreementLifecycleManager(Process):
     _active: dict[tuple[int, int], ActiveAgreement] = field(
         default_factory=dict, init=False
     )
+    #: Pairs due for (re)negotiation, keyed by due time; each due time
+    #: has exactly one scheduled flush event that decides its whole
+    #: bucket in one batched BOSCO call.
+    _due: dict[float, list[tuple[int, int]]] = field(default_factory=dict, init=False)
     negotiations: int = field(default=0, init=False)
     concluded: int = field(default=0, init=False)
     billed_terms: int = field(default=0, init=False)
@@ -121,57 +130,101 @@ class AgreementLifecycleManager(Process):
                 )
             # Stagger the opening negotiations so the marketplace does not
             # fire everything in one mega-event.
-            engine.schedule(
-                float(index) * self.metering_interval,
-                self._negotiator(pair),
-                name=f"{self.name}:negotiate",
-            )
+            self._request_negotiation(pair, float(index) * self.metering_interval)
 
     # ------------------------------------------------------------------
     # 1. Negotiation
     # ------------------------------------------------------------------
-    def _negotiator(self, pair: tuple[int, int]):
-        def negotiate() -> None:
+    def _request_negotiation(self, pair: tuple[int, int], delay: float) -> None:
+        """Queue a pair for the batched negotiation at ``now + delay``.
+
+        The first request for a due time schedules its flush event (so
+        the flush sits exactly where the pair's own negotiation event
+        used to sit in the queue); later requests for the same instant
+        join the bucket and are decided in the same batched call, in
+        request order.  A request made *after* its instant's flush ran
+        (a renegotiation scheduled by an expiry at the same timestamp)
+        opens a fresh bucket with its own flush, again preserving the
+        per-pair event order.
+
+        Why joining a still-pending bucket cannot reorder the trace:
+        request order equals the sequence order the per-pair events
+        would have had, and the only other trace-recording events at a
+        negotiation instant are expiries — which run at priority 5,
+        strictly after every priority-0 flush at that instant in both
+        formulations (meters and the flushes' own scheduling record
+        nothing).  So merging same-instant negotiations into one call
+        moves no record across another.
+        """
+        engine = self._engine
+        assert engine is not None
+        due = engine.now + delay
+        bucket = self._due.get(due)
+        if bucket is None:
+            self._due[due] = [pair]
+            engine.schedule(delay, self._negotiate_due(due), name=f"{self.name}:negotiate")
+        else:
+            bucket.append(pair)
+
+    def _negotiate_due(self, due: float):
+        def negotiate_batch() -> None:
             engine = self._engine
             assert engine is not None and self._mechanism is not None
-            self.negotiations += 1
-            left, right = pair
-            graph = self.network.base_graph
-            agreement = None
-            if self.network.is_link_up(left, right):
-                agreement = mutuality_agreement(graph, left, right)
-            if agreement is None:
-                engine.trace.record(
-                    engine.now, "negotiation_skipped", pair=[left, right]
+            pairs = self._due.pop(due, [])
+            # First pass: evaluate every pair's agreement and economic
+            # utilities (pure graph/demand computations, no events).
+            evaluations: list[tuple[tuple[int, int], Agreement | None, float, float, float]] = []
+            for pair in pairs:
+                self.negotiations += 1
+                left, right = pair
+                agreement = None
+                if self.network.is_link_up(left, right):
+                    agreement = mutuality_agreement(self.network.base_graph, left, right)
+                if agreement is None:
+                    evaluations.append((pair, None, 0.0, 0.0, 1.0))
+                    continue
+                utilities = joint_utilities(self._scenario(agreement), self._businesses)
+                u_left, u_right = utilities[left], utilities[right]
+                # BOSCO strategies are defined over the published utility
+                # distribution; economic utilities are normalized into its
+                # support so the equilibrium thresholds apply.
+                scale = max(abs(u_left), abs(u_right), 1e-9)
+                evaluations.append((pair, agreement, u_left, u_right, scale))
+            # One batched engine call decides every negotiable pair.
+            negotiable = [entry for entry in evaluations if entry[1] is not None]
+            outcomes = iter(
+                BoscoService.negotiate_many(
+                    self._mechanism,
+                    [u_left / scale for _, _, u_left, _, scale in negotiable],
+                    [u_right / scale for _, _, _, u_right, scale in negotiable],
                 )
-                engine.schedule(self.retry_delay, negotiate, name=f"{self.name}:retry")
-                return
-            utilities = joint_utilities(
-                self._scenario(agreement), self._businesses
             )
-            u_left, u_right = utilities[left], utilities[right]
-            # BOSCO strategies are defined over the published utility
-            # distribution; economic utilities are normalized into its
-            # support so the equilibrium thresholds apply.
-            scale = max(abs(u_left), abs(u_right), 1e-9)
-            outcome = BoscoService.negotiate(
-                self._mechanism, u_left / scale, u_right / scale
-            )
-            engine.trace.record(
-                engine.now,
-                "negotiation",
-                pair=[left, right],
-                utility_x=u_left,
-                utility_y=u_right,
-                concluded=outcome.concluded,
-                transfer_x_to_y=outcome.transfer_x_to_y * scale,
-            )
-            if outcome.concluded:
-                self._activate(agreement, outcome.transfer_x_to_y * scale)
-            else:
-                engine.schedule(self.retry_delay, negotiate, name=f"{self.name}:retry")
+            # Second pass, in request order: record traces and act — the
+            # same record/schedule sequence the per-pair events produced.
+            for pair, agreement, u_left, u_right, scale in evaluations:
+                left, right = pair
+                if agreement is None:
+                    engine.trace.record(
+                        engine.now, "negotiation_skipped", pair=[left, right]
+                    )
+                    self._request_negotiation(pair, self.retry_delay)
+                    continue
+                outcome = next(outcomes)
+                engine.trace.record(
+                    engine.now,
+                    "negotiation",
+                    pair=[left, right],
+                    utility_x=u_left,
+                    utility_y=u_right,
+                    concluded=outcome.concluded,
+                    transfer_x_to_y=outcome.transfer_x_to_y * scale,
+                )
+                if outcome.concluded:
+                    self._activate(agreement, outcome.transfer_x_to_y * scale)
+                else:
+                    self._request_negotiation(pair, self.retry_delay)
 
-        return negotiate
+        return negotiate_batch
 
     def _scenario(self, agreement: Agreement) -> AgreementScenario:
         """Expected-traffic scenario from current mean demand (Eq. 7).
@@ -308,9 +361,7 @@ class AgreementLifecycleManager(Process):
             )
             self._active.pop(pair, None)
             # Renegotiate immediately: the marketplace keeps turning.
-            engine.schedule(
-                0.0, self._negotiator(pair), name=f"{self.name}:renegotiate"
-            )
+            self._request_negotiation(pair, 0.0)
 
         return expire
 

@@ -116,3 +116,31 @@ class TestEquilibrium:
         second = symmetric_game.find_equilibrium()
         assert first.strategy_x.approximately_equal(second.strategy_x)
         assert first.strategy_y.approximately_equal(second.strategy_y)
+
+
+class TestEquilibriumErrorDiagnostics:
+    def test_error_carries_iteration_and_delta_payload(self, symmetric_game):
+        from repro.bargaining.game import EquilibriumError
+
+        # max_iterations=1 cannot confirm convergence, so the search
+        # exhausts every starting profile and reports its last attempt.
+        with pytest.raises(EquilibriumError) as excinfo:
+            symmetric_game.find_equilibrium(max_iterations=1)
+        error = excinfo.value
+        assert error.iterations == 1
+        assert error.last_delta is not None and error.last_delta >= 0.0
+
+    def test_payload_defaults_to_none(self):
+        from repro.bargaining.game import EquilibriumError
+
+        error = EquilibriumError("boom")
+        assert error.iterations is None
+        assert error.last_delta is None
+        assert error.skipped_trials is None
+
+    def test_profile_delta(self):
+        from repro.bargaining.game import profile_delta
+
+        assert profile_delta((-math.inf, 0.0), (-math.inf, 0.0)) == 0.0
+        assert profile_delta((-math.inf, 0.5), (-math.inf, 0.25)) == 0.25
+        assert profile_delta((-math.inf, math.inf), (-math.inf, 1.0)) == math.inf

@@ -128,3 +128,50 @@ class TestFig2Shape:
         few = service.pod_statistics(5, trials=12)["min"]
         many = service.pod_statistics(40, trials=12)["min"]
         assert many <= few + 0.05
+
+
+class TestBackends:
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            BoscoService(paper_distribution_u1(), backend="quantum")
+
+    def test_default_backend_is_batched(self):
+        service = BoscoService(paper_distribution_u1())
+        assert service.backend == "batched"
+        assert service.engine is not None
+
+    def test_reference_backend_still_works(self):
+        service = BoscoService(paper_distribution_u1(), seed=5, backend="reference")
+        stats = service.pod_statistics(10, trials=5)
+        assert stats["trials"] + stats["skipped_trials"] == 5
+
+    def test_quantile_construction_on_the_batched_backend(self):
+        service = BoscoService(
+            paper_distribution_u1(), seed=0, choice_construction="quantile"
+        )
+        information = service.configure(12, trials=1)
+        assert information.verify_equilibrium()
+
+    def test_shared_engine_instance_is_used(self):
+        from repro.bargaining.engine import NegotiationEngine
+
+        engine = NegotiationEngine()
+        service = BoscoService(paper_distribution_u1(), engine=engine)
+        assert service.engine is engine
+
+
+class TestSkippedTrialAccounting:
+    def test_counter_starts_at_zero_and_accumulates(self):
+        service = BoscoService(paper_distribution_u1(), seed=5)
+        assert service.skipped_trials == 0
+        stats = service.pod_statistics(10, trials=8)
+        assert service.skipped_trials == stats["skipped_trials"]
+        before = service.skipped_trials
+        service.pod_statistics(10, trials=4)
+        assert service.skipped_trials >= before
+
+    def test_statistics_report_skipped_trials(self):
+        service = BoscoService(paper_distribution_u1(), seed=5)
+        stats = service.pod_statistics(12, trials=6)
+        assert stats["skipped_trials"] == 6 - stats["trials"]
+        assert stats["skipped_trials"] >= 0.0

@@ -135,3 +135,71 @@ class TestComputeBestResponse:
         # option is played everywhere.
         assert strategy(5.0) == CANCEL
         assert strategy(-5.0) == CANCEL
+
+
+class TestChoiceIndexBoundaries:
+    """Regression pins for the bisect-based ``choice_index`` lookup.
+
+    The lookup is ``bisect_right`` over the threshold series (O(log W)
+    instead of a linear scan); these tests freeze its behavior exactly
+    at interval boundaries, where an off-by-one in the bisection side
+    would silently flip claims.
+    """
+
+    def test_utility_exactly_on_a_threshold_plays_that_choice(self, three_choices):
+        strategy = ThresholdStrategy(
+            choices=three_choices, thresholds=(-math.inf, -0.4, 0.1, 0.6)
+        )
+        # Intervals are half-open [t_i, t_{i+1}): the boundary belongs
+        # to the upper choice.
+        assert strategy.choice_index(-0.4) == 1
+        assert strategy.choice_index(0.1) == 2
+        assert strategy.choice_index(0.6) == 3
+
+    def test_just_below_a_threshold_plays_the_lower_choice(self, three_choices):
+        strategy = ThresholdStrategy(
+            choices=three_choices, thresholds=(-math.inf, -0.4, 0.1, 0.6)
+        )
+        assert strategy.choice_index(math.nextafter(0.1, -math.inf)) == 1
+        assert strategy.choice_index(math.nextafter(0.6, -math.inf)) == 2
+
+    def test_duplicated_thresholds_resolve_to_the_last_choice(self, three_choices):
+        # An empty interval [0.1, 0.1) can never be played: the shared
+        # boundary belongs to the rightmost choice carrying it.
+        strategy = ThresholdStrategy(
+            choices=three_choices, thresholds=(-math.inf, 0.1, 0.1, 0.1)
+        )
+        assert strategy.choice_index(0.1) == 3
+        assert strategy.choice_index(math.nextafter(0.1, -math.inf)) == 0
+        assert 1 not in strategy.equilibrium_choice_indices()
+        assert 2 not in strategy.equilibrium_choice_indices()
+
+    def test_extreme_utilities(self, three_choices):
+        strategy = ThresholdStrategy(
+            choices=three_choices, thresholds=(-math.inf, -0.4, 0.1, 0.6)
+        )
+        assert strategy.choice_index(-math.inf) == 0
+        assert strategy.choice_index(math.inf) == 3
+
+    def test_infinite_upper_thresholds_never_play(self, three_choices):
+        strategy = ThresholdStrategy(
+            choices=three_choices, thresholds=(-math.inf, 0.0, math.inf, math.inf)
+        )
+        assert strategy.choice_index(math.inf) == 3
+        assert strategy.choice_index(1e300) == 1
+
+    def test_matches_a_linear_scan_reference(self, three_choices):
+        strategy = ThresholdStrategy(
+            choices=three_choices, thresholds=(-math.inf, -0.4, -0.4, 0.6)
+        )
+
+        def linear_scan(utility):
+            best = 0
+            for index in range(len(strategy.thresholds)):
+                if strategy.thresholds[index] <= utility:
+                    best = index
+            return best
+
+        probes = [-1.0, -0.4, -0.3999, 0.0, 0.6, 0.7, math.inf, -math.inf]
+        for utility in probes:
+            assert strategy.choice_index(utility) == linear_scan(utility)

@@ -1,0 +1,112 @@
+"""Tests for the order-preserving array kernels.
+
+The kernels underwrite the batched engines' bit-exactness contract, so
+these tests compare against literal Python folds — not against
+``np.sum`` — including the floating-point cases (non-associative
+additions, signed zeros, infinities) where the distinction matters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.arrays import (
+    exclusive_suffix_minimum,
+    last_argmax,
+    running_maximum,
+    sequential_sum,
+)
+
+
+def python_fold(values):
+    total = 0.0
+    for value in values:
+        total += value
+    return total
+
+
+class TestSequentialSum:
+    def test_matches_left_to_right_fold_on_adversarial_floats(self):
+        # Pairwise summation (np.sum) rounds these differently from a
+        # left-to-right fold; the kernel must match the fold exactly.
+        rng = np.random.default_rng(0)
+        values = np.concatenate(
+            [rng.uniform(-1.0, 1.0, 64) * 10.0 ** rng.integers(-12, 12, 64)]
+        )
+        assert sequential_sum(values) == python_fold(values)
+
+    def test_differs_from_pairwise_summation_somewhere(self):
+        # Sanity check that the test above is non-vacuous: across many
+        # rows, pairwise np.sum disagrees with the fold at least once.
+        rng = np.random.default_rng(1)
+        rows = rng.uniform(-1.0, 1.0, (200, 64)) * 10.0 ** rng.integers(
+            -12, 12, (200, 64)
+        )
+        folds = np.array([python_fold(row) for row in rows])
+        assert np.array_equal(sequential_sum(rows, axis=1), folds)
+        assert not np.array_equal(rows.sum(axis=1), folds)
+
+    def test_signed_zero_normalization(self):
+        # A fold started from +0.0 can never return -0.0.
+        result = sequential_sum(np.array([-0.0]))
+        assert result == 0.0 and not np.signbit(result)
+
+    def test_masked_zero_terms_are_neutral(self):
+        values = np.array([0.1, 0.0, 0.2, 0.0, 0.3])
+        assert sequential_sum(values) == python_fold([0.1, 0.2, 0.3])
+
+    def test_empty_axis_sums_to_zero(self):
+        assert np.array_equal(
+            sequential_sum(np.empty((3, 0)), axis=1), np.zeros(3)
+        )
+
+    def test_axis_argument(self):
+        rows = np.arange(12.0).reshape(3, 4)
+        assert np.array_equal(
+            sequential_sum(rows, axis=0),
+            np.array([python_fold(rows[:, j]) for j in range(4)]),
+        )
+
+
+class TestRunningMaximum:
+    def test_matches_sequential_clamp(self):
+        values = np.array([[-np.inf, 2.0, 1.0, np.inf, 3.0]])
+        expected = values.copy()
+        for index in range(1, values.shape[1]):
+            expected[0, index] = max(expected[0, index], expected[0, index - 1])
+        assert np.array_equal(running_maximum(values, axis=1), expected)
+
+
+class TestExclusiveSuffixMinimum:
+    def test_matches_python_reference(self):
+        values = np.array([[3.0, np.inf, -1.0, 2.0]])
+        expected = np.array(
+            [
+                [
+                    min(values[0, 1:]),
+                    min(values[0, 2:]),
+                    min(values[0, 3:]),
+                    np.inf,
+                ]
+            ]
+        )
+        assert np.array_equal(exclusive_suffix_minimum(values), expected)
+
+    def test_last_position_gets_the_fill(self):
+        assert exclusive_suffix_minimum(np.array([[1.0]]), fill=7.0)[0, 0] == 7.0
+
+
+class TestLastArgmax:
+    @pytest.mark.parametrize(
+        "flags, expected",
+        [
+            ([True, False, True, False], 2),
+            ([False, True], 1),
+            ([True], 0),
+        ],
+    )
+    def test_ties_break_to_the_last_flag(self, flags, expected):
+        assert last_argmax(np.array(flags)) == expected
+
+    def test_batched_rows(self):
+        flags = np.array([[True, True, False], [False, False, True]])
+        assert np.array_equal(last_argmax(flags), np.array([1, 2]))

@@ -36,6 +36,14 @@ class TestRunnerConfig:
         assert config.fig2().trials == 200
         assert config.diversity().sample_size == 500
 
+    def test_trials_override_reaches_fig2(self):
+        """`repro experiments --trials 200` is the paper-scale Fig. 2 run."""
+        assert RunnerConfig(trials=200).fig2().trials == 200
+        assert RunnerConfig(full=True, trials=13).fig2().trials == 13
+        config = RunnerConfig(seed=3, trials=50).fig2()
+        assert config.seed == 3
+        assert config.trials == 50
+
     def test_seed_overrides_every_experiment(self):
         config = RunnerConfig(seed=99)
         assert config.fig2().seed == 99

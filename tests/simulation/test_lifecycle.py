@@ -95,3 +95,101 @@ class TestLifecycle:
         _, _, trace_a = run_manager(seed=11, until=30.0)
         _, _, trace_b = run_manager(seed=12, until=30.0)
         assert trace_a.to_jsonl() != trace_b.to_jsonl()
+
+
+class TestBatchedNegotiationEpochs:
+    """Pairs due at the same virtual instant share one engine call."""
+
+    def build_started_manager(self, pairs=((AS_D, AS_E),), until=0.0):
+        engine = SimulationEngine(seed=0)
+        network = DynamicNetwork(figure1_topology())
+        manager = AgreementLifecycleManager(
+            network=network,
+            pairs=pairs,
+            term_duration=12.0,
+            metering_interval=1.0,
+            retry_delay=5.0,
+            seed=0,
+        )
+        engine.add_process(manager)
+        engine.run(until=until)
+        return engine, manager
+
+    def test_same_due_time_requests_share_one_flush_event(self):
+        from repro.topology.fixtures import AS_C, AS_F
+
+        engine, manager = self.build_started_manager(until=0.0)
+        # Two further peering pairs with downed links, due at the same
+        # instant: one bucket, one flush, two skip records in request
+        # order.
+        manager.network.fail_link(AS_C, AS_D, time=engine.now)
+        manager.network.fail_link(AS_E, AS_F, time=engine.now)
+        manager._request_negotiation((AS_C, AS_D), 2.0)
+        manager._request_negotiation((AS_E, AS_F), 2.0)
+        assert list(manager._due[engine.now + 2.0]) == [(AS_C, AS_D), (AS_E, AS_F)]
+        processed_before = engine.events_processed
+        trace = engine.run(until=3.0)
+        skipped = [r for r in trace.records if r.kind == "negotiation_skipped"]
+        assert [r.data["pair"] for r in skipped] == [[AS_C, AS_D], [AS_E, AS_F]]
+        assert skipped[0].time == skipped[1].time == 2.0
+        assert engine.events_processed > processed_before
+        # The shared bucket is drained by its single flush event.
+        assert not manager._due.get(2.0)
+
+    def test_retry_after_flush_opens_a_fresh_bucket(self):
+        from repro.topology.fixtures import AS_C
+
+        engine, manager = self.build_started_manager(until=0.0)
+        manager.network.fail_link(AS_C, AS_D, time=engine.now)
+        manager._request_negotiation((AS_C, AS_D), 2.0)
+        trace = engine.run(until=8.0)
+        # The skipped pair retries retry_delay after the flush, through
+        # a new bucket at t=7.
+        skipped = [r for r in trace.records if r.kind == "negotiation_skipped"]
+        assert [r.time for r in skipped] == [2.0, 7.0]
+
+    def test_batched_trace_is_reproducible(self):
+        _, _, trace_a = run_manager(seed=3, until=40.0)
+        _, _, trace_b = run_manager(seed=3, until=40.0)
+        assert trace_a.to_jsonl() == trace_b.to_jsonl()
+
+    def test_retry_joining_a_pending_bucket_keeps_request_order(self):
+        """Regression: the delicate same-instant interleaving case.
+
+        Pair (C, D) has a failed link and retries every 24h; pair
+        (E, F) is staggered to its first negotiation at t=24.  The
+        retry request (made at t=0, due t=24) joins (E, F)'s
+        still-pending initial bucket, so both are decided by one flush
+        — and the records must appear in request order ((E, F) was
+        requested first, at start), with (C, D)'s expiry-driven
+        rhythm undisturbed.  Verified byte-identical against the
+        pre-refactor per-pair event formulation at the time of the
+        refactor.
+        """
+        from repro.topology.fixtures import AS_C, AS_F
+
+        engine = SimulationEngine(seed=0)
+        network = DynamicNetwork(figure1_topology())
+        network.fail_link(AS_C, AS_D)
+        manager = AgreementLifecycleManager(
+            network=network,
+            pairs=((AS_C, AS_D), (AS_E, AS_F)),
+            term_duration=48.0,
+            metering_interval=24.0,
+            retry_delay=24.0,
+            seed=0,
+        )
+        engine.add_process(manager)
+        trace = engine.run(until=100.0)
+        at_24 = [
+            (r.kind, r.data.get("pair"))
+            for r in trace.records
+            if r.time == 24.0 and r.kind.startswith("negotiation")
+        ]
+        assert at_24 == [
+            ("negotiation", [AS_E, AS_F]),
+            ("negotiation_skipped", [AS_C, AS_D]),
+        ]
+        # The skipping pair keeps retrying on its 24h grid.
+        skipped_times = [r.time for r in trace.of_kind("negotiation_skipped")]
+        assert skipped_times == [0.0, 24.0, 48.0, 72.0, 96.0]

@@ -1,0 +1,102 @@
+"""Tests for the CI benchmark regression gate script."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "check_bench_regression.py"
+_spec = importlib.util.spec_from_file_location("check_bench_regression", _SCRIPT)
+check_bench_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_bench_regression)
+
+
+def write_bench(directory: Path, name: str, wall_time_s: float, scale: str | None):
+    record = {"name": name, "wall_time_s": wall_time_s}
+    if scale is not None:
+        record["scale"] = {"name": scale}
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"BENCH_{name}.json").write_text(json.dumps(record))
+
+
+@pytest.fixture()
+def dirs(tmp_path):
+    return tmp_path / "baselines", tmp_path / "results"
+
+
+class TestRegressionGate:
+    def run(self, dirs, tolerance=0.3):
+        baselines, results = dirs
+        return check_bench_regression.main(
+            [
+                "--results",
+                str(results),
+                "--baselines",
+                str(baselines),
+                "--tolerance",
+                str(tolerance),
+            ]
+        )
+
+    def test_within_tolerance_passes(self, dirs):
+        write_bench(dirs[0], "x", 1.0, "tiny")
+        write_bench(dirs[1], "x", 1.2, "tiny")
+        assert self.run(dirs) == 0
+
+    def test_slower_than_tolerance_fails(self, dirs):
+        write_bench(dirs[0], "x", 1.0, "tiny")
+        write_bench(dirs[1], "x", 1.5, "tiny")
+        assert self.run(dirs) == 1
+
+    def test_missing_fresh_result_fails(self, dirs):
+        write_bench(dirs[0], "x", 1.0, "tiny")
+        dirs[1].mkdir()
+        assert self.run(dirs) == 1
+
+    def test_scale_mismatch_skips_the_timing_comparison(self, dirs, capsys):
+        # A full-scale committed baseline (documenting the paper-scale
+        # contract) must not be timed against the tiny CI smoke run —
+        # only the freshness requirement applies.
+        write_bench(dirs[0], "negotiation", 3.3, "full")
+        write_bench(dirs[1], "negotiation", 60.0, "tiny")
+        assert self.run(dirs) == 0
+        assert "scale mismatch" in capsys.readouterr().out
+
+    def test_matching_scales_are_still_gated(self, dirs):
+        write_bench(dirs[0], "negotiation", 3.3, "full")
+        write_bench(dirs[1], "negotiation", 60.0, "full")
+        assert self.run(dirs) == 1
+
+    def test_records_without_scale_compare_as_before(self, dirs):
+        write_bench(dirs[0], "x", 1.0, None)
+        write_bench(dirs[1], "x", 10.0, None)
+        assert self.run(dirs) == 1
+
+
+class TestUpdateWorkflow:
+    def run_update(self, dirs):
+        baselines, results = dirs
+        return check_bench_regression.main(
+            ["--results", str(results), "--baselines", str(baselines), "--update"]
+        )
+
+    def test_adopts_new_and_same_scale_results(self, dirs):
+        write_bench(dirs[0], "x", 1.0, "tiny")
+        write_bench(dirs[1], "x", 0.8, "tiny")
+        write_bench(dirs[1], "y", 2.0, "full")
+        assert self.run_update(dirs) == 0
+        assert json.loads((dirs[0] / "BENCH_x.json").read_text())["wall_time_s"] == 0.8
+        assert (dirs[0] / "BENCH_y.json").exists()
+
+    def test_refuses_to_replace_a_baseline_across_scales(self, dirs, capsys):
+        # The full-scale negotiation baseline documents the paper-scale
+        # contract; a tiny regen following the README refresh workflow
+        # must not silently clobber it.
+        write_bench(dirs[0], "negotiation", 3.3, "full")
+        write_bench(dirs[1], "negotiation", 0.05, "tiny")
+        assert self.run_update(dirs) == 0
+        kept = json.loads((dirs[0] / "BENCH_negotiation.json").read_text())
+        assert kept["scale"]["name"] == "full"
+        assert kept["wall_time_s"] == 3.3
+        assert "baseline kept" in capsys.readouterr().out

@@ -34,6 +34,17 @@ class TestParser:
         assert args.jobs == 4
         assert build_parser().parse_args(["experiments"]).jobs == 1
 
+    def test_experiments_trials_flag(self):
+        args = build_parser().parse_args(["experiments", "--trials", "200"])
+        assert args.trials == 200
+        assert build_parser().parse_args(["experiments"]).trials is None
+
+    def test_experiments_non_positive_trials_is_a_clean_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiments", "--trials", "0"]) == 2
+        assert "--trials must be a positive integer" in capsys.readouterr().err
+
     def test_simulate_defaults(self):
         args = build_parser().parse_args(["simulate"])
         assert args.scenario == "failure-churn"
