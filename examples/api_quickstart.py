@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Quickstart for the typed public API: one warm session, four workflows.
+
+The script drives topology generation, the §VI diversity analysis, the
+combined Fig. 2–6 experiment harness, and a discrete-event simulation
+scenario through a single :class:`repro.api.Session`, demonstrating:
+
+1. construction is validation — a bad request raises
+   :class:`repro.api.ValidationError` before any work runs;
+2. warm reuse — the second diversity call with the same parameters is
+   served from the session's caches (topology, mutuality-agreement
+   enumeration, MA path index, compiled path engine) and is typically
+   well over 2x faster (``benchmarks/bench_api_session.py`` asserts
+   this);
+3. structured results — every workflow returns typed dataclasses whose
+   ``to_json_dict()`` produces a schema-versioned JSON envelope that
+   round-trips through ``from_json_dict()``;
+4. text is a rendering — the classic CLI reports are pure functions of
+   the same result values.
+
+Run with::
+
+    python examples/api_quickstart.py
+
+(The experiments step runs the real reduced-scale harness and takes
+around a minute; everything else is seconds.)
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.api import (
+    DiversityRequest,
+    ExperimentsRequest,
+    Session,
+    SimulateRequest,
+    SimulateResult,
+    TopologyRequest,
+    ValidationError,
+)
+from repro.api.results import render_simulate_text
+
+#: Small synthetic topology knobs shared by the topology/diversity steps.
+TINY = dict(tier1=3, tier2=10, tier3=40, stubs=120)
+
+
+def main() -> None:
+    session = Session()
+
+    # ------------------------------------------------------------------
+    # 0. Requests validate on construction — same errors as the CLI.
+    # ------------------------------------------------------------------
+    try:
+        ExperimentsRequest(jobs=0)
+    except ValidationError as error:
+        print(f"rejected up front (exit code {error.exit_code}): {error}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 1. Topology: generate once; the session caches it by parameters.
+    # ------------------------------------------------------------------
+    topology = session.topology(TopologyRequest(seed=3, **TINY))
+    print(f"topology: {topology.graph_description}")
+    print(
+        f"  {topology.num_transit_links} transit links, "
+        f"{topology.num_peering_links} peering links"
+    )
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Diversity: the same tier knobs reuse the cached topology; a
+    #    repeated call also reuses agreements + MA index + path engine.
+    # ------------------------------------------------------------------
+    request = DiversityRequest(sample_size=25, seed=3, **TINY)
+    started = time.perf_counter()
+    diversity = session.diversity(request)
+    cold = time.perf_counter() - started
+    started = time.perf_counter()
+    session.diversity(request)
+    warm = time.perf_counter() - started
+    print(
+        f"diversity: {diversity.num_agreements} mutuality agreements, "
+        f"{len(diversity.rows)} conclusion degrees"
+    )
+    for row in diversity.rows:
+        print(
+            f"  {row.scenario:<12} mean paths {row.mean_paths:8.0f}   "
+            f"mean destinations {row.mean_destinations:6.0f}"
+        )
+    print(f"  first call {cold * 1e3:.0f}ms, warm repeat {warm * 1e3:.0f}ms")
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Experiments: structured sections instead of one text blob.
+    # ------------------------------------------------------------------
+    print("experiments: running the reduced-scale harness (~a minute)...")
+    experiments = session.experiments(ExperimentsRequest(seed=7, trials=3))
+    for section in experiments.sections:
+        headline = next(iter(section.metrics.items()), None)
+        print(f"  [{section.key}] {section.title}  metrics e.g. {headline}")
+    fig3 = experiments.section("fig3")
+    print(f"  fig3 additional paths/AS: {fig3.metrics['additional_paths_mean']:.0f}")
+    print()
+
+    # ------------------------------------------------------------------
+    # 4. Simulate: the JSON envelope round-trips; text is a rendering.
+    # ------------------------------------------------------------------
+    simulate = session.simulate(
+        SimulateRequest(scenario="flash-crowd", seed=4, duration=30.0)
+    )
+    envelope = simulate.to_json_dict()
+    restored = SimulateResult.from_json_dict(json.loads(json.dumps(envelope)))
+    assert restored == simulate
+    print("simulate envelope keys:", ", ".join(sorted(envelope)))
+    print()
+    print(render_simulate_text(simulate))
+
+
+if __name__ == "__main__":
+    main()

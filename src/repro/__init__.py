@@ -25,6 +25,10 @@ The package is organized in layers, bottom-up:
 - :mod:`repro.paths` — the path-diversity analyses of §VI.
 - :mod:`repro.experiments` — the harness that regenerates every figure of
   the paper's evaluation.
+- :mod:`repro.api` — the typed public surface: a reusable
+  :class:`~repro.api.Session`, validated request dataclasses, result
+  dataclasses with schema-versioned JSON envelopes, and the one CLI
+  adapter (imported on demand; ``import repro.api``).
 """
 
 from repro.topology import ASGraph, Relationship

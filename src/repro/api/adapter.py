@@ -1,0 +1,337 @@
+"""The one CLI adapter: argparse surface → typed requests → rendering.
+
+Every command-line entry point of the reproduction routes through this
+module — ``python -m repro.cli`` (the ``repro`` console script) and
+``python -m repro.experiments.runner`` (the historical experiments
+alias) share the same argument definitions, the same typed-request
+validation, the same :class:`~repro.api.session.Session` execution, and
+the same renderers.  A handler is deliberately trivial:
+
+1. build the typed request (construction validates; a
+   :class:`~repro.errors.ValidationError` becomes the familiar
+   ``repro <command>: error: …`` message with exit code 2);
+2. call the session workflow;
+3. print the result — ``--format text`` renders the historical
+   byte-identical report, ``--format json`` prints the schema-versioned
+   envelope.
+
+Nothing else in the codebase parses CLI arguments or formats CLI
+output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from dataclasses import replace
+
+from repro.api.requests import (
+    DiversityRequest,
+    ExperimentsRequest,
+    SimulateRequest,
+    SweepRequest,
+    TopologyRequest,
+)
+from repro.api.results import (
+    render_diversity_text,
+    render_experiments_text,
+    render_simulate_text,
+    render_sweep_list_text,
+    render_sweep_text,
+    render_topology_text,
+)
+from repro.api.session import Session
+from repro.errors import ReproError
+from repro.simulation.scenarios import SCENARIOS
+from repro.sweep import DEFAULT_CACHE_DIR, DEFAULT_OUT_DIR
+
+__all__ = ["build_parser", "dispatch", "main", "run_experiments_command"]
+
+
+def _add_format_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format: the classic text report or a schema-versioned "
+        "JSON envelope (default: text)",
+    )
+
+
+def _add_experiments_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``repro experiments`` flags, shared with the runner alias."""
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's trial counts and sample sizes (slower)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed every experiment for an end-to-end reproducible run "
+        "(defaults to each experiment's own seed)",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        help="Fig. 2 trials per choice-set cardinality (200 = paper scale; "
+        "defaults to the run scale's own trial count)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run the figure sections in N worker processes; the report is "
+        "merged in a fixed order, so seeded output is byte-identical to a "
+        "sequential run (default: 1)",
+    )
+    _add_format_argument(parser)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Enabling Novel Interconnection Agreements "
+        "with Path-Aware Networking Architectures' (DSN 2021)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    topology = subparsers.add_parser(
+        "topology", help="generate a synthetic AS topology in CAIDA as-rel format"
+    )
+    topology.add_argument("output", help="path of the as-rel file to write")
+    topology.add_argument("--tier1", type=int, default=8, help="number of tier-1 ASes")
+    topology.add_argument("--tier2", type=int, default=60, help="number of tier-2 ASes")
+    topology.add_argument("--tier3", type=int, default=200, help="number of tier-3 ASes")
+    topology.add_argument("--stubs", type=int, default=800, help="number of stub ASes")
+    topology.add_argument("--seed", type=int, default=2021, help="generator seed")
+    _add_format_argument(topology)
+
+    diversity = subparsers.add_parser(
+        "diversity", help="run the §VI path-diversity analysis"
+    )
+    diversity.add_argument(
+        "--topology",
+        help="CAIDA as-rel file to analyze (a synthetic topology is generated "
+        "when omitted)",
+    )
+    diversity.add_argument(
+        "--sample-size", type=int, default=200, help="number of ASes to sample"
+    )
+    diversity.add_argument("--seed", type=int, default=2021, help="sampling seed")
+    _add_format_argument(diversity)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="run the full experiment harness (every figure)"
+    )
+    _add_experiments_arguments(experiments)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run a discrete-event simulation scenario"
+    )
+    simulate.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS),
+        default="failure-churn",
+        help="canned scenario to run (default: failure-churn)",
+    )
+    simulate.add_argument(
+        "--seed", type=int, default=None, help="simulation seed (default: scenario's)"
+    )
+    simulate.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="virtual-time horizon in hours (default: scenario's)",
+    )
+    simulate.add_argument(
+        "--trace-out",
+        help="write the full JSONL metrics trace to this file",
+    )
+    _add_format_argument(simulate)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a sharded, resumable parameter sweep"
+    )
+    source = sweep.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--spec",
+        help="JSON sweep spec file (see README 'Sweeps & CI' for the format)",
+    )
+    source.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the built-in tiny CI smoke grid instead of a spec file",
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run shards in N worker processes (results merge in a fixed "
+        "order, so the summary is byte-identical to a sequential run)",
+    )
+    sweep.add_argument(
+        "--out",
+        default=DEFAULT_OUT_DIR,
+        help=f"directory for sweep_summary.json and the per-metric CSV "
+        f"tables (default: {DEFAULT_OUT_DIR})",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"shard result cache directory; re-runs and interrupted sweeps "
+        f"resume from it (default: {DEFAULT_CACHE_DIR})",
+    )
+    sweep.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute every shard even when a cached result exists",
+    )
+    sweep.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_shards",
+        help="print the expanded shard list without running anything",
+    )
+    _add_format_argument(sweep)
+
+    return parser
+
+
+def _emit(result, render, output_format: str) -> None:
+    """Print a result in the selected format."""
+    if output_format == "json":
+        print(json.dumps(result.to_json_dict(), indent=2, sort_keys=True))
+    else:
+        print(render(result))
+
+
+def _run_topology(session: Session, args: argparse.Namespace) -> int:
+    request = TopologyRequest(
+        tier1=args.tier1,
+        tier2=args.tier2,
+        tier3=args.tier3,
+        stubs=args.stubs,
+        seed=args.seed,
+        output=args.output,
+    )
+    _emit(session.topology(request), render_topology_text, args.format)
+    return 0
+
+
+def _run_diversity(session: Session, args: argparse.Namespace) -> int:
+    request = DiversityRequest(
+        topology=args.topology, sample_size=args.sample_size, seed=args.seed
+    )
+    _emit(session.diversity(request), render_diversity_text, args.format)
+    return 0
+
+
+def _run_experiments(session: Session, args: argparse.Namespace) -> int:
+    request = ExperimentsRequest(
+        full=args.full, seed=args.seed, trials=args.trials, jobs=args.jobs
+    )
+    _emit(session.experiments(request), render_experiments_text, args.format)
+    return 0
+
+
+def _run_simulate(session: Session, args: argparse.Namespace) -> int:
+    request = SimulateRequest(
+        scenario=args.scenario,
+        seed=args.seed,
+        duration=args.duration,
+        trace_out=args.trace_out,
+    )
+    if args.format == "json":
+        # The session writes the trace before the envelope is printed,
+        # so an emitted envelope's trace_out is always a written file.
+        _emit(session.simulate(request), render_simulate_text, args.format)
+        return 0
+    # Text mode preserves the historical ordering: the summary prints
+    # even when the trace file turns out to be unwritable.
+    result = session.simulate(replace(request, trace_out=None))
+    print(render_simulate_text(result))
+    if args.trace_out:
+        result.write_trace(args.trace_out)  # OutputError -> exit 1 via dispatch
+        print(
+            f"trace written to {args.trace_out} "
+            f"({result.num_trace_records} records)"
+        )
+    return 0
+
+
+def _run_sweep(session: Session, args: argparse.Namespace) -> int:
+    request = SweepRequest(
+        spec=args.spec,
+        smoke=args.smoke,
+        jobs=args.jobs,
+        out=args.out,
+        cache_dir=args.cache_dir,
+        force=args.force,
+        list_shards=args.list_shards,
+    )
+    result = session.sweep(
+        request,
+        progress=lambda message: print(f"sweep: {message}", file=sys.stderr),
+    )
+    render = render_sweep_list_text if args.list_shards else render_sweep_text
+    _emit(result, render, args.format)
+    return 0
+
+
+_HANDLERS = {
+    "topology": _run_topology,
+    "diversity": _run_diversity,
+    "experiments": _run_experiments,
+    "simulate": _run_simulate,
+    "sweep": _run_sweep,
+}
+
+
+def dispatch(args: argparse.Namespace, *, session: Session | None = None) -> int:
+    """Run one parsed command and return the process exit code.
+
+    The :class:`~repro.errors.ReproError` taxonomy maps to stable exit
+    codes here (validation → 2, delivery failures → 1), with the same
+    ``repro <command>: error: …`` stderr line the CLI always printed.
+    """
+    handler = _HANDLERS.get(args.command)
+    if handler is None:
+        print(f"repro: error: unknown command {args.command!r}", file=sys.stderr)
+        return 2
+    try:
+        return handler(session or Session(), args)
+    except ReproError as error:
+        print(f"repro {args.command}: error: {error}", file=sys.stderr)
+        return error.exit_code
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return dispatch(args)
+
+
+def run_experiments_command(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``python -m repro.experiments.runner``.
+
+    The historical standalone runner re-implemented the ``repro
+    experiments`` argparse and validation; it is now an alias: same
+    flags, same typed-request checks, same session execution, same
+    output — only the program name differs.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Run every experiment of the paper's evaluation and print "
+        "a combined report (alias of 'repro experiments').",
+    )
+    _add_experiments_arguments(parser)
+    args = parser.parse_args(argv)
+    args.command = "experiments"
+    return dispatch(args)

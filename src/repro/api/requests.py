@@ -1,0 +1,201 @@
+"""Typed requests: construction is validation.
+
+Every workflow of the public API takes a frozen request dataclass.  The
+constructors centralize the parameter checks that used to be scattered
+across CLI handlers (``_check_seed``, the ``--jobs``/``--trials``/
+``--duration`` guards), so a Python-API caller is rejected with exactly
+the same :class:`~repro.errors.ValidationError` message a CLI user sees
+(the CLI adapter only adds its ``repro <command>: error:`` prefix).
+
+Field names deliberately mirror the CLI flags; the error messages spell
+the flag (``--seed must be non-negative``) because the CLI is the
+surface most humans meet first, and one canonical message beats two
+near-duplicates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from typing import Any, Mapping
+
+from repro.envelope import envelope, expect_envelope
+from repro.errors import ValidationError
+from repro.simulation.scenarios import SCENARIOS
+
+__all__ = [
+    "TopologyRequest",
+    "DiversityRequest",
+    "ExperimentsRequest",
+    "SimulateRequest",
+    "SweepRequest",
+]
+
+
+def _check_seed(seed: int | None) -> None:
+    """Seeds feed ``np.random.default_rng``, which rejects negatives."""
+    if seed is not None and seed < 0:
+        raise ValidationError(f"--seed must be non-negative, got {seed}")
+
+
+def _check_positive(name: str, value: int | None) -> None:
+    if value is not None and value < 1:
+        raise ValidationError(f"--{name} must be a positive integer, got {value}")
+
+
+def _check_non_negative(name: str, value: int) -> None:
+    if value < 0:
+        raise ValidationError(f"--{name} must be non-negative, got {value}")
+
+
+class _JsonRequest:
+    """Envelope mixin shared by the flat (scalar-field) request types."""
+
+    #: Overridden per request class.
+    kind: str = ""
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Schema-versioned JSON envelope of the request."""
+        payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        return envelope(self.kind, payload)
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "_JsonRequest":
+        """Inverse of :meth:`to_json_dict` (re-validating on the way in)."""
+        payload = expect_envelope(data, cls.kind)
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValidationError(
+                f"unknown {cls.kind} field(s): {', '.join(sorted(unknown))}"
+            )
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class TopologyRequest(_JsonRequest):
+    """Generate a synthetic AS topology (``repro topology``).
+
+    ``output`` is the optional CAIDA ``as-rel`` path to write; API
+    callers that only want the in-memory topology omit it.
+    """
+
+    kind = "topology_request"
+
+    tier1: int = 8
+    tier2: int = 60
+    tier3: int = 200
+    stubs: int = 800
+    seed: int = 2021
+    output: str | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("tier1", "tier2", "tier3", "stubs"):
+            _check_non_negative(name, getattr(self, name))
+        _check_seed(self.seed)
+
+    def cache_key(self) -> tuple[int, int, int, int, int]:
+        """The session cache key of the generated topology."""
+        return (self.tier1, self.tier2, self.tier3, self.stubs, self.seed)
+
+
+@dataclass(frozen=True)
+class DiversityRequest(_JsonRequest):
+    """Run the §VI path-diversity analysis (``repro diversity``).
+
+    ``topology`` selects a CAIDA ``as-rel`` file to analyze; when
+    omitted a synthetic topology is generated from the tier knobs
+    (the CLI only exposes the default sizes; the API exposes them all,
+    which is also what the session benchmark scales with).
+    """
+
+    kind = "diversity_request"
+
+    topology: str | None = None
+    sample_size: int = 200
+    seed: int = 2021
+    tier1: int = 8
+    tier2: int = 60
+    tier3: int = 200
+    stubs: int = 800
+
+    def __post_init__(self) -> None:
+        _check_positive("sample-size", self.sample_size)
+        _check_seed(self.seed)
+        for name in ("tier1", "tier2", "tier3", "stubs"):
+            _check_non_negative(name, getattr(self, name))
+
+    def generation_key(self) -> tuple[int, int, int, int, int]:
+        """The session cache key of the generated topology (no file)."""
+        return (self.tier1, self.tier2, self.tier3, self.stubs, self.seed)
+
+
+@dataclass(frozen=True)
+class ExperimentsRequest(_JsonRequest):
+    """Run the combined experiment harness (``repro experiments``)."""
+
+    kind = "experiments_request"
+
+    full: bool = False
+    seed: int | None = None
+    trials: int | None = None
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        _check_seed(self.seed)
+        _check_positive("jobs", self.jobs)
+        _check_positive("trials", self.trials)
+
+
+@dataclass(frozen=True)
+class SimulateRequest(_JsonRequest):
+    """Run a canned discrete-event scenario (``repro simulate``)."""
+
+    kind = "simulate_request"
+
+    scenario: str = "failure-churn"
+    seed: int | None = None
+    duration: float | None = None
+    trace_out: str | None = None
+
+    def __post_init__(self) -> None:
+        # Checked in the order the CLI historically reported them.
+        if self.duration is not None and not (
+            math.isfinite(self.duration) and self.duration >= 0.0
+        ):
+            raise ValidationError(
+                f"--duration must be a non-negative finite number of hours, "
+                f"got {self.duration:g}"
+            )
+        _check_seed(self.seed)
+        if self.scenario not in SCENARIOS:
+            raise ValidationError(
+                f"unknown scenario {self.scenario!r}; "
+                f"available: {', '.join(sorted(SCENARIOS))}"
+            )
+
+
+@dataclass(frozen=True)
+class SweepRequest(_JsonRequest):
+    """Run (or list) a sharded parameter sweep (``repro sweep``).
+
+    Exactly one of ``spec`` (a JSON spec file path) and ``smoke`` (the
+    built-in CI grid) selects the sweep.
+    """
+
+    kind = "sweep_request"
+
+    spec: str | None = None
+    smoke: bool = False
+    jobs: int = 1
+    out: str | None = None
+    cache_dir: str | None = None
+    force: bool = False
+    list_shards: bool = False
+
+    def __post_init__(self) -> None:
+        _check_positive("jobs", self.jobs)
+        if self.smoke == (self.spec is not None):
+            raise ValidationError(
+                "exactly one of 'spec' and 'smoke' must select the sweep"
+            )

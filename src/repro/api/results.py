@@ -1,0 +1,477 @@
+"""Typed results of the public API, each with a JSON envelope.
+
+Every :class:`~repro.api.session.Session` workflow returns one of these
+dataclasses.  They carry *structured* data — numbers as numbers, tables
+as headers+rows, CDF series as raw floats — and serialize to the
+schema-versioned envelopes of :mod:`repro.envelope` via
+``to_json_dict()``/``from_json_dict()``.
+
+The CLI's historical text output is a *pure rendering* of the same
+values: the ``render_*_text`` functions below reproduce it byte-for-byte
+(golden tests pin this), so ``--format text`` and ``--format json`` are
+two views of one result object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.envelope import envelope, expect_envelope, require_keys
+from repro.errors import OutputError
+from repro.experiments.reporting import SectionResult, render_report
+from repro.simulation.scenarios import ScenarioResult
+
+__all__ = [
+    "TopologyResult",
+    "DiversityScenarioRow",
+    "DiversityResult",
+    "ExperimentsResult",
+    "SimulateResult",
+    "SweepResult",
+    "SweepListResult",
+    "render_topology_text",
+    "render_diversity_text",
+    "render_experiments_text",
+    "render_simulate_text",
+    "render_sweep_text",
+    "render_sweep_list_text",
+]
+
+
+@dataclass(frozen=True)
+class TopologyResult:
+    """Outcome of a topology generation (``Session.topology``)."""
+
+    tier1: int
+    tier2: int
+    tier3: int
+    stubs: int
+    seed: int
+    num_ases: int
+    num_transit_links: int
+    num_peering_links: int
+    graph_description: str
+    output: str | None = None
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Schema-versioned JSON envelope."""
+        return envelope(
+            "topology_result",
+            {
+                "tier1": self.tier1,
+                "tier2": self.tier2,
+                "tier3": self.tier3,
+                "stubs": self.stubs,
+                "seed": self.seed,
+                "num_ases": self.num_ases,
+                "num_transit_links": self.num_transit_links,
+                "num_peering_links": self.num_peering_links,
+                "graph_description": self.graph_description,
+                "output": self.output,
+            },
+        )
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "TopologyResult":
+        """Inverse of :meth:`to_json_dict`."""
+        payload = expect_envelope(data, "topology_result")
+        require_keys(
+            payload,
+            "topology_result",
+            (
+                "tier1",
+                "tier2",
+                "tier3",
+                "stubs",
+                "seed",
+                "num_ases",
+                "num_transit_links",
+                "num_peering_links",
+                "graph_description",
+            ),
+        )
+        return cls(
+            tier1=int(payload["tier1"]),
+            tier2=int(payload["tier2"]),
+            tier3=int(payload["tier3"]),
+            stubs=int(payload["stubs"]),
+            seed=int(payload["seed"]),
+            num_ases=int(payload["num_ases"]),
+            num_transit_links=int(payload["num_transit_links"]),
+            num_peering_links=int(payload["num_peering_links"]),
+            graph_description=payload["graph_description"],
+            output=payload.get("output"),
+        )
+
+
+@dataclass(frozen=True)
+class DiversityScenarioRow:
+    """Per-conclusion-degree headline numbers of the diversity analysis."""
+
+    scenario: str
+    mean_paths: float
+    mean_destinations: float
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Flat JSON form (always nested inside a diversity result)."""
+        return {
+            "scenario": self.scenario,
+            "mean_paths": self.mean_paths,
+            "mean_destinations": self.mean_destinations,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "DiversityScenarioRow":
+        """Inverse of :meth:`to_json_dict`."""
+        return cls(
+            scenario=data["scenario"],
+            mean_paths=float(data["mean_paths"]),
+            mean_destinations=float(data["mean_destinations"]),
+        )
+
+
+@dataclass(frozen=True)
+class DiversityResult:
+    """Outcome of the §VI diversity analysis (``Session.diversity``)."""
+
+    source: str  # "loaded" | "generated"
+    topology_path: str | None
+    graph_description: str
+    num_agreements: int
+    sample_size: int
+    seed: int
+    rows: tuple[DiversityScenarioRow, ...]
+    additional_paths_mean: float
+    additional_paths_max: float
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Schema-versioned JSON envelope."""
+        return envelope(
+            "diversity_result",
+            {
+                "source": self.source,
+                "topology_path": self.topology_path,
+                "graph_description": self.graph_description,
+                "num_agreements": self.num_agreements,
+                "sample_size": self.sample_size,
+                "seed": self.seed,
+                "rows": [row.to_json_dict() for row in self.rows],
+                "additional_paths_mean": self.additional_paths_mean,
+                "additional_paths_max": self.additional_paths_max,
+            },
+        )
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "DiversityResult":
+        """Inverse of :meth:`to_json_dict`."""
+        payload = expect_envelope(data, "diversity_result")
+        require_keys(
+            payload,
+            "diversity_result",
+            (
+                "source",
+                "graph_description",
+                "num_agreements",
+                "sample_size",
+                "seed",
+                "rows",
+                "additional_paths_mean",
+                "additional_paths_max",
+            ),
+        )
+        return cls(
+            source=payload["source"],
+            topology_path=payload.get("topology_path"),
+            graph_description=payload["graph_description"],
+            num_agreements=int(payload["num_agreements"]),
+            sample_size=int(payload["sample_size"]),
+            seed=int(payload["seed"]),
+            rows=tuple(
+                DiversityScenarioRow.from_json_dict(row) for row in payload["rows"]
+            ),
+            additional_paths_mean=float(payload["additional_paths_mean"]),
+            additional_paths_max=float(payload["additional_paths_max"]),
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentsResult:
+    """Outcome of the combined harness (``Session.experiments``)."""
+
+    full: bool
+    seed: int | None
+    trials: int | None
+    jobs: int
+    sections: tuple[SectionResult, ...]
+
+    def section(self, key: str) -> SectionResult:
+        """Look up one section (``stability``, ``fig2`` … ``fig6``)."""
+        for entry in self.sections:
+            if entry.key == key:
+                return entry
+        raise KeyError(
+            f"no section {key!r}; available: "
+            f"{', '.join(entry.key for entry in self.sections)}"
+        )
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Schema-versioned JSON envelope (sections nest their own)."""
+        return envelope(
+            "experiments_result",
+            {
+                "full": self.full,
+                "seed": self.seed,
+                "trials": self.trials,
+                "jobs": self.jobs,
+                "sections": [section.to_json_dict() for section in self.sections],
+            },
+        )
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "ExperimentsResult":
+        """Inverse of :meth:`to_json_dict`."""
+        payload = expect_envelope(data, "experiments_result")
+        require_keys(payload, "experiments_result", ("sections",))
+        return cls(
+            full=bool(payload.get("full", False)),
+            seed=payload.get("seed"),
+            trials=payload.get("trials"),
+            jobs=int(payload.get("jobs", 1)),
+            sections=tuple(
+                SectionResult.from_json_dict(section)
+                for section in payload["sections"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class SimulateResult:
+    """Outcome of one scenario run (``Session.simulate``).
+
+    The envelope carries the summary-level data (name, seed, horizon,
+    counts per record kind, headline lines) — everything the text
+    summary renders.  The full in-memory
+    :class:`~repro.simulation.scenarios.ScenarioResult` (with its trace)
+    rides along for same-process consumers such as ``--trace-out``, but
+    is excluded from serialization and equality; use
+    ``ScenarioResult.to_json_dict()`` when the whole trace must travel.
+    """
+
+    name: str
+    seed: int
+    duration: float
+    events_processed: int
+    num_trace_records: int
+    kinds: dict[str, int]
+    headline: tuple[str, ...]
+    trace_out: str | None = None
+    scenario_result: ScenarioResult | None = field(
+        default=None, compare=False, repr=False
+    )
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Schema-versioned JSON envelope."""
+        return envelope(
+            "simulate_result",
+            {
+                "name": self.name,
+                "seed": self.seed,
+                "duration": self.duration,
+                "events_processed": self.events_processed,
+                "num_trace_records": self.num_trace_records,
+                "kinds": dict(self.kinds),
+                "headline": list(self.headline),
+                "trace_out": self.trace_out,
+            },
+        )
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "SimulateResult":
+        """Inverse of :meth:`to_json_dict`."""
+        payload = expect_envelope(data, "simulate_result")
+        require_keys(
+            payload,
+            "simulate_result",
+            ("name", "seed", "duration", "events_processed", "num_trace_records"),
+        )
+        return cls(
+            name=payload["name"],
+            seed=int(payload["seed"]),
+            duration=float(payload["duration"]),
+            events_processed=int(payload["events_processed"]),
+            num_trace_records=int(payload["num_trace_records"]),
+            kinds={str(k): int(v) for k, v in payload.get("kinds", {}).items()},
+            headline=tuple(payload.get("headline", ())),
+            trace_out=payload.get("trace_out"),
+        )
+
+    @classmethod
+    def from_scenario(
+        cls, result: ScenarioResult, *, trace_out: str | None = None
+    ) -> "SimulateResult":
+        """Build the API result from an engine-level scenario result."""
+        return cls(
+            name=result.name,
+            seed=result.seed,
+            duration=result.duration,
+            events_processed=result.events_processed,
+            num_trace_records=len(result.trace),
+            kinds=result.trace.kinds(),
+            headline=tuple(result.headline),
+            trace_out=trace_out,
+            scenario_result=result,
+        )
+
+    def write_trace(self, path: str) -> None:
+        """Write the full JSONL metrics trace to ``path``.
+
+        Only available on results that still hold their in-process
+        :class:`~repro.simulation.scenarios.ScenarioResult` (not on
+        envelope-restored ones).  Raises
+        :class:`~repro.errors.OutputError` when the file cannot be
+        written.
+        """
+        if self.scenario_result is None:
+            raise ValueError(
+                "this result was restored from an envelope and carries no trace"
+            )
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(self.scenario_result.trace_text())
+        except OSError as error:
+            raise OutputError(
+                f"cannot write trace to {path}: {error.strerror}"
+            ) from error
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of an executed sweep (``Session.sweep``)."""
+
+    name: str
+    executed: tuple[str, ...]
+    reused: tuple[str, ...]
+    summary_path: str
+    num_tables: int
+    summary: dict[str, Any]
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Schema-versioned JSON envelope."""
+        return envelope(
+            "sweep_result",
+            {
+                "name": self.name,
+                "executed": list(self.executed),
+                "reused": list(self.reused),
+                "summary_path": self.summary_path,
+                "num_tables": self.num_tables,
+                "summary": self.summary,
+            },
+        )
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "SweepResult":
+        """Inverse of :meth:`to_json_dict`."""
+        payload = expect_envelope(data, "sweep_result")
+        require_keys(
+            payload, "sweep_result", ("name", "executed", "reused", "summary_path")
+        )
+        return cls(
+            name=payload["name"],
+            executed=tuple(payload["executed"]),
+            reused=tuple(payload["reused"]),
+            summary_path=payload["summary_path"],
+            num_tables=int(payload.get("num_tables", 0)),
+            summary=dict(payload.get("summary", {})),
+        )
+
+
+@dataclass(frozen=True)
+class SweepListResult:
+    """Outcome of a ``--list`` sweep expansion (no shard is run)."""
+
+    name: str
+    shard_ids: tuple[str, ...]
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Schema-versioned JSON envelope."""
+        return envelope(
+            "sweep_list_result",
+            {"name": self.name, "shard_ids": list(self.shard_ids)},
+        )
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "SweepListResult":
+        """Inverse of :meth:`to_json_dict`."""
+        payload = expect_envelope(data, "sweep_list_result")
+        require_keys(payload, "sweep_list_result", ("name", "shard_ids"))
+        return cls(name=payload["name"], shard_ids=tuple(payload["shard_ids"]))
+
+
+# ----------------------------------------------------------------------
+# Pure text renderers: result -> the exact pre-redesign CLI output.
+# ----------------------------------------------------------------------
+def render_topology_text(result: TopologyResult) -> str:
+    """The ``repro topology`` confirmation line."""
+    destination = result.output if result.output is not None else "(not written)"
+    return (
+        f"wrote {result.graph_description} to {destination} "
+        f"({result.num_transit_links} transit links, "
+        f"{result.num_peering_links} peering links)"
+    )
+
+
+def render_diversity_text(result: DiversityResult) -> str:
+    """The ``repro diversity`` report, byte-identical to the original."""
+    if result.source == "loaded":
+        lines = [f"loaded {result.graph_description} from {result.topology_path}"]
+    else:
+        lines = [f"generated synthetic topology: {result.graph_description}"]
+    lines.append(f"mutuality-based agreements: {result.num_agreements}")
+    for row in result.rows:
+        lines.append(
+            f"{row.scenario:<12} mean length-3 paths = {row.mean_paths:9.0f}   "
+            f"mean destinations = {row.mean_destinations:7.0f}"
+        )
+    lines.append(
+        f"additional paths per AS: mean {result.additional_paths_mean:.0f}, "
+        f"max {result.additional_paths_max:.0f}"
+    )
+    return "\n".join(lines)
+
+
+def render_experiments_text(result: ExperimentsResult) -> str:
+    """The combined report text (the historical ``run_all`` string)."""
+    return render_report(result.sections)
+
+
+def render_simulate_text(result: SimulateResult) -> str:
+    """The scenario summary, byte-identical to ``ScenarioResult.summary``."""
+    kinds = ", ".join(f"{k}={v}" for k, v in sorted(result.kinds.items()))
+    lines = [
+        f"== scenario: {result.name} (seed {result.seed}, "
+        f"horizon {result.duration:g}) ==",
+        f"events processed: {result.events_processed}",
+        f"trace records: {result.num_trace_records} ({kinds})",
+        *result.headline,
+    ]
+    return "\n".join(lines)
+
+
+def render_sweep_text(result: SweepResult) -> str:
+    """The sweep run report, byte-identical to ``SweepRunResult.report``."""
+    lines = [
+        f"== sweep: {result.name} "
+        f"({len(result.executed) + len(result.reused)} shards) ==",
+        f"computed: {len(result.executed)}   cached: {len(result.reused)}",
+        f"summary:  {result.summary_path}",
+        f"tables:   {result.num_tables} metric CSVs",
+    ]
+    return "\n".join(lines)
+
+
+def render_sweep_list_text(result: SweepListResult) -> str:
+    """The ``repro sweep --list`` output."""
+    lines = [*result.shard_ids, f"{len(result.shard_ids)} shards"]
+    return "\n".join(lines)

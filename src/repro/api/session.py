@@ -1,0 +1,309 @@
+"""The session façade: one object owning the expensive shared state.
+
+A :class:`Session` is the unit of reuse of the public API.  Construction
+is free; state accumulates as workflows run and is keyed by the exact
+parameters that produced it, so a repeated call with the same request
+reuses instead of rebuilding:
+
+- **Topologies** — synthetic topologies keyed by their generator
+  parameters ``(tier1, tier2, tier3, stubs, seed)``; loaded ``as-rel``
+  files keyed by path + file stamp (size, mtime), so an edited file is
+  re-read, not served stale.
+- **Diversity artifacts** — per-topology mutuality-agreement
+  enumerations and MA path indexes (the dominant cost of the §VI
+  analysis), plus the per-graph compiled
+  :class:`~repro.core.PathEngine` that :func:`repro.core.path_engine_for`
+  already shares.
+- **Experiment contexts** — one
+  :class:`~repro.experiments.context.DiversityContext` per
+  :class:`~repro.experiments.fig3_paths.PathDiversityConfig`, shared
+  across ``experiments()`` calls (sequential runs only: worker
+  processes rebuild their own, exactly as ``repro experiments --jobs``
+  always has).
+- **The negotiation engine** — one shared
+  :class:`~repro.bargaining.engine.NegotiationEngine` for every
+  batched bargaining evaluation of the session.
+
+Sessions are not thread-safe; use one per thread (state is cheap) or
+protect calls externally.  All results are plain values — a session can
+be dropped at any time without losing anything but its caches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass
+
+from repro.agreements.agreement import Agreement
+from repro.agreements.mutuality import enumerate_mutuality_agreements
+from repro.api.requests import (
+    DiversityRequest,
+    ExperimentsRequest,
+    SimulateRequest,
+    SweepRequest,
+    TopologyRequest,
+)
+from repro.api.results import (
+    DiversityResult,
+    DiversityScenarioRow,
+    ExperimentsResult,
+    SimulateResult,
+    SweepListResult,
+    SweepResult,
+    TopologyResult,
+)
+from repro.bargaining.engine import NegotiationEngine
+from repro.core import PathEngine, path_engine_for
+from repro.errors import OutputError, ValidationError
+from repro.experiments.context import DiversityContext, context_for
+from repro.experiments.runner import RunnerConfig, run_sections
+from repro.paths.diversity import analyze_path_diversity
+from repro.paths.ma_paths import MAPathIndex, build_ma_path_index
+from repro.simulation.scenarios import run_scenario
+from repro.sweep import (
+    DEFAULT_CACHE_DIR,
+    DEFAULT_OUT_DIR,
+    SweepSpec,
+    SweepSpecError,
+    run_sweep,
+    smoke_spec,
+)
+from repro.topology.caida import load_as_rel, save_as_rel
+from repro.topology.generator import GeneratedTopology, generate_topology
+from repro.topology.graph import ASGraph
+
+#: The conclusion degrees the diversity report lists, in report order.
+_DIVERSITY_REPORT_SCENARIOS = ("GRC", "MA* (Top 1)", "MA* (Top 5)", "MA*", "MA")
+
+
+@dataclass
+class _DiversityArtifacts:
+    """Everything expensive the diversity analysis derives per topology."""
+
+    graph: ASGraph
+    engine: PathEngine
+    agreements: list[Agreement]
+    index: MAPathIndex
+
+
+class Session:
+    """Reusable execution context for every public workflow."""
+
+    def __init__(self) -> None:
+        self._generated: dict[tuple[int, int, int, int, int], GeneratedTopology] = {}
+        self._loaded: dict[tuple[str, int, int], ASGraph] = {}
+        self._artifacts: dict[object, _DiversityArtifacts] = {}
+        self._contexts: dict[object, DiversityContext] = {}
+        #: Shared batched-bargaining engine of the session.
+        self.negotiation = NegotiationEngine()
+
+    # ------------------------------------------------------------------
+    # Shared-state accessors
+    # ------------------------------------------------------------------
+    def _generated_topology(
+        self, key: tuple[int, int, int, int, int]
+    ) -> GeneratedTopology:
+        """Generate (or reuse) the synthetic topology for a parameter key."""
+        topology = self._generated.get(key)
+        if topology is None:
+            tier1, tier2, tier3, stubs, seed = key
+            topology = generate_topology(
+                num_tier1=tier1,
+                num_tier2=tier2,
+                num_tier3=tier3,
+                num_stubs=stubs,
+                seed=seed,
+            )
+            self._generated[key] = topology
+        return topology
+
+    def _loaded_topology(self, path: str) -> ASGraph:
+        """Load (or reuse) an ``as-rel`` file, keyed by path + file stamp."""
+        try:
+            stat = os.stat(path)
+        except OSError as error:
+            raise ValidationError(
+                f"cannot read topology {path}: {error.strerror or error}"
+            ) from error
+        key = (os.path.abspath(path), stat.st_size, stat.st_mtime_ns)
+        graph = self._loaded.get(key)
+        if graph is None:
+            graph = load_as_rel(path)
+            self._loaded[key] = graph
+        return graph
+
+    def _diversity_artifacts(
+        self, cache_key: object, graph: ASGraph
+    ) -> _DiversityArtifacts:
+        """Derive (or reuse) the agreements + MA index + engine of a graph."""
+        artifacts = self._artifacts.get(cache_key)
+        if artifacts is None or artifacts.graph is not graph:
+            agreements = list(enumerate_mutuality_agreements(graph))
+            artifacts = _DiversityArtifacts(
+                graph=graph,
+                engine=path_engine_for(graph),
+                agreements=agreements,
+                index=build_ma_path_index(agreements),
+            )
+            self._artifacts[cache_key] = artifacts
+        return artifacts
+
+    def context_for(self, config) -> DiversityContext:
+        """The session's shared experiment context for a diversity config.
+
+        The context's negotiation engine is the session's own — the
+        "one shared NegotiationEngine" seam holds for every workflow,
+        so any state the engine grows later is shared session-wide.
+        The context is re-bound (not mutated) when it came from the
+        per-process build memo, which other sessions may also hold.
+        """
+        context = context_for(config, self._contexts.get(config))
+        if context.negotiation is not self.negotiation:
+            context = dataclasses.replace(context, negotiation=self.negotiation)
+        self._contexts[config] = context
+        return context
+
+    # ------------------------------------------------------------------
+    # Workflows
+    # ------------------------------------------------------------------
+    def topology(self, request: TopologyRequest | None = None) -> TopologyResult:
+        """Generate a synthetic topology; optionally write it as ``as-rel``."""
+        request = request or TopologyRequest()
+        topology = self._generated_topology(request.cache_key())
+        graph = topology.graph
+        if request.output is not None:
+            try:
+                save_as_rel(graph, request.output)
+            except OSError as error:
+                raise OutputError(
+                    f"cannot write topology to {request.output}: "
+                    f"{error.strerror or error}"
+                ) from error
+        return TopologyResult(
+            tier1=request.tier1,
+            tier2=request.tier2,
+            tier3=request.tier3,
+            stubs=request.stubs,
+            seed=request.seed,
+            num_ases=len(graph),
+            num_transit_links=graph.num_transit_links(),
+            num_peering_links=graph.num_peering_links(),
+            graph_description=str(graph),
+            output=request.output,
+        )
+
+    def diversity(self, request: DiversityRequest | None = None) -> DiversityResult:
+        """Run the §VI path-diversity analysis on a loaded or generated graph."""
+        request = request or DiversityRequest()
+        if request.topology is not None:
+            graph = self._loaded_topology(request.topology)
+            source = "loaded"
+            cache_key: object = ("file", os.path.abspath(request.topology))
+        else:
+            graph = self._generated_topology(request.generation_key()).graph
+            source = "generated"
+            cache_key = ("generated", request.generation_key())
+        artifacts = self._diversity_artifacts(cache_key, graph)
+        analysis = analyze_path_diversity(
+            graph,
+            agreements=artifacts.agreements,
+            sample_size=request.sample_size,
+            seed=request.seed,
+            engine=artifacts.engine,
+            index=artifacts.index,
+        )
+        rows = []
+        for scenario in _DIVERSITY_REPORT_SCENARIOS:
+            rows.append(
+                DiversityScenarioRow(
+                    scenario=scenario,
+                    mean_paths=analysis.path_cdf(scenario).mean,
+                    mean_destinations=analysis.destination_cdf(scenario).mean,
+                )
+            )
+        extra = analysis.additional_path_summary()
+        return DiversityResult(
+            source=source,
+            topology_path=request.topology,
+            graph_description=str(graph),
+            num_agreements=len(artifacts.agreements),
+            sample_size=request.sample_size,
+            seed=request.seed,
+            rows=tuple(rows),
+            additional_paths_mean=extra["mean"],
+            additional_paths_max=extra["max"],
+        )
+
+    def experiments(
+        self, request: ExperimentsRequest | None = None
+    ) -> ExperimentsResult:
+        """Run the combined Fig. 2–6 harness with structured sections."""
+        request = request or ExperimentsRequest()
+        config = RunnerConfig(
+            full=request.full, seed=request.seed, trials=request.trials
+        )
+        context = None
+        if request.jobs == 1:
+            context = self.context_for(config.diversity())
+        sections = run_sections(config, jobs=request.jobs, context=context)
+        return ExperimentsResult(
+            full=request.full,
+            seed=request.seed,
+            trials=request.trials,
+            jobs=request.jobs,
+            sections=sections,
+        )
+
+    def simulate(self, request: SimulateRequest | None = None) -> SimulateResult:
+        """Run a canned discrete-event scenario.
+
+        ``trace_out`` is written after the run completes; a failed write
+        raises :class:`~repro.errors.OutputError` (the run's results are
+        lost only to callers that don't catch it — the CLI adapter
+        prints the summary before attempting the write, preserving the
+        historical output ordering).
+        """
+        request = request or SimulateRequest()
+        result = SimulateResult.from_scenario(
+            run_scenario(request.scenario, seed=request.seed, duration=request.duration),
+            trace_out=request.trace_out,
+        )
+        if request.trace_out:
+            result.write_trace(request.trace_out)
+        return result
+
+    def sweep(
+        self,
+        request: SweepRequest,
+        *,
+        progress=None,
+    ) -> SweepResult | SweepListResult:
+        """Run (or ``--list`` expand) a sharded, resumable sweep."""
+        try:
+            spec = (
+                smoke_spec() if request.smoke else SweepSpec.from_json_file(request.spec)
+            )
+        except SweepSpecError as error:
+            raise ValidationError(str(error)) from error
+        if request.list_shards:
+            shards = spec.expand()
+            return SweepListResult(
+                name=spec.name, shard_ids=tuple(s.shard_id for s in shards)
+            )
+        outcome = run_sweep(
+            spec,
+            jobs=request.jobs,
+            cache_dir=request.cache_dir or DEFAULT_CACHE_DIR,
+            out_dir=request.out or DEFAULT_OUT_DIR,
+            force=request.force,
+            progress=progress,
+        )
+        return SweepResult(
+            name=spec.name,
+            executed=outcome.executed,
+            reused=outcome.reused,
+            summary_path=str(outcome.written["summary"]),
+            num_tables=len(outcome.written) - 1,
+            summary=outcome.summary,
+        )

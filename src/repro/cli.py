@@ -1,6 +1,6 @@
-"""Command-line interface of the reproduction.
+"""Command-line interface of the reproduction — a thin API adapter.
 
-Three subcommands cover the workflows a downstream user needs:
+Five subcommands cover the workflows a downstream user needs:
 
 ``repro topology``
     Generate a synthetic Internet-like AS topology and write it in the
@@ -27,318 +27,24 @@ Three subcommands cover the workflows a downstream user needs:
     resumable on-disk cache, and write the byte-reproducible
     ``sweep_summary.json`` + per-metric CSV tables.
 
-Invoke as ``python -m repro.cli <subcommand> …``.
+Every subcommand accepts ``--format text|json``: the classic text
+report, or the schema-versioned JSON envelope of the structured result
+(validated in CI by ``python -m repro.api.validate``).
+
+All argument parsing, validation, execution, and rendering live in
+:mod:`repro.api` — this module only re-exports the adapter's entry
+points so ``python -m repro.cli`` and the ``repro`` console script keep
+working.  Programmatic consumers should use :class:`repro.api.Session`
+directly.
 """
 
 from __future__ import annotations
 
-import argparse
-import math
 import sys
-from collections.abc import Sequence
 
-from repro.agreements import enumerate_mutuality_agreements
-from repro.experiments.runner import RunnerConfig, run_all
-from repro.paths import analyze_path_diversity
-from repro.simulation import SCENARIOS, run_scenario
-from repro.sweep import (
-    DEFAULT_CACHE_DIR,
-    DEFAULT_OUT_DIR,
-    SweepSpec,
-    SweepSpecError,
-    run_sweep,
-    smoke_spec,
-)
-from repro.topology import generate_topology, load_as_rel, save_as_rel
+from repro.api.adapter import build_parser, dispatch, main
 
-
-def build_parser() -> argparse.ArgumentParser:
-    """Build the argument parser for the ``repro`` CLI."""
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Reproduction of 'Enabling Novel Interconnection Agreements "
-        "with Path-Aware Networking Architectures' (DSN 2021)",
-    )
-    subparsers = parser.add_subparsers(dest="command", required=True)
-
-    topology = subparsers.add_parser(
-        "topology", help="generate a synthetic AS topology in CAIDA as-rel format"
-    )
-    topology.add_argument("output", help="path of the as-rel file to write")
-    topology.add_argument("--tier1", type=int, default=8, help="number of tier-1 ASes")
-    topology.add_argument("--tier2", type=int, default=60, help="number of tier-2 ASes")
-    topology.add_argument("--tier3", type=int, default=200, help="number of tier-3 ASes")
-    topology.add_argument("--stubs", type=int, default=800, help="number of stub ASes")
-    topology.add_argument("--seed", type=int, default=2021, help="generator seed")
-
-    diversity = subparsers.add_parser(
-        "diversity", help="run the §VI path-diversity analysis"
-    )
-    diversity.add_argument(
-        "--topology",
-        help="CAIDA as-rel file to analyze (a synthetic topology is generated "
-        "when omitted)",
-    )
-    diversity.add_argument(
-        "--sample-size", type=int, default=200, help="number of ASes to sample"
-    )
-    diversity.add_argument("--seed", type=int, default=2021, help="sampling seed")
-
-    experiments = subparsers.add_parser(
-        "experiments", help="run the full experiment harness (every figure)"
-    )
-    experiments.add_argument(
-        "--full",
-        action="store_true",
-        help="use the paper's trial counts and sample sizes (slower)",
-    )
-    experiments.add_argument(
-        "--seed",
-        type=int,
-        default=None,
-        help="seed every experiment for an end-to-end reproducible run "
-        "(defaults to each experiment's own seed)",
-    )
-    experiments.add_argument(
-        "--trials",
-        type=int,
-        default=None,
-        help="Fig. 2 trials per choice-set cardinality (200 = paper scale; "
-        "defaults to the run scale's own trial count)",
-    )
-    experiments.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="run the figure sections in N worker processes; the report is "
-        "merged in a fixed order, so seeded output is byte-identical to a "
-        "sequential run (default: 1)",
-    )
-
-    simulate = subparsers.add_parser(
-        "simulate", help="run a discrete-event simulation scenario"
-    )
-    simulate.add_argument(
-        "--scenario",
-        choices=sorted(SCENARIOS),
-        default="failure-churn",
-        help="canned scenario to run (default: failure-churn)",
-    )
-    simulate.add_argument(
-        "--seed", type=int, default=None, help="simulation seed (default: scenario's)"
-    )
-    simulate.add_argument(
-        "--duration",
-        type=float,
-        default=None,
-        help="virtual-time horizon in hours (default: scenario's)",
-    )
-    simulate.add_argument(
-        "--trace-out",
-        help="write the full JSONL metrics trace to this file",
-    )
-
-    sweep = subparsers.add_parser(
-        "sweep", help="run a sharded, resumable parameter sweep"
-    )
-    source = sweep.add_mutually_exclusive_group(required=True)
-    source.add_argument(
-        "--spec",
-        help="JSON sweep spec file (see README 'Sweeps & CI' for the format)",
-    )
-    source.add_argument(
-        "--smoke",
-        action="store_true",
-        help="run the built-in tiny CI smoke grid instead of a spec file",
-    )
-    sweep.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="run shards in N worker processes (results merge in a fixed "
-        "order, so the summary is byte-identical to a sequential run)",
-    )
-    sweep.add_argument(
-        "--out",
-        default=DEFAULT_OUT_DIR,
-        help=f"directory for sweep_summary.json and the per-metric CSV "
-        f"tables (default: {DEFAULT_OUT_DIR})",
-    )
-    sweep.add_argument(
-        "--cache-dir",
-        default=DEFAULT_CACHE_DIR,
-        help=f"shard result cache directory; re-runs and interrupted sweeps "
-        f"resume from it (default: {DEFAULT_CACHE_DIR})",
-    )
-    sweep.add_argument(
-        "--force",
-        action="store_true",
-        help="recompute every shard even when a cached result exists",
-    )
-    sweep.add_argument(
-        "--list",
-        action="store_true",
-        dest="list_shards",
-        help="print the expanded shard list without running anything",
-    )
-
-    return parser
-
-
-def _run_topology(args: argparse.Namespace) -> int:
-    topology = generate_topology(
-        num_tier1=args.tier1,
-        num_tier2=args.tier2,
-        num_tier3=args.tier3,
-        num_stubs=args.stubs,
-        seed=args.seed,
-    )
-    save_as_rel(topology.graph, args.output)
-    print(
-        f"wrote {topology.graph} to {args.output} "
-        f"({topology.graph.num_transit_links()} transit links, "
-        f"{topology.graph.num_peering_links()} peering links)"
-    )
-    return 0
-
-
-def _run_diversity(args: argparse.Namespace) -> int:
-    if args.topology:
-        graph = load_as_rel(args.topology)
-        print(f"loaded {graph} from {args.topology}")
-    else:
-        graph = generate_topology(seed=args.seed).graph
-        print(f"generated synthetic topology: {graph}")
-    agreements = list(enumerate_mutuality_agreements(graph))
-    print(f"mutuality-based agreements: {len(agreements)}")
-    result = analyze_path_diversity(
-        graph, agreements=agreements, sample_size=args.sample_size, seed=args.seed
-    )
-    for scenario in ("GRC", "MA* (Top 1)", "MA* (Top 5)", "MA*", "MA"):
-        paths = result.path_cdf(scenario)
-        destinations = result.destination_cdf(scenario)
-        print(
-            f"{scenario:<12} mean length-3 paths = {paths.mean:9.0f}   "
-            f"mean destinations = {destinations.mean:7.0f}"
-        )
-    extra = result.additional_path_summary()
-    print(f"additional paths per AS: mean {extra['mean']:.0f}, max {extra['max']:.0f}")
-    return 0
-
-
-def _run_experiments(args: argparse.Namespace) -> int:
-    if not _check_seed(args, "experiments"):
-        return 2
-    if args.jobs < 1:
-        print(
-            f"repro experiments: error: --jobs must be a positive integer, "
-            f"got {args.jobs}",
-            file=sys.stderr,
-        )
-        return 2
-    if args.trials is not None and args.trials < 1:
-        print(
-            f"repro experiments: error: --trials must be a positive integer, "
-            f"got {args.trials}",
-            file=sys.stderr,
-        )
-        return 2
-    print(
-        run_all(
-            RunnerConfig(full=args.full, seed=args.seed, trials=args.trials),
-            jobs=args.jobs,
-        )
-    )
-    return 0
-
-
-def _check_seed(args: argparse.Namespace, command: str) -> bool:
-    """Seeds feed ``np.random.default_rng``, which rejects negatives."""
-    if args.seed is not None and args.seed < 0:
-        print(
-            f"repro {command}: error: --seed must be non-negative, got {args.seed}",
-            file=sys.stderr,
-        )
-        return False
-    return True
-
-
-def _run_simulate(args: argparse.Namespace) -> int:
-    if args.duration is not None and not (
-        math.isfinite(args.duration) and args.duration >= 0.0
-    ):
-        print(
-            f"repro simulate: error: --duration must be a non-negative finite "
-            f"number of hours, got {args.duration:g}",
-            file=sys.stderr,
-        )
-        return 2
-    if not _check_seed(args, "simulate"):
-        return 2
-    result = run_scenario(args.scenario, seed=args.seed, duration=args.duration)
-    print(result.summary())
-    if args.trace_out:
-        try:
-            with open(args.trace_out, "w", encoding="utf-8") as handle:
-                handle.write(result.trace_text())
-        except OSError as error:
-            print(
-                f"repro simulate: error: cannot write trace to "
-                f"{args.trace_out}: {error.strerror}",
-                file=sys.stderr,
-            )
-            return 1
-        print(f"trace written to {args.trace_out} ({len(result.trace)} records)")
-    return 0
-
-
-def _run_sweep(args: argparse.Namespace) -> int:
-    if args.jobs < 1:
-        print(
-            f"repro sweep: error: --jobs must be a positive integer, "
-            f"got {args.jobs}",
-            file=sys.stderr,
-        )
-        return 2
-    try:
-        spec = smoke_spec() if args.smoke else SweepSpec.from_json_file(args.spec)
-    except SweepSpecError as error:
-        print(f"repro sweep: error: {error}", file=sys.stderr)
-        return 2
-    if args.list_shards:
-        shards = spec.expand()
-        for shard in shards:
-            print(shard.shard_id)
-        print(f"{len(shards)} shards")
-        return 0
-    result = run_sweep(
-        spec,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        out_dir=args.out,
-        force=args.force,
-        progress=lambda message: print(f"sweep: {message}", file=sys.stderr),
-    )
-    print(result.report())
-    return 0
-
-
-def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    if args.command == "topology":
-        return _run_topology(args)
-    if args.command == "diversity":
-        return _run_diversity(args)
-    if args.command == "experiments":
-        return _run_experiments(args)
-    if args.command == "simulate":
-        return _run_simulate(args)
-    if args.command == "sweep":
-        return _run_sweep(args)
-    parser.error(f"unknown command {args.command!r}")
-    return 2
+__all__ = ["build_parser", "dispatch", "main"]
 
 
 if __name__ == "__main__":

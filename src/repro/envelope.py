@@ -1,0 +1,78 @@
+"""Schema-versioned JSON envelopes for structured results.
+
+Every result type of the public API serializes to a *JSON envelope*: a
+plain dict whose first two keys identify the payload —
+
+```json
+{"schema_version": 1, "kind": "simulate_result", ...payload...}
+```
+
+- ``schema_version`` is the single integer version of the whole envelope
+  family; it is bumped when any envelope changes incompatibly, and
+  :func:`expect_envelope` rejects mismatches up front so consumers fail
+  with a clear error instead of a ``KeyError`` deep in a payload.
+- ``kind`` names the result type (``topology_result``,
+  ``experiments_result``, …) so a reader can dispatch without guessing
+  from the payload shape.
+
+The helpers live in this leaf module so every layer (experiments,
+simulation, sweep, api) shares one implementation without import
+cycles.  ``python -m repro.api.validate`` checks envelope files against
+the same contract in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import EnvelopeError
+
+__all__ = ["SCHEMA_VERSION", "envelope", "expect_envelope", "require_keys"]
+
+#: The current envelope schema version.  Bump on incompatible changes.
+SCHEMA_VERSION = 1
+
+
+def envelope(kind: str, payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Wrap a payload mapping in a schema-versioned envelope."""
+    if not kind:
+        raise ValueError("envelope kind must be a non-empty string")
+    record: dict[str, Any] = {"schema_version": SCHEMA_VERSION, "kind": kind}
+    for key, value in payload.items():
+        if key in ("schema_version", "kind"):
+            raise ValueError(f"payload must not shadow the envelope key {key!r}")
+        record[key] = value
+    return record
+
+
+def expect_envelope(data: Mapping[str, Any], kind: str) -> dict[str, Any]:
+    """Check the envelope header and return the payload as a dict.
+
+    Raises :class:`~repro.errors.EnvelopeError` when ``data`` is not a
+    mapping, carries the wrong ``kind``, or was produced under a
+    different ``schema_version``.
+    """
+    if not isinstance(data, Mapping):
+        raise EnvelopeError(f"envelope must be a mapping, got {type(data).__name__}")
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise EnvelopeError(
+            f"unsupported schema_version {version!r} (expected {SCHEMA_VERSION})"
+        )
+    actual = data.get("kind")
+    if actual != kind:
+        raise EnvelopeError(f"expected envelope kind {kind!r}, got {actual!r}")
+    return {
+        key: value
+        for key, value in data.items()
+        if key not in ("schema_version", "kind")
+    }
+
+
+def require_keys(payload: Mapping[str, Any], kind: str, keys: tuple[str, ...]) -> None:
+    """Raise :class:`EnvelopeError` when a required payload key is missing."""
+    missing = [key for key in keys if key not in payload]
+    if missing:
+        raise EnvelopeError(
+            f"envelope kind {kind!r} is missing required key(s): {', '.join(missing)}"
+        )

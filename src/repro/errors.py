@@ -1,0 +1,70 @@
+"""The public error taxonomy of the reproduction.
+
+Every failure that crosses the public API surface (:mod:`repro.api`) or
+the CLI is an instance of :class:`ReproError`.  The taxonomy is small
+and stable:
+
+- :class:`ValidationError` — the caller's request is malformed (a
+  negative seed, a non-positive job count, an unknown scenario, a
+  malformed sweep spec).  Mapped to process exit code ``2``, the same
+  convention ``argparse`` uses for usage errors.
+- :class:`OutputError` — the work succeeded but a result could not be
+  delivered (an unwritable trace file or topology path).  Mapped to
+  exit code ``1``.
+- :class:`EnvelopeError` — a JSON envelope fails its schema contract
+  (wrong ``kind``, missing or incompatible ``schema_version``,
+  malformed payload).  A :class:`ValidationError`, so exit code ``2``.
+
+The classes live in this leaf module (not inside :mod:`repro.api`) so
+lower layers — :mod:`repro.experiments`, :mod:`repro.simulation`,
+:mod:`repro.sweep` — can raise and translate them without importing the
+API package that itself imports those layers.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "OutputError",
+    "EnvelopeError",
+    "exit_code_for",
+]
+
+
+class ReproError(Exception):
+    """Base class of every error the public API raises deliberately.
+
+    ``exit_code`` is the stable process exit code a CLI adapter maps the
+    error to; subclasses override it.
+    """
+
+    exit_code: int = 1
+
+
+class ValidationError(ReproError, ValueError):
+    """The request itself is invalid; nothing was run.
+
+    Raised by the typed request constructors in
+    :mod:`repro.api.requests`, so Python-API callers get exactly the
+    same rejections (and messages) as CLI users.
+    """
+
+    exit_code = 2
+
+
+class OutputError(ReproError, OSError):
+    """The computation succeeded but an output could not be written."""
+
+    exit_code = 1
+
+
+class EnvelopeError(ValidationError):
+    """A JSON envelope does not satisfy the schema contract."""
+
+
+def exit_code_for(error: BaseException) -> int:
+    """The stable process exit code for an error (1 for unknown ones)."""
+    if isinstance(error, ReproError):
+        return error.exit_code
+    return 1

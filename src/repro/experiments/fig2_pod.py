@@ -20,7 +20,12 @@ from repro.bargaining.distributions import (
 )
 from repro.bargaining.engine import NegotiationEngine
 from repro.bargaining.mechanism import BoscoService
-from repro.experiments.reporting import PaperComparison, format_table
+from repro.experiments.reporting import (
+    PaperComparison,
+    SectionTable,
+    metric_value,
+    render_figure_body,
+)
 
 
 @dataclass(frozen=True)
@@ -100,21 +105,34 @@ class Fig2Result:
         )
         return comparisons
 
-    def report(self) -> str:
-        """Text report mirroring the Fig. 2 series."""
-        rows = [
-            [
+    def table(self) -> SectionTable:
+        """The Fig. 2 series as a structured, render-ready table."""
+        rows = tuple(
+            (
                 row.distribution,
                 str(row.num_choices),
                 f"{row.min_pod:.3f}",
                 f"{row.mean_pod:.3f}",
                 f"{row.mean_equilibrium_choices:.1f}",
-            ]
+            )
             for row in self.rows
-        ]
-        return format_table(
-            ["distribution", "W", "min PoD", "mean PoD", "avg equilibrium choices"], rows
         )
+        return SectionTable(
+            headers=("distribution", "W", "min PoD", "mean PoD", "avg equilibrium choices"),
+            rows=rows,
+        )
+
+    def metrics(self) -> dict[str, float | int | None]:
+        """Headline numbers of the experiment, JSON-safe."""
+        return {
+            "best_pod_u1": metric_value(self.best_pod("U(1)")),
+            "best_pod_u2": metric_value(self.best_pod("U(2)")),
+            "num_rows": len(self.rows),
+        }
+
+    def report(self) -> str:
+        """Text report mirroring the Fig. 2 series."""
+        return render_figure_body(self.table(), "", ())
 
 
 def run_fig2(

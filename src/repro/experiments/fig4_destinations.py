@@ -13,7 +13,13 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.experiments.fig3_paths import PathDiversityConfig
-from repro.experiments.reporting import PaperComparison, format_cdf_series, format_table
+from repro.experiments.reporting import (
+    PaperComparison,
+    SectionSeries,
+    SectionTable,
+    metric_value,
+    render_figure_body,
+)
 from repro.paths.diversity import DEFAULT_SCENARIOS, DiversityResult, analyze_path_diversity
 from repro.topology.generator import GeneratedTopology
 
@@ -67,25 +73,52 @@ class Fig4Result:
             ),
         ]
 
-    def report(self) -> str:
-        """Text report with the per-scenario distribution and the CDF series."""
+    #: Caption above the CDF series block of the text report.
+    SERIES_CAPTION = "CDF series (destinations, fraction of ASes):"
+
+    def table(self) -> SectionTable:
+        """The per-scenario distribution as a structured table."""
         rows = []
         for scenario in self.scenarios:
             cdf = self.diversity.destination_cdf(scenario)
             rows.append(
-                [scenario, f"{cdf.mean:.0f}", f"{cdf.median:.0f}", f"{cdf.maximum:.0f}"]
+                (scenario, f"{cdf.mean:.0f}", f"{cdf.median:.0f}", f"{cdf.maximum:.0f}")
             )
-        table = format_table(
-            ["scenario", "mean destinations", "median destinations", "max destinations"],
-            rows,
+        return SectionTable(
+            headers=(
+                "scenario",
+                "mean destinations",
+                "median destinations",
+                "max destinations",
+            ),
+            rows=tuple(rows),
         )
-        series = "\n".join(
-            format_cdf_series(
-                scenario, *self.diversity.destination_cdf(scenario).series()
-            )
+
+    def series(self) -> tuple[SectionSeries, ...]:
+        """The per-scenario CDF series with their raw values."""
+        return tuple(
+            SectionSeries(scenario, *self.diversity.destination_cdf(scenario).series())
             for scenario in self.scenarios
         )
-        return f"{table}\n\nCDF series (destinations, fraction of ASes):\n{series}"
+
+    def metrics(self) -> dict[str, float | int | None]:
+        """Headline numbers of the experiment, JSON-safe."""
+        extra = self.diversity.additional_destination_summary()
+        return {
+            "num_agreements": self.num_agreements,
+            "grc_mean_destinations": metric_value(
+                self.diversity.destination_cdf("GRC").mean
+            ),
+            "ma_mean_destinations": metric_value(
+                self.diversity.destination_cdf("MA").mean
+            ),
+            "additional_destinations_mean": metric_value(extra["mean"]),
+            "additional_destinations_max": metric_value(extra["max"]),
+        }
+
+    def report(self) -> str:
+        """Text report with the per-scenario distribution and the CDF series."""
+        return render_figure_body(self.table(), self.SERIES_CAPTION, self.series())
 
 
 def _relative_spread(diversity: DiversityResult, kind: str) -> float:

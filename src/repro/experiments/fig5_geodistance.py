@@ -14,7 +14,13 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.experiments.fig3_paths import PathDiversityConfig
-from repro.experiments.reporting import PaperComparison, format_cdf_series, format_table
+from repro.experiments.reporting import (
+    PaperComparison,
+    SectionSeries,
+    SectionTable,
+    metric_value,
+    render_figure_body,
+)
 from repro.paths.geodistance import GeodistanceResult, analyze_geodistance
 from repro.topology.generator import GeneratedTopology
 from repro.topology.geography import SyntheticGeographyGenerator
@@ -65,27 +71,53 @@ class Fig5Result:
             ),
         ]
 
-    def report(self) -> str:
-        """Text report with the Fig. 5a condition counts and Fig. 5b reduction CDF."""
+    def table(self) -> SectionTable:
+        """The Fig. 5a condition counts as a structured table."""
         rows = []
         for condition in ("max", "median", "min"):
             cdf = self.geodistance.count_cdf(condition)
             rows.append(
-                [
+                (
                     f"< GRC {condition}",
                     f"{cdf.fraction_at_least(1):.0%}",
                     f"{cdf.fraction_at_least(5):.0%}",
                     f"{cdf.fraction_at_least(10):.0%}",
                     f"{cdf.mean:.1f}",
-                ]
+                )
             )
-        table = format_table(
-            ["condition", "≥1 path", "≥5 paths", "≥10 paths", "mean #paths"], rows
+        return SectionTable(
+            headers=("condition", "≥1 path", "≥5 paths", "≥10 paths", "mean #paths"),
+            rows=tuple(rows),
         )
-        reduction = format_cdf_series(
-            "relative geodistance reduction", *self.geodistance.reduction_cdf().series()
+
+    def series(self) -> tuple[SectionSeries, ...]:
+        """The Fig. 5b relative-reduction CDF with its raw values."""
+        return (
+            SectionSeries(
+                "relative geodistance reduction",
+                *self.geodistance.reduction_cdf().series(),
+            ),
         )
-        return f"{table}\n\n{reduction}"
+
+    def metrics(self) -> dict[str, float | int | None]:
+        """Headline numbers of the experiment, JSON-safe."""
+        reduction = self.geodistance.reduction_cdf()
+        return {
+            "num_agreements": self.num_agreements,
+            "pairs_below_grc_min": metric_value(
+                self.geodistance.fraction_of_pairs_improving("min", 1)
+            ),
+            "pairs_below_grc_min_5": metric_value(
+                self.geodistance.fraction_of_pairs_improving("min", 5)
+            ),
+            "median_reduction": (
+                metric_value(reduction.median) if reduction.count > 0 else None
+            ),
+        }
+
+    def report(self) -> str:
+        """Text report with the Fig. 5a condition counts and Fig. 5b reduction CDF."""
+        return render_figure_body(self.table(), "", self.series())
 
 
 def run_fig5(

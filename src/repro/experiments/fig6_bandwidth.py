@@ -14,7 +14,13 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.experiments.fig3_paths import PathDiversityConfig
-from repro.experiments.reporting import PaperComparison, format_cdf_series, format_table
+from repro.experiments.reporting import (
+    PaperComparison,
+    SectionSeries,
+    SectionTable,
+    metric_value,
+    render_figure_body,
+)
 from repro.paths.bandwidth import BandwidthResult, analyze_bandwidth
 from repro.topology.bandwidth import degree_gravity_capacities
 from repro.topology.generator import GeneratedTopology
@@ -71,27 +77,52 @@ class Fig6Result:
             ),
         ]
 
-    def report(self) -> str:
-        """Text report with the Fig. 6a condition counts and Fig. 6b increase CDF."""
+    def table(self) -> SectionTable:
+        """The Fig. 6a condition counts as a structured table."""
         rows = []
         for condition in ("max", "median", "min"):
             cdf = self.bandwidth.count_cdf(condition)
             rows.append(
-                [
+                (
                     f"> GRC {condition}",
                     f"{cdf.fraction_at_least(1):.0%}",
                     f"{cdf.fraction_at_least(5):.0%}",
                     f"{cdf.fraction_at_least(10):.0%}",
                     f"{cdf.mean:.1f}",
-                ]
+                )
             )
-        table = format_table(
-            ["condition", "≥1 path", "≥5 paths", "≥10 paths", "mean #paths"], rows
+        return SectionTable(
+            headers=("condition", "≥1 path", "≥5 paths", "≥10 paths", "mean #paths"),
+            rows=tuple(rows),
         )
-        increase = format_cdf_series(
-            "relative bandwidth increase", *self.bandwidth.increase_cdf().series()
+
+    def series(self) -> tuple[SectionSeries, ...]:
+        """The Fig. 6b relative-increase CDF with its raw values."""
+        return (
+            SectionSeries(
+                "relative bandwidth increase", *self.bandwidth.increase_cdf().series()
+            ),
         )
-        return f"{table}\n\n{increase}"
+
+    def metrics(self) -> dict[str, float | int | None]:
+        """Headline numbers of the experiment, JSON-safe."""
+        increase = self.bandwidth.increase_cdf()
+        return {
+            "num_agreements": self.num_agreements,
+            "pairs_above_grc_max": metric_value(
+                self.bandwidth.fraction_of_pairs_improving("max", 1)
+            ),
+            "pairs_above_grc_min": metric_value(
+                self.bandwidth.fraction_of_pairs_improving("min", 1)
+            ),
+            "median_increase": (
+                metric_value(increase.median) if increase.count > 0 else None
+            ),
+        }
+
+    def report(self) -> str:
+        """Text report with the Fig. 6a condition counts and Fig. 6b increase CDF."""
+        return render_figure_body(self.table(), "", self.series())
 
 
 def run_fig6(

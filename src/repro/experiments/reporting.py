@@ -1,4 +1,4 @@
-"""Reporting helpers for the experiment harness.
+"""Reporting: structured section results and their pure text renderers.
 
 Every experiment module produces (a) the raw series that correspond to a
 figure of the paper and (b) a small set of *headline comparisons*:
@@ -7,11 +7,23 @@ this reproduction.  Because the path-diversity experiments run on a
 synthetic topology (see DESIGN.md), absolute values differ; the
 comparisons are about the qualitative shape — who wins, and roughly by
 how much.
+
+Since the API redesign, experiment sections return a structured
+:class:`SectionResult` (comparisons, table, CDF series, machine-readable
+metrics) and *all* text formatting lives here, in pure functions of the
+structured data: :func:`render_section` / :func:`render_report` turn
+section results into the exact report text the combined runner always
+printed, so the JSON envelope and the byte-identical text report are two
+views of one value.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.envelope import envelope, expect_envelope, require_keys
 
 
 @dataclass(frozen=True)
@@ -22,6 +34,132 @@ class PaperComparison:
     paper_value: str
     measured_value: str
     note: str = ""
+
+    def to_json_dict(self) -> dict[str, str]:
+        """Flat JSON form (no envelope: always nested inside a section)."""
+        return {
+            "metric": self.metric,
+            "paper_value": self.paper_value,
+            "measured_value": self.measured_value,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "PaperComparison":
+        """Inverse of :meth:`to_json_dict`."""
+        return cls(
+            metric=data["metric"],
+            paper_value=data["paper_value"],
+            measured_value=data["measured_value"],
+            note=data.get("note", ""),
+        )
+
+
+@dataclass(frozen=True)
+class SectionTable:
+    """A rendered-cell table: headers plus rows of pre-formatted cells.
+
+    Cells are strings on purpose — the experiment decides the number
+    formatting (``f"{mean:.0f}"`` vs ``f"{fraction:.0%}"``), the
+    renderer only decides alignment.  This is what keeps the text
+    report byte-identical while the same value round-trips through
+    JSON.
+    """
+
+    headers: tuple[str, ...]
+    rows: tuple[tuple[str, ...], ...]
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Flat JSON form."""
+        return {"headers": list(self.headers), "rows": [list(r) for r in self.rows]}
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "SectionTable":
+        """Inverse of :meth:`to_json_dict`."""
+        return cls(
+            headers=tuple(data["headers"]),
+            rows=tuple(tuple(row) for row in data["rows"]),
+        )
+
+
+@dataclass(frozen=True)
+class SectionSeries:
+    """One named (x, y) series — a CDF of a figure, kept as raw floats."""
+
+    name: str
+    xs: tuple[float, ...]
+    ys: tuple[float, ...]
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Flat JSON form."""
+        return {"name": self.name, "xs": list(self.xs), "ys": list(self.ys)}
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "SectionSeries":
+        """Inverse of :meth:`to_json_dict`."""
+        return cls(
+            name=data["name"],
+            xs=tuple(float(x) for x in data["xs"]),
+            ys=tuple(float(y) for y in data["ys"]),
+        )
+
+
+@dataclass(frozen=True)
+class SectionResult:
+    """The structured outcome of one report section of the combined run.
+
+    ``key`` is the stable machine identifier (``stability``, ``fig2`` …
+    ``fig6``); ``metrics`` carries the headline numbers of the section
+    as JSON-safe scalars (non-finite floats are recorded as ``None``).
+    The free-text ``preamble`` exists for prose sections (§II) that have
+    no comparison table.
+    """
+
+    key: str
+    title: str
+    comparisons: tuple[PaperComparison, ...] = ()
+    preamble: tuple[str, ...] = ()
+    table: SectionTable | None = None
+    series_caption: str = ""
+    series: tuple[SectionSeries, ...] = ()
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Schema-versioned JSON envelope of the section."""
+        return envelope(
+            "section_result",
+            {
+                "key": self.key,
+                "title": self.title,
+                "comparisons": [c.to_json_dict() for c in self.comparisons],
+                "preamble": list(self.preamble),
+                "table": None if self.table is None else self.table.to_json_dict(),
+                "series_caption": self.series_caption,
+                "series": [s.to_json_dict() for s in self.series],
+                "metrics": dict(self.metrics),
+            },
+        )
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "SectionResult":
+        """Inverse of :meth:`to_json_dict`."""
+        payload = expect_envelope(data, "section_result")
+        require_keys(payload, "section_result", ("key", "title"))
+        table = payload.get("table")
+        return cls(
+            key=payload["key"],
+            title=payload["title"],
+            comparisons=tuple(
+                PaperComparison.from_json_dict(c) for c in payload.get("comparisons", ())
+            ),
+            preamble=tuple(payload.get("preamble", ())),
+            table=None if table is None else SectionTable.from_json_dict(table),
+            series_caption=payload.get("series_caption", ""),
+            series=tuple(
+                SectionSeries.from_json_dict(s) for s in payload.get("series", ())
+            ),
+            metrics=dict(payload.get("metrics", {})),
+        )
 
 
 def format_table(headers: list[str], rows: list[list[str]]) -> str:
@@ -62,3 +200,56 @@ def format_cdf_series(
         indices = sorted({int(round(i * step)) for i in range(max_points)})
     points = ", ".join(f"({xs[i]:.3g}, {ys[i]:.2f})" for i in indices)
     return f"{name}: {points}"
+
+
+def metric_value(value: float) -> float | None:
+    """A metrics-dict value: NaN/inf become ``None`` (strict-JSON safe)."""
+    number = float(value)
+    return number if math.isfinite(number) else None
+
+
+# ----------------------------------------------------------------------
+# Pure renderers: SectionResult -> the exact pre-redesign report text.
+# ----------------------------------------------------------------------
+def render_figure_body(
+    table: SectionTable | None,
+    series_caption: str,
+    series: tuple[SectionSeries, ...],
+) -> str:
+    """Render a figure's body (its table and CDF series) as text.
+
+    This is the pure-function form of what the figure results'
+    ``report()`` methods produce; they delegate here so one renderer
+    defines the byte layout.
+    """
+    blocks: list[str] = []
+    if table is not None:
+        blocks.append(format_table(list(table.headers), [list(r) for r in table.rows]))
+    if series:
+        text = "\n".join(format_cdf_series(s.name, s.xs, s.ys) for s in series)
+        if series_caption:
+            text = f"{series_caption}\n{text}"
+        blocks.append(text)
+    return "\n\n".join(blocks)
+
+
+def render_section(section: SectionResult) -> str:
+    """Render one section exactly as the combined report prints it."""
+    if section.comparisons:
+        head = format_comparisons(section.title, list(section.comparisons))
+    else:
+        head = "\n".join([f"== {section.title} ==", *section.preamble])
+    body = render_figure_body(section.table, section.series_caption, section.series)
+    if not body:
+        return head
+    return f"{head}\n\n{body}"
+
+
+def render_report(sections: tuple[SectionResult, ...] | list[SectionResult]) -> str:
+    """Render the combined experiment report from its structured sections.
+
+    Byte-identical to the text :func:`repro.experiments.runner.run_all`
+    has always returned: a leading blank block, sections separated by a
+    blank line + separator line, and a trailing newline.
+    """
+    return "\n\n" + "\n\n\n".join(render_section(s) for s in sections) + "\n"

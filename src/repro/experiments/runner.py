@@ -3,7 +3,15 @@
 ``python -m repro.experiments.runner`` regenerates the data behind all
 figures (with reduced default sizes; pass ``--full`` for paper-scale
 trial counts) and prints paper-vs-measured comparison tables, the same
-content that EXPERIMENTS.md records.
+content that EXPERIMENTS.md records.  The entry point is a thin alias
+of ``repro experiments`` — both route through the one CLI adapter in
+:mod:`repro.api.adapter`.
+
+Sections return structured :class:`~repro.experiments.reporting.SectionResult`
+values (comparisons, tables, CDF series, headline metrics); the text
+report is a pure rendering of them (:func:`run_all` keeps returning the
+combined text for backward compatibility, :func:`run_sections` is the
+structured form the API session consumes).
 
 A sequential run shares one :class:`DiversityContext` (topology,
 compiled path engine, MA enumeration and path index) across Figs. 3–6
@@ -17,7 +25,6 @@ sequential run.
 
 from __future__ import annotations
 
-import argparse
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 
@@ -26,7 +33,11 @@ from repro.experiments.fig3_paths import PathDiversityConfig, run_fig3
 from repro.experiments.fig4_destinations import run_fig4
 from repro.experiments.fig5_geodistance import Fig5Config, run_fig5
 from repro.experiments.fig6_bandwidth import Fig6Config, run_fig6
-from repro.experiments.reporting import format_comparisons
+from repro.experiments.reporting import (
+    SectionResult,
+    render_report,
+    render_section,
+)
 from repro.routing.convergence import analyze_gadget
 from repro.topology.fixtures import bad_gadget_topology, disagree_topology
 
@@ -89,74 +100,101 @@ class RunnerConfig:
 
 
 # ----------------------------------------------------------------------
-# Sections.  Each is a module-level function of (config, context) so the
-# parallel path can pickle and dispatch them; the tuple fixes the merge
-# order, which is what keeps seeded output byte-identical under --jobs.
+# Sections.  Each is a module-level function of (config, context)
+# returning a SectionResult, so the parallel path can pickle and
+# dispatch them; the tuple fixes the merge order, which is what keeps
+# seeded output byte-identical under --jobs.
 # ----------------------------------------------------------------------
-def _section_stability(config: RunnerConfig, context=None) -> str:
+def _section_stability(config: RunnerConfig, context=None) -> SectionResult:
     """§II stability comparison: DISAGREE and BAD GADGET under BGP."""
     disagree = analyze_gadget(disagree_topology())
     bad = analyze_gadget(bad_gadget_topology())
-    lines = [
-        "== §II — BGP stability gadgets ==",
-        (
-            f"DISAGREE: converged under every schedule = {disagree.always_converged}, "
-            f"distinct stable states = {disagree.distinct_stable_states} "
-            "(paper: converges, but non-deterministically)"
+    return SectionResult(
+        key="stability",
+        title="§II — BGP stability gadgets",
+        preamble=(
+            (
+                f"DISAGREE: converged under every schedule = {disagree.always_converged}, "
+                f"distinct stable states = {disagree.distinct_stable_states} "
+                "(paper: converges, but non-deterministically)"
+            ),
+            (
+                f"BAD GADGET: oscillation detected = {bad.any_oscillation}, "
+                f"converged = {bad.always_converged} "
+                "(paper: persistent route oscillations)"
+            ),
+            "PAN forwarding along source-selected paths is loop-free by construction "
+            "(see repro.routing.forwarding and its tests).",
         ),
-        (
-            f"BAD GADGET: oscillation detected = {bad.any_oscillation}, "
-            f"converged = {bad.always_converged} "
-            "(paper: persistent route oscillations)"
-        ),
-        "PAN forwarding along source-selected paths is loop-free by construction "
-        "(see repro.routing.forwarding and its tests).",
-    ]
-    return "\n".join(lines)
-
-
-def _section_fig2(config: RunnerConfig, context=None) -> str:
-    fig2 = run_fig2(config.fig2())
-    return (
-        format_comparisons("Fig. 2 — Price of Dishonesty", fig2.comparisons())
-        + "\n\n"
-        + fig2.report()
+        metrics={
+            "disagree_always_converged": bool(disagree.always_converged),
+            "disagree_distinct_stable_states": int(disagree.distinct_stable_states),
+            "bad_gadget_any_oscillation": bool(bad.any_oscillation),
+            "bad_gadget_always_converged": bool(bad.always_converged),
+        },
     )
 
 
-def _section_fig3(config: RunnerConfig, context=None) -> str:
+def _section_fig2(config: RunnerConfig, context=None) -> SectionResult:
+    fig2 = run_fig2(
+        config.fig2(), engine=context.negotiation if context is not None else None
+    )
+    return SectionResult(
+        key="fig2",
+        title="Fig. 2 — Price of Dishonesty",
+        comparisons=tuple(fig2.comparisons()),
+        table=fig2.table(),
+        metrics=fig2.metrics(),
+    )
+
+
+def _section_fig3(config: RunnerConfig, context=None) -> SectionResult:
     fig3 = run_fig3(config.diversity(), context=context)
-    return (
-        format_comparisons("Fig. 3 — length-3 paths per AS", fig3.comparisons())
-        + "\n\n"
-        + fig3.report()
+    return SectionResult(
+        key="fig3",
+        title="Fig. 3 — length-3 paths per AS",
+        comparisons=tuple(fig3.comparisons()),
+        table=fig3.table(),
+        series_caption=fig3.SERIES_CAPTION,
+        series=fig3.series(),
+        metrics=fig3.metrics(),
     )
 
 
-def _section_fig4(config: RunnerConfig, context=None) -> str:
+def _section_fig4(config: RunnerConfig, context=None) -> SectionResult:
     fig4 = run_fig4(config.diversity(), context=context)
-    return (
-        format_comparisons("Fig. 4 — nearby destinations per AS", fig4.comparisons())
-        + "\n\n"
-        + fig4.report()
+    return SectionResult(
+        key="fig4",
+        title="Fig. 4 — nearby destinations per AS",
+        comparisons=tuple(fig4.comparisons()),
+        table=fig4.table(),
+        series_caption=fig4.SERIES_CAPTION,
+        series=fig4.series(),
+        metrics=fig4.metrics(),
     )
 
 
-def _section_fig5(config: RunnerConfig, context=None) -> str:
+def _section_fig5(config: RunnerConfig, context=None) -> SectionResult:
     fig5 = run_fig5(config.fig5(), context=context)
-    return (
-        format_comparisons("Fig. 5 — geodistance of MA paths", fig5.comparisons())
-        + "\n\n"
-        + fig5.report()
+    return SectionResult(
+        key="fig5",
+        title="Fig. 5 — geodistance of MA paths",
+        comparisons=tuple(fig5.comparisons()),
+        table=fig5.table(),
+        series=fig5.series(),
+        metrics=fig5.metrics(),
     )
 
 
-def _section_fig6(config: RunnerConfig, context=None) -> str:
+def _section_fig6(config: RunnerConfig, context=None) -> SectionResult:
     fig6 = run_fig6(config.fig6(), context=context)
-    return (
-        format_comparisons("Fig. 6 — bandwidth of MA paths", fig6.comparisons())
-        + "\n\n"
-        + fig6.report()
+    return SectionResult(
+        key="fig6",
+        title="Fig. 6 — bandwidth of MA paths",
+        comparisons=tuple(fig6.comparisons()),
+        table=fig6.table(),
+        series=fig6.series(),
+        metrics=fig6.metrics(),
     )
 
 
@@ -172,92 +210,78 @@ _SECTIONS = (
 
 #: Sections that consume the shared diversity context.
 _CONTEXT_SECTIONS = frozenset(
-    {_section_fig3, _section_fig4, _section_fig5, _section_fig6}
+    {_section_fig2, _section_fig3, _section_fig4, _section_fig5, _section_fig6}
 )
 
 
-def _run_section(index: int, config: RunnerConfig) -> str:
+def _run_section(index: int, config: RunnerConfig) -> SectionResult:
     """Worker entry point for process-parallel execution."""
     return _SECTIONS[index](config)
 
 
-def run_all(config: RunnerConfig | None = None, *, jobs: int = 1) -> str:
-    """Run every experiment and return the combined text report.
+def run_sections(
+    config: RunnerConfig | None = None,
+    *,
+    jobs: int = 1,
+    context=None,
+) -> tuple[SectionResult, ...]:
+    """Run every experiment and return the structured section results.
 
-    ``jobs`` > 1 runs the sections in that many worker processes.  The
+    ``jobs`` > 1 runs the sections in that many worker processes; the
     merge order is the fixed section order regardless of completion
     order, and every section is deterministic given its config, so the
-    report is byte-identical to a sequential run.
+    rendered report is byte-identical to a sequential run.  ``context``
+    lets a caller that already holds a matching
+    :class:`~repro.experiments.context.DiversityContext` (the API
+    session) share it with the sequential path; mismatched or absent
+    contexts fall back to a fresh build.
     """
     config = config or RunnerConfig()
     if jobs < 1:
         raise ValueError(f"jobs must be a positive integer, got {jobs}")
 
     if jobs == 1:
-        from repro.experiments.context import DiversityContext
+        from repro.experiments.context import context_for
 
-        context = DiversityContext.build(config.diversity())
-        sections = [
-            section(config, context) if section in _CONTEXT_SECTIONS else section(config)
+        ctx = context_for(config.diversity(), context)
+        return tuple(
+            section(config, ctx) if section in _CONTEXT_SECTIONS else section(config)
             for section in _SECTIONS
-        ]
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(_SECTIONS))) as executor:
-            futures = [
-                executor.submit(_run_section, index, config)
-                for index in range(len(_SECTIONS))
-            ]
-            sections = [future.result() for future in futures]
+        )
 
-    return "\n\n" + "\n\n\n".join(sections) + "\n"
+    with ProcessPoolExecutor(max_workers=min(jobs, len(_SECTIONS))) as executor:
+        futures = [
+            executor.submit(_run_section, index, config)
+            for index in range(len(_SECTIONS))
+        ]
+        return tuple(future.result() for future in futures)
+
+
+def run_all(config: RunnerConfig | None = None, *, jobs: int = 1) -> str:
+    """Run every experiment and return the combined text report.
+
+    The text is a pure rendering of :func:`run_sections` — byte-identical
+    to the pre-redesign report (golden tests pin this).
+    """
+    return render_report(run_sections(config, jobs=jobs))
 
 
 def _stability_section() -> str:
-    """Backward-compatible alias for the §II stability section."""
-    return _section_stability(RunnerConfig())
+    """Backward-compatible alias for the §II stability section text."""
+    return render_section(_section_stability(RunnerConfig()))
 
 
-def main() -> None:
-    """Command-line entry point."""
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--full",
-        action="store_true",
-        help="run paper-scale trial counts and sample sizes (slower)",
-    )
-    parser.add_argument(
-        "--seed",
-        type=int,
-        default=None,
-        help="seed every experiment for an end-to-end reproducible run",
-    )
-    parser.add_argument(
-        "--trials",
-        type=int,
-        default=None,
-        help="Fig. 2 trials per cardinality (200 = paper scale; defaults "
-        "to the run scale's own trial count)",
-    )
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="run the figure sections in N worker processes (deterministic "
-        "merge order; default: sequential)",
-    )
-    arguments = parser.parse_args()
-    if arguments.jobs < 1:
-        parser.error(f"--jobs must be a positive integer, got {arguments.jobs}")
-    if arguments.trials is not None and arguments.trials < 1:
-        parser.error(f"--trials must be a positive integer, got {arguments.trials}")
-    print(
-        run_all(
-            RunnerConfig(
-                full=arguments.full, seed=arguments.seed, trials=arguments.trials
-            ),
-            jobs=arguments.jobs,
-        )
-    )
+def main(argv=None) -> None:
+    """Command-line entry point: an alias of ``repro experiments``.
+
+    The argparse surface and validation live in one place —
+    :mod:`repro.api.adapter` — shared with the ``repro`` CLI.
+    """
+    import sys
+
+    from repro.api.adapter import run_experiments_command
+
+    sys.exit(run_experiments_command(argv))
 
 
 if __name__ == "__main__":

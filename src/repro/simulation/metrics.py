@@ -38,11 +38,42 @@ class MetricsTrace:
     def __len__(self) -> int:
         return len(self._records)
 
+    def __eq__(self, other: object) -> bool:
+        """Two traces are equal when they hold the same records in order.
+
+        Value equality (rather than identity) is what lets results that
+        embed a trace round-trip through their JSON envelopes and
+        compare equal to the original.
+        """
+        if not isinstance(other, MetricsTrace):
+            return NotImplemented
+        return self._records == other._records
+
+    # Keep the identity hash traces always had (record payloads are
+    # dicts, so a value hash is not possible): containers that embed a
+    # trace — the frozen ScenarioResult — stay hashable, at the price
+    # that two equal traces may hash differently.  Don't key mappings
+    # by trace expecting value semantics.
+    __hash__ = object.__hash__
+
     def record(self, time: float, kind: str, **data: object) -> TraceRecord:
         """Append one observation and return it."""
         entry = TraceRecord(time=time, kind=kind, data=data)
         self._records.append(entry)
         return entry
+
+    @classmethod
+    def from_records(cls, records: "list[dict] | tuple[dict, ...]") -> "MetricsTrace":
+        """Rebuild a trace from JSON-safe record dicts (envelope inverse).
+
+        Each entry is the flat form :meth:`TraceRecord.to_json` encodes:
+        ``time`` and ``kind`` plus the payload keys.
+        """
+        trace = cls()
+        for entry in records:
+            data = {k: v for k, v in entry.items() if k not in ("time", "kind")}
+            trace.record(float(entry["time"]), str(entry["kind"]), **data)
+        return trace
 
     @property
     def records(self) -> tuple[TraceRecord, ...]:

@@ -1,0 +1,181 @@
+"""``--format json`` on every subcommand: envelopes on stdout, round-trips."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    SCHEMA_VERSION,
+    DiversityResult,
+    SimulateResult,
+    SweepListResult,
+    SweepResult,
+    TopologyResult,
+)
+from repro.cli import main
+
+TINY_TOPOLOGY = [
+    "--tier1",
+    "3",
+    "--tier2",
+    "6",
+    "--tier3",
+    "15",
+    "--stubs",
+    "40",
+    "--seed",
+    "3",
+]
+
+
+def run_json(capsys, argv):
+    assert main(argv) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+class TestJsonFormat:
+    def test_topology_json_round_trips(self, tmp_path, capsys):
+        target = tmp_path / "topo.as-rel.txt"
+        data = run_json(
+            capsys, ["topology", str(target), *TINY_TOPOLOGY, "--format", "json"]
+        )
+        assert data["schema_version"] == SCHEMA_VERSION
+        result = TopologyResult.from_json_dict(data)
+        assert result.num_ases == 64
+        assert target.is_file()
+
+    def test_diversity_json_round_trips(self, tmp_path, capsys):
+        target = tmp_path / "topo.as-rel.txt"
+        main(["topology", str(target), *TINY_TOPOLOGY])
+        capsys.readouterr()
+        data = run_json(
+            capsys,
+            [
+                "diversity",
+                "--topology",
+                str(target),
+                "--sample-size",
+                "10",
+                "--seed",
+                "1",
+                "--format",
+                "json",
+            ],
+        )
+        result = DiversityResult.from_json_dict(data)
+        assert result.source == "loaded"
+        assert result.num_agreements > 0
+        assert [row.scenario for row in result.rows] == [
+            "GRC",
+            "MA* (Top 1)",
+            "MA* (Top 5)",
+            "MA*",
+            "MA",
+        ]
+
+    def test_simulate_json_round_trips(self, capsys):
+        data = run_json(
+            capsys,
+            [
+                "simulate",
+                "--scenario",
+                "flash-crowd",
+                "--seed",
+                "4",
+                "--duration",
+                "30",
+                "--format",
+                "json",
+            ],
+        )
+        result = SimulateResult.from_json_dict(data)
+        assert result.name == "flash-crowd"
+        assert result.seed == 4
+        assert result.num_trace_records == sum(result.kinds.values())
+
+    def test_simulate_json_with_trace_out_still_writes_the_trace(
+        self, tmp_path, capsys
+    ):
+        target = tmp_path / "trace.jsonl"
+        data = run_json(
+            capsys,
+            [
+                "simulate",
+                "--scenario",
+                "flash-crowd",
+                "--seed",
+                "4",
+                "--duration",
+                "30",
+                "--trace-out",
+                str(target),
+                "--format",
+                "json",
+            ],
+        )
+        assert data["trace_out"] == str(target)
+        assert target.read_text(encoding="utf-8").startswith('{"')
+
+    def test_sweep_list_json_round_trips(self, capsys):
+        data = run_json(capsys, ["sweep", "--smoke", "--list", "--format", "json"])
+        result = SweepListResult.from_json_dict(data)
+        assert result.name == "smoke"
+        assert len(result.shard_ids) == 18
+
+    def test_sweep_run_json_round_trips(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "name": "json-tiny",
+                    "scales": [
+                        {
+                            "name": "t",
+                            "num_tier1": 2,
+                            "num_tier2": 5,
+                            "num_tier3": 12,
+                            "num_stubs": 30,
+                            "sample_size": 20,
+                            "pair_sample_size": 8,
+                        }
+                    ],
+                    "seeds": [1],
+                    "figures": ["fig3"],
+                }
+            )
+        )
+        data = run_json(
+            capsys,
+            [
+                "sweep",
+                "--spec",
+                str(spec),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--out",
+                str(tmp_path / "out"),
+                "--format",
+                "json",
+            ],
+        )
+        result = SweepResult.from_json_dict(data)
+        assert result.name == "json-tiny"
+        assert len(result.executed) == 1
+        assert result.summary["name"] == "json-tiny"
+
+    def test_json_errors_keep_the_text_contract(self, capsys):
+        """Validation failures behave identically regardless of format."""
+        assert main(["experiments", "--jobs", "0", "--format", "json"]) == 2
+        err = capsys.readouterr().err
+        assert "repro experiments: error: --jobs must be a positive integer" in err
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["experiments", "--format", "yaml"],
+            ["simulate", "--format", "xml"],
+        ],
+    )
+    def test_unknown_format_is_an_argparse_error(self, argv):
+        with pytest.raises(SystemExit):
+            main(argv)

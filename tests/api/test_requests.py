@@ -1,0 +1,124 @@
+"""Typed-request validation: API callers get the same errors as CLI users."""
+
+import pytest
+
+from repro.api import (
+    DiversityRequest,
+    ExperimentsRequest,
+    SimulateRequest,
+    SweepRequest,
+    TopologyRequest,
+    ValidationError,
+)
+
+
+class TestSeedValidation:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: TopologyRequest(seed=-1),
+            lambda: DiversityRequest(seed=-1),
+            lambda: ExperimentsRequest(seed=-1),
+            lambda: SimulateRequest(seed=-1),
+        ],
+    )
+    def test_negative_seed_is_rejected_everywhere(self, factory):
+        with pytest.raises(ValidationError, match="--seed must be non-negative"):
+            factory()
+
+    def test_none_seed_is_accepted_where_optional(self):
+        assert ExperimentsRequest(seed=None).seed is None
+        assert SimulateRequest(seed=None).seed is None
+
+    def test_zero_seed_is_accepted(self):
+        assert ExperimentsRequest(seed=0).seed == 0
+
+
+class TestExperimentsValidation:
+    @pytest.mark.parametrize("jobs", [0, -1, -100])
+    def test_non_positive_jobs_is_rejected(self, jobs):
+        with pytest.raises(ValidationError, match="--jobs must be a positive integer"):
+            ExperimentsRequest(jobs=jobs)
+
+    @pytest.mark.parametrize("trials", [0, -5])
+    def test_non_positive_trials_is_rejected(self, trials):
+        with pytest.raises(
+            ValidationError, match="--trials must be a positive integer"
+        ):
+            ExperimentsRequest(trials=trials)
+
+    def test_trials_none_means_scale_default(self):
+        assert ExperimentsRequest().trials is None
+
+    def test_error_message_matches_the_cli_wording(self):
+        with pytest.raises(ValidationError) as excinfo:
+            ExperimentsRequest(jobs=0)
+        assert str(excinfo.value) == "--jobs must be a positive integer, got 0"
+
+
+class TestSimulateValidation:
+    @pytest.mark.parametrize("duration", [-5.0, float("nan"), float("inf")])
+    def test_bad_duration_is_rejected(self, duration):
+        with pytest.raises(
+            ValidationError, match="--duration must be a non-negative finite"
+        ):
+            SimulateRequest(duration=duration)
+
+    def test_duration_is_checked_before_seed(self):
+        """The CLI historically reported the duration problem first."""
+        with pytest.raises(ValidationError, match="--duration"):
+            SimulateRequest(duration=-1.0, seed=-1)
+
+    def test_unknown_scenario_is_rejected(self):
+        with pytest.raises(ValidationError, match="unknown scenario"):
+            SimulateRequest(scenario="nope")
+
+    def test_zero_duration_is_accepted(self):
+        assert SimulateRequest(duration=0.0).duration == 0.0
+
+
+class TestTopologyAndDiversityValidation:
+    @pytest.mark.parametrize("field", ["tier1", "tier2", "tier3", "stubs"])
+    def test_negative_tier_counts_are_rejected(self, field):
+        with pytest.raises(ValidationError, match=f"--{field} must be non-negative"):
+            TopologyRequest(**{field: -1})
+
+    @pytest.mark.parametrize("sample_size", [0, -3])
+    def test_non_positive_sample_size_is_rejected(self, sample_size):
+        with pytest.raises(
+            ValidationError, match="--sample-size must be a positive integer"
+        ):
+            DiversityRequest(sample_size=sample_size)
+
+
+class TestSweepValidation:
+    def test_non_positive_jobs_is_rejected(self):
+        with pytest.raises(ValidationError, match="--jobs must be a positive integer"):
+            SweepRequest(smoke=True, jobs=0)
+
+    def test_spec_and_smoke_are_mutually_exclusive(self):
+        with pytest.raises(ValidationError, match="exactly one of"):
+            SweepRequest(spec="spec.json", smoke=True)
+
+    def test_neither_spec_nor_smoke_is_rejected(self):
+        with pytest.raises(ValidationError, match="exactly one of"):
+            SweepRequest()
+
+    def test_smoke_request_is_valid(self):
+        assert SweepRequest(smoke=True).jobs == 1
+
+
+class TestValidationErrorTaxonomy:
+    def test_validation_error_maps_to_exit_code_2(self):
+        from repro.api import ReproError, exit_code_for
+
+        error = ValidationError("bad")
+        assert isinstance(error, ReproError)
+        assert isinstance(error, ValueError)
+        assert error.exit_code == 2
+        assert exit_code_for(error) == 2
+
+    def test_unknown_errors_map_to_exit_code_1(self):
+        from repro.api import exit_code_for
+
+        assert exit_code_for(RuntimeError("boom")) == 1

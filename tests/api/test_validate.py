@@ -1,0 +1,115 @@
+"""The ``python -m repro.api.validate`` envelope checker."""
+
+import json
+
+from repro.api.validate import main, validate_envelope
+from repro.envelope import SCHEMA_VERSION
+
+
+def good_envelope() -> dict:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "simulate_result",
+        "name": "failure-churn",
+        "seed": 1,
+        "duration": 6.0,
+        "events_processed": 10,
+        "num_trace_records": 4,
+        "kinds": {"availability_sample": 4},
+        "headline": ["ok"],
+        "trace_out": None,
+    }
+
+
+class TestValidateEnvelope:
+    def test_valid_envelope_has_no_problems(self):
+        assert validate_envelope(good_envelope()) == []
+
+    def test_non_object_is_rejected(self):
+        assert validate_envelope([1, 2]) != []
+
+    def test_missing_schema_version_is_rejected(self):
+        data = good_envelope()
+        del data["schema_version"]
+        assert any("schema_version" in p for p in validate_envelope(data))
+
+    def test_wrong_schema_version_is_rejected(self):
+        data = good_envelope()
+        data["schema_version"] = 99
+        assert any("unsupported schema_version" in p for p in validate_envelope(data))
+
+    def test_unknown_kind_is_rejected(self):
+        data = good_envelope()
+        data["kind"] = "mystery"
+        assert any("unknown kind" in p for p in validate_envelope(data))
+
+    def test_missing_required_key_is_rejected(self):
+        data = good_envelope()
+        del data["events_processed"]
+        assert any("missing required key" in p for p in validate_envelope(data))
+
+    def test_non_finite_numbers_are_rejected_with_their_path(self):
+        data = good_envelope()
+        data["kinds"] = {"availability_sample": float("nan")}
+        problems = validate_envelope(data)
+        assert any("$.kinds.availability_sample" in p for p in problems)
+
+    def test_nested_sections_are_checked(self):
+        data = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "experiments_result",
+            "sections": [{"schema_version": 99, "kind": "section_result"}],
+        }
+        problems = validate_envelope(data)
+        assert any(p.startswith("sections[0]:") for p in problems)
+
+
+class TestValidateCli:
+    def test_valid_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "env.json"
+        target.write_text(json.dumps(good_envelope()))
+        assert main([str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "simulate_result" in out
+
+    def test_invalid_file_exits_one(self, tmp_path, capsys):
+        target = tmp_path / "env.json"
+        broken = good_envelope()
+        del broken["kind"]
+        target.write_text(json.dumps(broken))
+        assert main([str(target)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_unreadable_and_non_json_files_fail(self, tmp_path, capsys):
+        missing = tmp_path / "missing.json"
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{nope")
+        assert main([str(missing), str(garbage)]) == 1
+        out = capsys.readouterr().out
+        assert out.count("FAIL") == 2
+
+    def test_real_cli_json_output_validates(self, tmp_path, capsys, monkeypatch):
+        """The envelope the CLI emits is exactly what the checker accepts."""
+        from repro.cli import main as cli_main
+
+        monkeypatch.chdir(tmp_path)
+        assert (
+            cli_main(
+                [
+                    "simulate",
+                    "--scenario",
+                    "flash-crowd",
+                    "--seed",
+                    "4",
+                    "--duration",
+                    "30",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        payload = capsys.readouterr().out
+        target = tmp_path / "simulate.json"
+        target.write_text(payload)
+        assert main([str(target)]) == 0

@@ -1,0 +1,93 @@
+"""Structured section results and their pure renderers."""
+
+import json
+
+from repro.experiments.reporting import (
+    PaperComparison,
+    SectionResult,
+    SectionSeries,
+    SectionTable,
+    metric_value,
+    render_figure_body,
+    render_report,
+    render_section,
+)
+
+
+def make_figure_section() -> SectionResult:
+    return SectionResult(
+        key="figX",
+        title="Fig. X — demo",
+        comparisons=(
+            PaperComparison(metric="m", paper_value="1", measured_value="2"),
+        ),
+        table=SectionTable(headers=("a", "b"), rows=(("1", "22"),)),
+        series_caption="CDF:",
+        series=(SectionSeries("s", (1.0, 2.0), (0.5, 1.0)),),
+        metrics={"m": 2.0},
+    )
+
+
+class TestMetricValue:
+    def test_finite_numbers_pass_through(self):
+        assert metric_value(1.5) == 1.5
+
+    def test_non_finite_numbers_become_none(self):
+        assert metric_value(float("nan")) is None
+        assert metric_value(float("inf")) is None
+
+
+class TestRenderSection:
+    def test_prose_section_renders_header_and_preamble(self):
+        section = SectionResult(
+            key="stability", title="T", preamble=("one", "two")
+        )
+        assert render_section(section) == "== T ==\none\ntwo"
+
+    def test_figure_section_layout(self):
+        text = render_section(make_figure_section())
+        comparison_block, table_block, series_block = text.split("\n\n")
+        assert comparison_block.startswith("== Fig. X — demo ==")
+        assert table_block.splitlines()[0].startswith("a")
+        assert series_block == "CDF:\ns: (1, 0.50), (2, 1.00)"
+
+    def test_series_without_caption_stand_alone(self):
+        body = render_figure_body(
+            None, "", (SectionSeries("s", (1.0,), (1.0,)),)
+        )
+        assert body == "s: (1, 1.00)"
+
+    def test_report_wraps_sections_with_the_historical_separators(self):
+        a = SectionResult(key="a", title="A", preamble=("x",))
+        b = SectionResult(key="b", title="B", preamble=("y",))
+        assert render_report([a, b]) == "\n\n== A ==\nx\n\n\n== B ==\ny\n"
+
+
+class TestSectionStructure:
+    def test_runner_sections_are_json_safe(self):
+        """Every value inside a section envelope must be strict JSON."""
+        from repro.experiments.runner import RunnerConfig, _section_stability
+
+        section = _section_stability(RunnerConfig())
+        payload = json.dumps(section.to_json_dict(), allow_nan=False)
+        assert SectionResult.from_json_dict(json.loads(payload)) == section
+
+    def test_stability_section_metrics(self):
+        from repro.experiments.runner import RunnerConfig, _section_stability
+
+        section = _section_stability(RunnerConfig())
+        assert section.metrics["bad_gadget_any_oscillation"] is True
+        assert section.comparisons == ()
+        assert section.table is None
+
+    def test_fig2_result_exposes_structured_table_and_metrics(self):
+        from repro.experiments.fig2_pod import Fig2Config, run_fig2
+
+        result = run_fig2(Fig2Config(choice_counts=(10,), trials=4))
+        table = result.table()
+        assert table.headers[0] == "distribution"
+        assert len(table.rows) == 2  # one per distribution
+        metrics = result.metrics()
+        assert 0.0 <= metrics["best_pod_u1"] <= 1.0
+        # report() is a pure rendering of table()
+        assert result.report().splitlines()[0].startswith("distribution")

@@ -167,7 +167,11 @@ class TestSimulateCommand:
             ]
         )
         assert code == 1
-        assert "cannot write trace" in capsys.readouterr().err
+        captured = capsys.readouterr()
+        assert "cannot write trace" in captured.err
+        # The historical ordering: the run's summary still prints before
+        # the trace-write failure is reported.
+        assert "scenario: flash-crowd" in captured.out
 
 
 class TestDiversityCommand:

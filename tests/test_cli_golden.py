@@ -1,0 +1,121 @@
+"""Golden-file tests: the redesigned CLI's seeded text output is
+byte-identical to the pre-redesign renderings.
+
+The files under ``tests/golden/`` were captured by running the CLI *at
+the commit before the API redesign* (PR 4 state) with the exact
+invocations below.  Every assertion here is a byte comparison of the
+full stdout, so any formatting drift — a stray space, a reordered line,
+a float formatted differently — fails loudly.
+
+The experiments goldens run the real harness at the default reduced
+scale (~40 s each); they are the contract that the structured-section
+refactor and the ``--jobs`` merge order preserve the historical report
+exactly, so they are worth the time.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def golden(name: str) -> str:
+    return (GOLDEN_DIR / name).read_text(encoding="utf-8")
+
+
+def run_cli(capsys, *argv: str) -> str:
+    assert main(list(argv)) == 0
+    captured = capsys.readouterr()
+    return captured.out
+
+
+@pytest.fixture()
+def golden_cwd(tmp_path, monkeypatch):
+    """Run from a temp directory so relative paths match the capture."""
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestFastGoldens:
+    def test_topology_output_is_byte_identical(self, golden_cwd, capsys):
+        out = run_cli(
+            capsys,
+            "topology",
+            "topo.as-rel.txt",
+            "--tier1",
+            "3",
+            "--tier2",
+            "6",
+            "--tier3",
+            "15",
+            "--stubs",
+            "40",
+            "--seed",
+            "3",
+        )
+        assert out == golden("topology_seed3.txt")
+
+    def test_diversity_output_is_byte_identical(self, golden_cwd, capsys):
+        run_cli(
+            capsys,
+            "topology",
+            "topo.as-rel.txt",
+            "--tier1",
+            "3",
+            "--tier2",
+            "6",
+            "--tier3",
+            "15",
+            "--stubs",
+            "40",
+            "--seed",
+            "3",
+        )
+        capsys.readouterr()
+        out = run_cli(
+            capsys,
+            "diversity",
+            "--topology",
+            "topo.as-rel.txt",
+            "--sample-size",
+            "15",
+            "--seed",
+            "1",
+        )
+        assert out == golden("diversity_sample15_seed1.txt")
+
+    def test_simulate_flash_crowd_is_byte_identical(self, capsys):
+        out = run_cli(
+            capsys,
+            "simulate",
+            "--scenario",
+            "flash-crowd",
+            "--seed",
+            "4",
+            "--duration",
+            "30",
+        )
+        assert out == golden("simulate_flash_crowd_seed4.txt")
+
+    def test_simulate_failure_churn_is_byte_identical(self, capsys):
+        out = run_cli(capsys, "simulate", "--duration", "6", "--seed", "1")
+        assert out == golden("simulate_failure_churn_seed1.txt")
+
+
+class TestExperimentsGoldens:
+    """The heavyweight contract: the full seeded harness, both schedules."""
+
+    ARGS = ("experiments", "--seed", "7", "--trials", "3")
+
+    def test_sequential_run_is_byte_identical(self, capsys):
+        out = run_cli(capsys, *self.ARGS)
+        assert out == golden("experiments_seed7_trials3.txt")
+
+    def test_jobs_2_run_is_byte_identical(self, capsys):
+        out = run_cli(capsys, *self.ARGS, "--jobs", "2")
+        assert out == golden("experiments_seed7_trials3.txt")
