@@ -1,0 +1,181 @@
+"""Benchmark: ``repro serve`` throughput under concurrent clients.
+
+The serve subsystem's performance claims are measured against a real
+child-process server on an ephemeral port, driven by N concurrent
+keep-alive clients posting negotiation envelopes:
+
+- **coalesced vs. uncoalesced** — the same workload against a server
+  with the coalescing window open vs. ``--coalesce-window-ms 0``
+  (caching disabled on both, so only cross-client batching differs).
+  At full (paper) scale — W=50, 8 clients × 25 trials per wave = the
+  paper's 200 trials packed into one engine batch — the bench *asserts*
+  the ≥ 2× throughput contract.
+- **cold vs. warm cache** — the same request set twice against a
+  caching server: the repeat pass must be served from the
+  fingerprint-keyed byte cache.
+
+Scales (``REPRO_BENCH_SCALE`` env var, or ``--paper-scale``): ``tiny``
+(CI smoke), ``default``, ``full``.  The headline ``wall_time_s`` is the
+coalesced run; every other measurement lands in ``extra`` of
+``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from _emit import emit
+
+from repro.serve.client import ServeClient
+
+_SCALES = {
+    # Small enough for CI, large enough that a request is real work.
+    "tiny": dict(clients=4, waves=2, num_choices=10, trials=5),
+    "default": dict(clients=8, waves=3, num_choices=30, trials=10),
+    # Paper scale: one coalesced wave is W=50 with 8×25 = 200 trials,
+    # the Fig. 2 full-scale trial count, in a single engine batch.
+    "full": dict(clients=8, waves=4, num_choices=50, trials=25),
+}
+
+#: The contracted coalescing speedup, asserted at full scale only —
+#: at smoke scales the fixed per-request overhead dominates the solve.
+MIN_COALESCE_SPEEDUP = 2.0
+
+_SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _scale_name(paper_scale: bool) -> str:
+    env = os.environ.get("REPRO_BENCH_SCALE")
+    if env:
+        if env not in _SCALES:
+            raise ValueError(
+                f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {env!r}"
+            )
+        return env
+    return "full" if paper_scale else "default"
+
+
+class _Server:
+    """One ``repro serve`` child bound to an ephemeral port."""
+
+    def __init__(self, *args: str) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0", *args],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        line = self.proc.stdout.readline()
+        self.port = int(re.search(r":(\d+)", line).group(1))
+
+    def __enter__(self) -> "_Server":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.proc.kill()
+        self.proc.wait(timeout=30)
+
+
+def _drive(port: int, scale: dict, *, seed_base: int) -> float:
+    """Run the concurrent workload once; returns the wall time."""
+
+    def client_run(client_id: int) -> None:
+        with ServeClient("127.0.0.1", port) as client:
+            for wave in range(scale["waves"]):
+                response = client.post(
+                    "/negotiate",
+                    {
+                        "num_choices": scale["num_choices"],
+                        "trials": scale["trials"],
+                        "seed": seed_base + client_id * scale["waves"] + wave,
+                    },
+                )
+                assert response.status == 200, response.body
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=scale["clients"]) as pool:
+        list(pool.map(client_run, range(scale["clients"])))
+    return time.perf_counter() - started
+
+
+def _warm_up(port: int, scale: dict) -> None:
+    """Pay first-request costs (imports ran at fork; numpy warms here)."""
+    with ServeClient("127.0.0.1", port) as client:
+        client.post(
+            "/negotiate",
+            {"num_choices": scale["num_choices"], "trials": scale["trials"],
+             "seed": 1},
+        )
+
+
+def test_serve_throughput(paper_scale):
+    scale_name = _scale_name(paper_scale)
+    scale = _SCALES[scale_name]
+    requests_total = scale["clients"] * scale["waves"]
+
+    # Coalescing comparison: identical workloads, caching off on both
+    # sides so cross-client batching is the only variable.
+    with _Server(
+        "--coalesce-window-ms", "0", "--cache-entries", "0"
+    ) as server:
+        _warm_up(server.port, scale)
+        uncoalesced = _drive(server.port, scale, seed_base=1000)
+
+    with _Server(
+        "--coalesce-window-ms", "50", "--max-batch", "32", "--cache-entries", "0"
+    ) as server:
+        _warm_up(server.port, scale)
+        coalesced = _drive(server.port, scale, seed_base=1000)
+        with ServeClient("127.0.0.1", server.port) as client:
+            coalescing_stats = client.get("/stats").json()["coalescing"]
+
+    # Cache comparison: the same seeds twice against a caching server.
+    with _Server("--coalesce-window-ms", "50", "--cache-entries", "256") as server:
+        _warm_up(server.port, scale)
+        cold_cache = _drive(server.port, scale, seed_base=2000)
+        warm_cache = _drive(server.port, scale, seed_base=2000)
+
+    coalesce_speedup = (
+        uncoalesced / coalesced if coalesced > 0.0 else float("inf")
+    )
+    cache_speedup = cold_cache / warm_cache if warm_cache > 0.0 else float("inf")
+    emit(
+        "serve",
+        wall_time_s=coalesced,
+        operations=requests_total,
+        scale={"name": scale_name, **scale},
+        extra={
+            "uncoalesced_wall_time_s": uncoalesced,
+            "coalesce_speedup": coalesce_speedup,
+            "cold_cache_wall_time_s": cold_cache,
+            "warm_cache_wall_time_s": warm_cache,
+            "cache_speedup": cache_speedup,
+            "max_batch_size": coalescing_stats["max_batch_size"],
+        },
+    )
+    print(
+        f"\n[{scale_name}] {requests_total} requests x {scale['clients']} "
+        f"clients: uncoalesced {uncoalesced:.3f}s, coalesced {coalesced:.3f}s "
+        f"({coalesce_speedup:.1f}x); cache cold {cold_cache:.3f}s, "
+        f"warm {warm_cache:.3f}s ({cache_speedup:.1f}x)"
+    )
+
+    # The run must have actually batched across clients.
+    assert coalescing_stats["max_batch_size"] > 1, coalescing_stats
+    # Warm-cache replay must beat recomputing at every scale.
+    assert cache_speedup > 1.0, (
+        f"cached replay slower than recompute: {cache_speedup:.2f}x"
+    )
+    if scale_name == "full":
+        assert coalesce_speedup >= MIN_COALESCE_SPEEDUP, (
+            f"coalescing speedup regressed: {coalesce_speedup:.1f}x < "
+            f"{MIN_COALESCE_SPEEDUP:.0f}x at paper scale"
+        )

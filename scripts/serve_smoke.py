@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""CI smoke load for ``repro serve``.
+
+Boots a real server on an ephemeral port, fires a concurrent mixed
+workload at it (negotiation envelopes from several client threads —
+exercising the coalescing window — plus topology/simulate/diversity
+requests and the introspection routes), writes every response envelope
+to ``--out`` as a ``.json`` file, SIGTERMs the server, and checks the
+drain: exit code 0 and a request log of complete JSONL lines.
+
+CI then validates every written response (and the log records) with
+``python -m repro.api.validate`` and uploads the request log as an
+artifact::
+
+    python scripts/serve_smoke.py --out serve-envelopes \
+        --request-log serve-requests.jsonl
+
+Exit codes: 0 on success, 1 on any failed request or an unclean drain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.client import ServeClient  # noqa: E402
+
+#: Concurrent negotiation clients (>= the acceptance bar of 8).
+CLIENTS = 8
+
+TINY_TOPOLOGY = {"tier1": 2, "tier2": 4, "tier3": 8, "stubs": 20, "seed": 1}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", required=True, help="directory for the response envelopes"
+    )
+    parser.add_argument(
+        "--request-log",
+        required=True,
+        help="request log path handed to the server",
+    )
+    args = parser.parse_args(argv)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    server = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port",
+            "0",
+            "--coalesce-window-ms",
+            "25",
+            "--request-log",
+            args.request_log,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    line = server.stdout.readline()
+    match = re.search(r"listening on http://[^:]+:(\d+)", line)
+    if not match:
+        print(f"error: serve did not start: {line!r}", file=sys.stderr)
+        server.kill()
+        return 1
+    port = int(match.group(1))
+    print(f"serve_smoke: server up on port {port}")
+
+    failures: list[str] = []
+
+    def save(name: str, response) -> None:
+        if response.status != 200:
+            failures.append(f"{name}: HTTP {response.status}: {response.body!r}")
+            return
+        (out_dir / f"{name}.json").write_bytes(response.body)
+
+    def negotiate_client(client_id: int) -> None:
+        with ServeClient("127.0.0.1", port) as client:
+            for wave in range(2):
+                seed = 100 + client_id * 2 + wave
+                save(
+                    f"negotiate_c{client_id}_w{wave}",
+                    client.post(
+                        "/negotiate",
+                        {"num_choices": 10, "trials": 5, "seed": seed},
+                    ),
+                )
+
+    try:
+        # Concurrent mixed load: 8 negotiation clients inside the
+        # coalescing window, plus the other routes interleaved.
+        with ThreadPoolExecutor(max_workers=CLIENTS + 1) as pool:
+            workers = [
+                pool.submit(negotiate_client, client_id)
+                for client_id in range(CLIENTS)
+            ]
+
+            def mixed_routes() -> None:
+                with ServeClient("127.0.0.1", port) as client:
+                    save("health", client.get("/health"))
+                    save("topology", client.post("/topology", TINY_TOPOLOGY))
+                    save(
+                        "diversity",
+                        client.post(
+                            "/v1/diversity",
+                            {**TINY_TOPOLOGY, "sample_size": 5},
+                        ),
+                    )
+                    save(
+                        "simulate",
+                        client.post(
+                            "/simulate",
+                            {"scenario": "failure-churn", "duration": 6},
+                        ),
+                    )
+
+            workers.append(pool.submit(mixed_routes))
+            for worker in workers:
+                worker.result()
+
+        # After the concurrent load settles: a repeat negotiation must
+        # be served from the cache, and /stats reports the totals.
+        with ServeClient("127.0.0.1", port) as client:
+            save(
+                "negotiate_repeat",
+                client.post(
+                    "/negotiate", {"num_choices": 10, "trials": 5, "seed": 100}
+                ),
+            )
+            save("stats", client.get("/stats"))
+    finally:
+        server.send_signal(signal.SIGTERM)
+        exit_code = server.wait(timeout=60)
+
+    print(f"serve_smoke: drained with exit code {exit_code}")
+    if exit_code != 0:
+        failures.append(f"server exited {exit_code} on SIGTERM (expected 0)")
+
+    log_path = Path(args.request_log)
+    raw = log_path.read_bytes() if log_path.exists() else b""
+    if not raw.endswith(b"\n"):
+        failures.append("request log is empty or ends mid-line")
+    records = []
+    for number, line_text in enumerate(raw.decode("utf-8").splitlines(), 1):
+        try:
+            records.append(json.loads(line_text))
+        except json.JSONDecodeError as error:
+            failures.append(f"request log line {number} is not JSON: {error}")
+    print(
+        f"serve_smoke: {len(list(out_dir.glob('*.json')))} envelopes written, "
+        f"{len(records)} log records"
+    )
+
+    stats = json.loads((out_dir / "stats.json").read_bytes())
+    coalescing = stats.get("coalescing", {})
+    if coalescing.get("max_batch_size", 0) <= 1:
+        failures.append(f"no cross-client coalescing happened: {coalescing}")
+    cache = stats.get("result_cache", {})
+    if cache.get("hits", 0) < 1:
+        failures.append(f"no cache hit recorded: {cache}")
+
+    if failures:
+        print("serve_smoke failures:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("serve_smoke: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

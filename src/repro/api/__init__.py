@@ -38,6 +38,7 @@ from repro.api.adapter import main
 from repro.api.requests import (
     DiversityRequest,
     ExperimentsRequest,
+    NegotiateRequest,
     SimulateRequest,
     SweepRequest,
     TopologyRequest,
@@ -46,6 +47,7 @@ from repro.api.results import (
     DiversityResult,
     DiversityScenarioRow,
     ExperimentsResult,
+    NegotiateResult,
     SimulateResult,
     SweepListResult,
     SweepResult,
@@ -57,8 +59,11 @@ from repro.errors import (
     EnvelopeError,
     OutputError,
     ReproError,
+    ServiceError,
+    ServiceUnavailableError,
     ValidationError,
     exit_code_for,
+    http_status_for,
 )
 from repro.experiments.reporting import (
     PaperComparison,
@@ -76,6 +81,7 @@ __all__ = [
     "DiversityRequest",
     "ExperimentsRequest",
     "SimulateRequest",
+    "NegotiateRequest",
     "SweepRequest",
     # results
     "TopologyResult",
@@ -87,6 +93,7 @@ __all__ = [
     "SectionSeries",
     "PaperComparison",
     "SimulateResult",
+    "NegotiateResult",
     "SweepResult",
     "SweepListResult",
     # errors
@@ -94,5 +101,8 @@ __all__ = [
     "ValidationError",
     "OutputError",
     "EnvelopeError",
+    "ServiceError",
+    "ServiceUnavailableError",
     "exit_code_for",
+    "http_status_for",
 ]

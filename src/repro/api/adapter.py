@@ -28,8 +28,10 @@ from collections.abc import Sequence
 from dataclasses import replace
 
 from repro.api.requests import (
+    NEGOTIATE_DISTRIBUTIONS,
     DiversityRequest,
     ExperimentsRequest,
+    NegotiateRequest,
     SimulateRequest,
     SweepRequest,
     TopologyRequest,
@@ -37,6 +39,7 @@ from repro.api.requests import (
 from repro.api.results import (
     render_diversity_text,
     render_experiments_text,
+    render_negotiate_text,
     render_simulate_text,
     render_sweep_list_text,
     render_sweep_text,
@@ -154,6 +157,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full JSONL metrics trace to this file",
     )
     _add_format_argument(simulate)
+
+    negotiate = subparsers.add_parser(
+        "negotiate", help="run a batched BOSCO negotiation pass"
+    )
+    negotiate.add_argument(
+        "--distribution",
+        choices=sorted(NEGOTIATE_DISTRIBUTIONS),
+        default="u1",
+        help="joint utility distribution from the paper (default: u1)",
+    )
+    negotiate.add_argument(
+        "--num-choices",
+        type=int,
+        default=50,
+        help="choice-set cardinality W per party (default: 50)",
+    )
+    negotiate.add_argument(
+        "--trials",
+        type=int,
+        default=40,
+        help="random choice-set configuration trials (default: 40)",
+    )
+    negotiate.add_argument(
+        "--seed", type=int, default=7, help="trial-draw seed (default: 7)"
+    )
+    _add_format_argument(negotiate)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve the session workflows over HTTP with batch coalescing",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8000,
+        help="TCP port to bind; 0 picks an ephemeral port and prints it "
+        "(default: 8000)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="flush a coalescing group early once it holds this many "
+        "negotiation requests (default: 32)",
+    )
+    serve.add_argument(
+        "--coalesce-window-ms",
+        type=float,
+        default=5.0,
+        help="window during which concurrent negotiation requests join one "
+        "engine batch; 0 disables coalescing (default: 5.0)",
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=256,
+        help="LRU bound of the fingerprint-keyed result cache; 0 disables "
+        "caching (default: 256)",
+    )
+    serve.add_argument(
+        "--session-cache-limit",
+        type=int,
+        default=None,
+        help="LRU bound for each of the warm session's internal caches "
+        "(default: unbounded)",
+    )
+    serve.add_argument(
+        "--request-log",
+        default=None,
+        help="append a structured JSONL record per request to this file",
+    )
 
     sweep = subparsers.add_parser(
         "sweep", help="run a sharded, resumable parameter sweep"
@@ -284,11 +363,42 @@ def _run_sweep(session: Session, args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_negotiate(session: Session, args: argparse.Namespace) -> int:
+    request = NegotiateRequest(
+        distribution=args.distribution,
+        num_choices=args.num_choices,
+        trials=args.trials,
+        seed=args.seed,
+    )
+    _emit(session.negotiate(request), render_negotiate_text, args.format)
+    return 0
+
+
+def _run_serve(session: Session, args: argparse.Namespace) -> int:
+    # Imported lazily so plain CLI commands never pay for (or depend on)
+    # the server stack.
+    from repro.serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        coalesce_window_ms=args.coalesce_window_ms,
+        cache_entries=args.cache_entries,
+        request_log=args.request_log,
+    )
+    if args.session_cache_limit is not None:
+        session = Session(cache_limit=args.session_cache_limit)
+    return run_server(config, session=session)
+
+
 _HANDLERS = {
     "topology": _run_topology,
     "diversity": _run_diversity,
     "experiments": _run_experiments,
     "simulate": _run_simulate,
+    "negotiate": _run_negotiate,
+    "serve": _run_serve,
     "sweep": _run_sweep,
 }
 

@@ -19,6 +19,11 @@ import math
 from dataclasses import dataclass, fields
 from typing import Any, Mapping
 
+from repro.bargaining.distributions import (
+    JointUtilityDistribution,
+    paper_distribution_u1,
+    paper_distribution_u2,
+)
 from repro.envelope import envelope, expect_envelope
 from repro.errors import ValidationError
 from repro.simulation.scenarios import SCENARIOS
@@ -28,8 +33,16 @@ __all__ = [
     "DiversityRequest",
     "ExperimentsRequest",
     "SimulateRequest",
+    "NegotiateRequest",
     "SweepRequest",
+    "NEGOTIATE_DISTRIBUTIONS",
 ]
+
+#: The named joint utility distributions a negotiation can run under.
+NEGOTIATE_DISTRIBUTIONS = {
+    "u1": paper_distribution_u1,
+    "u2": paper_distribution_u2,
+}
 
 
 def _check_seed(seed: int | None) -> None:
@@ -173,6 +186,51 @@ class SimulateRequest(_JsonRequest):
                 f"unknown scenario {self.scenario!r}; "
                 f"available: {', '.join(sorted(SCENARIOS))}"
             )
+
+
+@dataclass(frozen=True)
+class NegotiateRequest(_JsonRequest):
+    """Run a batched BOSCO negotiation pass (``repro negotiate``).
+
+    The Fig. 2 workload as a service unit: ``trials`` random choice-set
+    configuration trials at cardinality ``num_choices`` under one of
+    the paper's named joint utility distributions, rated by the Price
+    of Dishonesty.  Requests sharing ``(distribution, num_choices)``
+    form one *coalescing group*: the ``repro serve`` scheduler may pack
+    any number of them into a single engine batch without changing any
+    request's result.
+    """
+
+    kind = "negotiate_request"
+
+    distribution: str = "u1"
+    num_choices: int = 50
+    trials: int = 40
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.distribution not in NEGOTIATE_DISTRIBUTIONS:
+            raise ValidationError(
+                f"unknown distribution {self.distribution!r}; "
+                f"available: {', '.join(sorted(NEGOTIATE_DISTRIBUTIONS))}"
+            )
+        _check_positive("num-choices", self.num_choices)
+        _check_positive("trials", self.trials)
+        _check_seed(self.seed)
+
+    def joint_distribution(self) -> JointUtilityDistribution:
+        """The named distribution, materialized."""
+        return NEGOTIATE_DISTRIBUTIONS[self.distribution]()
+
+    def coalesce_key(self) -> tuple[str, int]:
+        """The group key under which requests may share one game batch.
+
+        Everything that constrains :class:`~repro.bargaining.engine.GameBatch`
+        packing: the joint distribution and the choice-set cardinality.
+        ``trials`` and ``seed`` deliberately stay out — cohorts of
+        different sizes and seeds pack fine.
+        """
+        return (self.distribution, self.num_choices)
 
 
 @dataclass(frozen=True)

@@ -28,12 +28,14 @@ __all__ = [
     "DiversityResult",
     "ExperimentsResult",
     "SimulateResult",
+    "NegotiateResult",
     "SweepResult",
     "SweepListResult",
     "render_topology_text",
     "render_diversity_text",
     "render_experiments_text",
     "render_simulate_text",
+    "render_negotiate_text",
     "render_sweep_text",
     "render_sweep_list_text",
 ]
@@ -346,6 +348,89 @@ class SimulateResult:
 
 
 @dataclass(frozen=True)
+class NegotiateResult:
+    """Outcome of one batched negotiation pass (``Session.negotiate``).
+
+    The Fig. 2-style Price-of-Dishonesty statistics over the request's
+    random configuration trials, plus the rating of the best (lowest
+    PoD) configuration.  Every field is a plain finite number, so the
+    envelope is byte-stable and cacheable; the ``repro serve`` result
+    cache stores the serialized envelope keyed by the request digest.
+    """
+
+    distribution: str
+    num_choices: int
+    trials: int
+    seed: int
+    converged_trials: int
+    skipped_trials: int
+    min_pod: float
+    mean_pod: float
+    max_pod: float
+    mean_equilibrium_choices: float
+    best_expected_nash_product: float
+    truthful_nash_product: float
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Schema-versioned JSON envelope."""
+        return envelope(
+            "negotiate_result",
+            {
+                "distribution": self.distribution,
+                "num_choices": self.num_choices,
+                "trials": self.trials,
+                "seed": self.seed,
+                "converged_trials": self.converged_trials,
+                "skipped_trials": self.skipped_trials,
+                "min_pod": self.min_pod,
+                "mean_pod": self.mean_pod,
+                "max_pod": self.max_pod,
+                "mean_equilibrium_choices": self.mean_equilibrium_choices,
+                "best_expected_nash_product": self.best_expected_nash_product,
+                "truthful_nash_product": self.truthful_nash_product,
+            },
+        )
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "NegotiateResult":
+        """Inverse of :meth:`to_json_dict`."""
+        payload = expect_envelope(data, "negotiate_result")
+        require_keys(
+            payload,
+            "negotiate_result",
+            (
+                "distribution",
+                "num_choices",
+                "trials",
+                "seed",
+                "converged_trials",
+                "skipped_trials",
+                "min_pod",
+                "mean_pod",
+                "max_pod",
+            ),
+        )
+        return cls(
+            distribution=payload["distribution"],
+            num_choices=int(payload["num_choices"]),
+            trials=int(payload["trials"]),
+            seed=int(payload["seed"]),
+            converged_trials=int(payload["converged_trials"]),
+            skipped_trials=int(payload["skipped_trials"]),
+            min_pod=float(payload["min_pod"]),
+            mean_pod=float(payload["mean_pod"]),
+            max_pod=float(payload["max_pod"]),
+            mean_equilibrium_choices=float(
+                payload.get("mean_equilibrium_choices", 0.0)
+            ),
+            best_expected_nash_product=float(
+                payload.get("best_expected_nash_product", 0.0)
+            ),
+            truthful_nash_product=float(payload.get("truthful_nash_product", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
 class SweepResult:
     """Outcome of an executed sweep (``Session.sweep``)."""
 
@@ -455,6 +540,22 @@ def render_simulate_text(result: SimulateResult) -> str:
         f"events processed: {result.events_processed}",
         f"trace records: {result.num_trace_records} ({kinds})",
         *result.headline,
+    ]
+    return "\n".join(lines)
+
+
+def render_negotiate_text(result: NegotiateResult) -> str:
+    """The ``repro negotiate`` summary report."""
+    lines = [
+        f"== negotiate: {result.distribution} distribution, "
+        f"W={result.num_choices}, {result.trials} trials (seed {result.seed}) ==",
+        f"converged: {result.converged_trials}/{result.trials} "
+        f"({result.skipped_trials} skipped)",
+        f"price of dishonesty: min {result.min_pod:.4f}, "
+        f"mean {result.mean_pod:.4f}, max {result.max_pod:.4f}",
+        f"mean equilibrium choices: {result.mean_equilibrium_choices:.2f}",
+        f"best expected Nash product: {result.best_expected_nash_product:.6f} "
+        f"(truthful {result.truthful_nash_product:.6f})",
     ]
     return "\n".join(lines)
 

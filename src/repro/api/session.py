@@ -24,22 +24,39 @@ reuses instead of rebuilding:
   :class:`~repro.bargaining.engine.NegotiationEngine` for every
   batched bargaining evaluation of the session.
 
-Sessions are not thread-safe; use one per thread (state is cheap) or
-protect calls externally.  All results are plain values — a session can
-be dropped at any time without losing anything but its caches.
+Sessions are serialized, not parallel: every workflow runs under one
+reentrant lock, so a session shared across threads (the ``repro
+serve`` executor and its event loop, say) is safe by mutual exclusion —
+concurrent callers queue rather than corrupt the caches.  All results
+are plain values — a session can be dropped at any time without losing
+anything but its caches.
+
+Warm-state growth is reportable and boundable: every cache is a
+:class:`~repro.core.caching.BoundedCache` (``cache_limit`` bounds each
+one; ``None`` keeps them unbounded), :meth:`Session.cache_stats`
+reports size/hit/miss/eviction counters per cache, and a session is a
+context manager — :meth:`Session.close` (or leaving the ``with`` block)
+drops every cache and marks the session closed, after which workflows
+raise :class:`~repro.errors.ServiceError`.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import os
+import threading
+from collections.abc import Sequence
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.agreements.agreement import Agreement
 from repro.agreements.mutuality import enumerate_mutuality_agreements
 from repro.api.requests import (
     DiversityRequest,
     ExperimentsRequest,
+    NegotiateRequest,
     SimulateRequest,
     SweepRequest,
     TopologyRequest,
@@ -48,14 +65,22 @@ from repro.api.results import (
     DiversityResult,
     DiversityScenarioRow,
     ExperimentsResult,
+    NegotiateResult,
     SimulateResult,
     SweepListResult,
     SweepResult,
     TopologyResult,
 )
+from repro.bargaining.efficiency import expected_truthful_nash_product
 from repro.bargaining.engine import NegotiationEngine
+from repro.bargaining.mechanism import (
+    SolvedCohort,
+    draw_trial_pairs,
+    solve_trial_cohorts,
+)
 from repro.core import PathEngine, path_engine_for
-from repro.errors import OutputError, ValidationError
+from repro.core.caching import BoundedCache
+from repro.errors import OutputError, ServiceError, ValidationError
 from repro.experiments.context import DiversityContext, context_for
 from repro.experiments.runner import RunnerConfig, run_sections
 from repro.paths.diversity import analyze_path_diversity
@@ -88,15 +113,78 @@ class _DiversityArtifacts:
 
 
 class Session:
-    """Reusable execution context for every public workflow."""
+    """Reusable execution context for every public workflow.
 
-    def __init__(self) -> None:
-        self._generated: dict[tuple[int, int, int, int, int], GeneratedTopology] = {}
-        self._loaded: dict[tuple[str, int, int], ASGraph] = {}
-        self._artifacts: dict[object, _DiversityArtifacts] = {}
-        self._contexts: dict[object, DiversityContext] = {}
+    ``cache_limit`` bounds each internal cache to that many entries
+    (LRU eviction); ``None`` keeps them unbounded — the historical
+    behavior, right for scripts, while long-lived servers pass a bound
+    so warm state cannot grow without limit.
+    """
+
+    def __init__(self, *, cache_limit: int | None = None) -> None:
+        self._generated: BoundedCache = BoundedCache(cache_limit)
+        self._loaded: BoundedCache = BoundedCache(cache_limit)
+        self._artifacts: BoundedCache = BoundedCache(cache_limit)
+        self._contexts: BoundedCache = BoundedCache(cache_limit)
+        self._truthful: BoundedCache = BoundedCache(cache_limit)
+        #: Serializes every workflow: concurrent callers queue here.
+        self._lock = threading.RLock()
+        self._closed = False
         #: Shared batched-bargaining engine of the session.
         self.negotiation = NegotiationEngine()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (workflows now raise)."""
+        return self._closed
+
+    def close(self) -> None:
+        """Drop every cache and refuse further workflows.
+
+        Idempotent.  Results already returned stay valid — they are
+        plain values — but subsequent workflow calls raise
+        :class:`~repro.errors.ServiceError`.
+        """
+        with self._lock:
+            self._closed = True
+            for cache in self._caches().values():
+                cache.clear()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    @contextlib.contextmanager
+    def _entered(self):
+        """The per-workflow guard: one caller at a time, never closed."""
+        with self._lock:
+            if self._closed:
+                raise ServiceError("session is closed")
+            yield
+
+    def _caches(self) -> dict[str, BoundedCache]:
+        return {
+            "generated_topologies": self._generated,
+            "loaded_topologies": self._loaded,
+            "diversity_artifacts": self._artifacts,
+            "experiment_contexts": self._contexts,
+            "truthful_nash_products": self._truthful,
+        }
+
+    def cache_stats(self) -> dict[str, dict[str, int | None]]:
+        """Size/bound/hit/miss/eviction counters, one entry per cache.
+
+        This is what ``repro serve`` surfaces under ``session`` on its
+        ``/stats`` endpoint to report (and prove bounded) warm-state
+        growth.
+        """
+        with self._lock:
+            return {name: cache.stats() for name, cache in self._caches().items()}
 
     # ------------------------------------------------------------------
     # Shared-state accessors
@@ -115,7 +203,7 @@ class Session:
                 num_stubs=stubs,
                 seed=seed,
             )
-            self._generated[key] = topology
+            self._generated.put(key, topology)
         return topology
 
     def _loaded_topology(self, path: str) -> ASGraph:
@@ -130,7 +218,7 @@ class Session:
         graph = self._loaded.get(key)
         if graph is None:
             graph = load_as_rel(path)
-            self._loaded[key] = graph
+            self._loaded.put(key, graph)
         return graph
 
     def _diversity_artifacts(
@@ -146,8 +234,26 @@ class Session:
                 agreements=agreements,
                 index=build_ma_path_index(agreements),
             )
-            self._artifacts[cache_key] = artifacts
+            self._artifacts.put(cache_key, artifacts)
         return artifacts
+
+    def _truthful_value(self, distribution_name: str, distribution) -> float:
+        """The memoized truthful expected Nash product of a distribution."""
+        value = self._truthful.get(distribution_name)
+        if value is None:
+            value = expected_truthful_nash_product(distribution)
+            self._truthful.put(distribution_name, value)
+        return value
+
+    def topology_fingerprint(self, path: str) -> str:
+        """Content fingerprint of an ``as-rel`` file (via the load cache).
+
+        ``repro serve`` keys cached per-topology results on this digest,
+        so an edited file changes the key instead of serving stale
+        results.
+        """
+        with self._entered():
+            return self._loaded_topology(path).content_fingerprint()
 
     def context_for(self, config) -> DiversityContext:
         """The session's shared experiment context for a diversity config.
@@ -161,7 +267,7 @@ class Session:
         context = context_for(config, self._contexts.get(config))
         if context.negotiation is not self.negotiation:
             context = dataclasses.replace(context, negotiation=self.negotiation)
-        self._contexts[config] = context
+        self._contexts.put(config, context)
         return context
 
     # ------------------------------------------------------------------
@@ -170,8 +276,11 @@ class Session:
     def topology(self, request: TopologyRequest | None = None) -> TopologyResult:
         """Generate a synthetic topology; optionally write it as ``as-rel``."""
         request = request or TopologyRequest()
-        topology = self._generated_topology(request.cache_key())
+        with self._entered():
+            topology = self._generated_topology(request.cache_key())
         graph = topology.graph
+        # The write happens outside the lock: it touches no shared state
+        # and a slow disk should not stall concurrent workflows.
         if request.output is not None:
             try:
                 save_as_rel(graph, request.output)
@@ -196,23 +305,26 @@ class Session:
     def diversity(self, request: DiversityRequest | None = None) -> DiversityResult:
         """Run the §VI path-diversity analysis on a loaded or generated graph."""
         request = request or DiversityRequest()
-        if request.topology is not None:
-            graph = self._loaded_topology(request.topology)
-            source = "loaded"
-            cache_key: object = ("file", os.path.abspath(request.topology))
-        else:
-            graph = self._generated_topology(request.generation_key()).graph
-            source = "generated"
-            cache_key = ("generated", request.generation_key())
-        artifacts = self._diversity_artifacts(cache_key, graph)
-        analysis = analyze_path_diversity(
-            graph,
-            agreements=artifacts.agreements,
-            sample_size=request.sample_size,
-            seed=request.seed,
-            engine=artifacts.engine,
-            index=artifacts.index,
-        )
+        with self._entered():
+            if request.topology is not None:
+                graph = self._loaded_topology(request.topology)
+                source = "loaded"
+                cache_key: object = ("file", os.path.abspath(request.topology))
+            else:
+                graph = self._generated_topology(request.generation_key()).graph
+                source = "generated"
+                cache_key = ("generated", request.generation_key())
+            artifacts = self._diversity_artifacts(cache_key, graph)
+            # The analysis stays inside the guard: it grows the shared
+            # engine's per-source memos.
+            analysis = analyze_path_diversity(
+                graph,
+                agreements=artifacts.agreements,
+                sample_size=request.sample_size,
+                seed=request.seed,
+                engine=artifacts.engine,
+                index=artifacts.index,
+            )
         rows = []
         for scenario in _DIVERSITY_REPORT_SCENARIOS:
             rows.append(
@@ -243,10 +355,11 @@ class Session:
         config = RunnerConfig(
             full=request.full, seed=request.seed, trials=request.trials
         )
-        context = None
-        if request.jobs == 1:
-            context = self.context_for(config.diversity())
-        sections = run_sections(config, jobs=request.jobs, context=context)
+        with self._entered():
+            context = None
+            if request.jobs == 1:
+                context = self.context_for(config.diversity())
+            sections = run_sections(config, jobs=request.jobs, context=context)
         return ExperimentsResult(
             full=request.full,
             seed=request.seed,
@@ -265,9 +378,12 @@ class Session:
         historical output ordering).
         """
         request = request or SimulateRequest()
+        with self._entered():
+            scenario_result = run_scenario(
+                request.scenario, seed=request.seed, duration=request.duration
+            )
         result = SimulateResult.from_scenario(
-            run_scenario(request.scenario, seed=request.seed, duration=request.duration),
-            trace_out=request.trace_out,
+            scenario_result, trace_out=request.trace_out
         )
         if request.trace_out:
             result.write_trace(request.trace_out)
@@ -291,14 +407,15 @@ class Session:
             return SweepListResult(
                 name=spec.name, shard_ids=tuple(s.shard_id for s in shards)
             )
-        outcome = run_sweep(
-            spec,
-            jobs=request.jobs,
-            cache_dir=request.cache_dir or DEFAULT_CACHE_DIR,
-            out_dir=request.out or DEFAULT_OUT_DIR,
-            force=request.force,
-            progress=progress,
-        )
+        with self._entered():
+            outcome = run_sweep(
+                spec,
+                jobs=request.jobs,
+                cache_dir=request.cache_dir or DEFAULT_CACHE_DIR,
+                out_dir=request.out or DEFAULT_OUT_DIR,
+                force=request.force,
+                progress=progress,
+            )
         return SweepResult(
             name=spec.name,
             executed=outcome.executed,
@@ -307,3 +424,90 @@ class Session:
             num_tables=len(outcome.written) - 1,
             summary=outcome.summary,
         )
+
+    def negotiate(self, request: NegotiateRequest | None = None) -> NegotiateResult:
+        """Run one batched BOSCO negotiation pass (Fig. 2-style PoD trials)."""
+        return self.negotiate_many([request or NegotiateRequest()])[0]
+
+    def negotiate_many(
+        self, requests: Sequence[NegotiateRequest]
+    ) -> list[NegotiateResult]:
+        """Solve several negotiation requests in **one** engine batch.
+
+        All requests must share a coalesce key (same named distribution,
+        same choice-set cardinality); each request's trials are drawn
+        from its own seeded RNG, all cohorts are packed into a single
+        :func:`~repro.bargaining.mechanism.solve_trial_cohorts` call,
+        and each result is **bit-identical** to a solo
+        :meth:`negotiate` for that request — the engine's methods are
+        row-independent.  This is the cross-client coalescing entry
+        point ``repro serve`` batches concurrent negotiation requests
+        through.
+        """
+        if not requests:
+            return []
+        keys = {request.coalesce_key() for request in requests}
+        if len(keys) != 1:
+            raise ValidationError(
+                "negotiate_many requires one coalesce group (same distribution "
+                f"and num_choices), got {sorted(keys)}"
+            )
+        with self._entered():
+            distribution = requests[0].joint_distribution()
+            truthful = self._truthful_value(requests[0].distribution, distribution)
+            cohorts = [
+                draw_trial_pairs(
+                    distribution,
+                    request.num_choices,
+                    request.trials,
+                    seed=request.seed,
+                )
+                for request in requests
+            ]
+            solved = solve_trial_cohorts(
+                self.negotiation, distribution, cohorts, truthful_value=truthful
+            )
+        return [
+            _negotiate_result(request, cohort, truthful, self.negotiation)
+            for request, cohort in zip(requests, solved)
+        ]
+
+
+def _negotiate_result(
+    request: NegotiateRequest,
+    cohort: SolvedCohort,
+    truthful_value: float,
+    engine: NegotiationEngine,
+) -> NegotiateResult:
+    """Summarize one solved cohort exactly like ``pod_statistics`` would."""
+    equilibria = cohort.solution.equilibria
+    counts_x, counts_y = engine.equilibrium_choice_counts(equilibria)
+    pods: list[float] = []
+    choice_counts: list[float] = []
+    best: int | None = None
+    for trial in range(len(cohort.batch)):
+        if not equilibria.converged[trial]:
+            continue
+        pods.append(float(cohort.solution.pods[trial]))
+        choice_counts.append((int(counts_x[trial]) + int(counts_y[trial])) / 2.0)
+        if best is None or cohort.solution.pods[trial] < cohort.solution.pods[best]:
+            best = trial
+    if best is None:
+        raise ServiceError(
+            f"no negotiation trial converged (distribution {request.distribution}, "
+            f"W={request.num_choices}, {request.trials} trials, seed {request.seed})"
+        )
+    return NegotiateResult(
+        distribution=request.distribution,
+        num_choices=request.num_choices,
+        trials=request.trials,
+        seed=request.seed,
+        converged_trials=len(pods),
+        skipped_trials=request.trials - len(pods),
+        min_pod=float(np.min(pods)),
+        mean_pod=float(np.mean(pods)),
+        max_pod=float(np.max(pods)),
+        mean_equilibrium_choices=float(np.mean(choice_counts)),
+        best_expected_nash_product=float(cohort.solution.nash_products[best]),
+        truthful_nash_product=float(truthful_value),
+    )

@@ -37,6 +37,7 @@ REQUIRED_KEYS: dict[str, tuple[str, ...]] = {
     "diversity_request": (),
     "experiments_request": (),
     "simulate_request": (),
+    "negotiate_request": (),
     "sweep_request": (),
     "topology_result": (
         "num_ases",
@@ -58,6 +59,21 @@ REQUIRED_KEYS: dict[str, tuple[str, ...]] = {
     "sweep_list_result": ("name", "shard_ids"),
     "scenario_result": ("name", "seed", "duration", "events_processed", "trace"),
     "sweep_run_result": ("spec", "summary", "executed", "reused"),
+    "negotiate_result": (
+        "distribution",
+        "num_choices",
+        "trials",
+        "seed",
+        "converged_trials",
+        "skipped_trials",
+        "min_pod",
+        "mean_pod",
+        "max_pod",
+    ),
+    "error_result": ("error", "exit_code", "http_status"),
+    "serve_stats": ("requests_total", "result_cache", "coalescing", "session"),
+    "serve_health": ("status",),
+    "serve_log_record": ("method", "path", "status", "latency_ms"),
 }
 
 

@@ -194,6 +194,23 @@ class GameBatch:
     def __len__(self) -> int:
         return self.choices_x.shape[0]
 
+    def rows(self, selector: slice) -> "GameBatch":
+        """The sub-batch of a contiguous row range (views, no copies).
+
+        Because every engine method is row-independent, solving a
+        ``rows`` slice yields exactly the rows the full batch's solution
+        would — this is what lets externally packed cohorts (several
+        callers' trials concatenated into one batch) be unpacked into
+        per-caller results that are bit-identical to solo runs.
+        """
+        return GameBatch(
+            distribution=self.distribution,
+            choices_x=self.choices_x[selector],
+            choices_y=self.choices_y[selector],
+            sets_x=self.sets_x[selector],
+            sets_y=self.sets_y[selector],
+        )
+
 
 @dataclass
 class BatchedEquilibria:
@@ -213,6 +230,17 @@ class BatchedEquilibria:
     start_index: np.ndarray
     iterations: np.ndarray
     last_delta: np.ndarray
+
+    def rows(self, selector: slice) -> "BatchedEquilibria":
+        """The equilibria of a contiguous row range (views, no copies)."""
+        return BatchedEquilibria(
+            thresholds_x=self.thresholds_x[selector],
+            thresholds_y=self.thresholds_y[selector],
+            converged=self.converged[selector],
+            start_index=self.start_index[selector],
+            iterations=self.iterations[selector],
+            last_delta=self.last_delta[selector],
+        )
 
     def profile(self, batch: GameBatch, index: int) -> StrategyProfile:
         """Materialize instance ``index`` as a per-instance profile."""

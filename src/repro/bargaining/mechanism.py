@@ -113,6 +113,94 @@ class BatchSolution:
     pods: np.ndarray
 
 
+@dataclass(frozen=True)
+class SolvedCohort:
+    """One caller's trials, solved (possibly inside a larger packed batch)."""
+
+    batch: GameBatch
+    solution: BatchSolution
+
+
+def draw_trial_pairs(
+    distribution: JointUtilityDistribution,
+    num_choices: int,
+    trials: int,
+    *,
+    seed: int,
+) -> list[tuple[ChoiceSet, ChoiceSet]]:
+    """Draw the random choice-set pairs of ``trials`` configuration trials.
+
+    Exactly the draws a ``BoscoService(distribution, seed=seed)`` with
+    ``choice_construction="random"`` would consume for the same number
+    of trials: a fresh ``default_rng(seed)``, X before Y per trial.  A
+    cohort drawn here is therefore independent of *when* and *with
+    whom* it is later solved — the seam the ``repro serve`` coalescer
+    relies on to pack concurrent callers into one batch.
+    """
+    rng = np.random.default_rng(seed)
+    return [
+        (
+            random_choice_set(distribution.marginal_x, num_choices, rng),
+            random_choice_set(distribution.marginal_y, num_choices, rng),
+        )
+        for _ in range(trials)
+    ]
+
+
+def solve_trial_cohorts(
+    engine: NegotiationEngine,
+    distribution: JointUtilityDistribution,
+    cohorts: Sequence[Sequence[tuple[ChoiceSet, ChoiceSet]]],
+    *,
+    truthful_value: float | None = None,
+) -> list[SolvedCohort]:
+    """Solve several independently drawn trial cohorts in **one** batch.
+
+    The batch entry point for externally packed cohorts: every cohort is
+    one caller's list of choice-set pairs (all under the same joint
+    ``distribution`` and cardinality — the :class:`GameBatch` packing
+    contract).  All pairs are concatenated into a single batch, solved
+    with one :meth:`NegotiationEngine.solve` /
+    :meth:`~NegotiationEngine.expected_nash_products` /
+    :meth:`~NegotiationEngine.prices_of_dishonesty` pass, and unpacked
+    into per-cohort row slices.
+
+    Because every engine method is row-independent, each returned
+    :class:`SolvedCohort` is **bit-identical** to solving that cohort
+    alone — which is what lets ``repro serve`` coalesce concurrent
+    clients' negotiation requests without changing a byte of any
+    client's response.
+    """
+    if not cohorts:
+        return []
+    sizes = [len(cohort) for cohort in cohorts]
+    if any(size == 0 for size in sizes):
+        raise ValueError("every cohort needs at least one trial")
+    all_pairs = [pair for cohort in cohorts for pair in cohort]
+    packed = GameBatch.from_choice_sets(distribution, all_pairs)
+    equilibria = engine.solve(packed)
+    values = engine.expected_nash_products(packed, equilibria)
+    if truthful_value is None:
+        truthful_value = expected_truthful_nash_product(distribution)
+    pods = engine.prices_of_dishonesty(values, truthful_value)
+    solved = []
+    start = 0
+    for size in sizes:
+        selector = slice(start, start + size)
+        solved.append(
+            SolvedCohort(
+                batch=packed.rows(selector),
+                solution=BatchSolution(
+                    equilibria=equilibria.rows(selector),
+                    nash_products=values[selector],
+                    pods=pods[selector],
+                ),
+            )
+        )
+        start += size
+    return solved
+
+
 class BoscoService:
     """Configures and supervises BOSCO negotiations.
 
@@ -220,11 +308,13 @@ class BoscoService:
     ) -> tuple[GameBatch, "BatchSolution"]:
         """Draw ``trials`` choice-set pairs and solve them in one batch."""
         pairs = [self._draw_choice_sets(num_choices, num_choices) for _ in range(trials)]
-        batch = GameBatch.from_choice_sets(self.distribution, pairs)
-        equilibria = self.engine.solve(batch)
-        values = self.engine.expected_nash_products(batch, equilibria)
-        pods = self.engine.prices_of_dishonesty(values, self._truthful_value)
-        return batch, BatchSolution(equilibria=equilibria, nash_products=values, pods=pods)
+        solved = solve_trial_cohorts(
+            self.engine,
+            self.distribution,
+            [pairs],
+            truthful_value=self._truthful_value,
+        )[0]
+        return solved.batch, solved.solution
 
     def configure(
         self,

@@ -1,0 +1,117 @@
+"""A small instrumented LRU mapping shared by the warm-state layers.
+
+:class:`BoundedCache` is the one cache primitive behind every piece of
+warm state that must be *reportable* and *boundable*: the
+:class:`~repro.api.session.Session` caches (generated/loaded topologies,
+diversity artifacts, experiment contexts) and the ``repro serve`` result
+cache both wrap it.  It is deliberately tiny — an access-ordered dict
+with an optional entry bound and hit/miss/eviction counters — so the
+layers above can surface uniform ``{size, max_entries, hits, misses,
+evictions}`` statistics without each growing its own bookkeeping.
+
+Not thread-safe by itself; callers that share one across threads hold
+their own lock (the serve result cache does, the session serializes all
+access behind its workflow lock).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Iterator
+
+__all__ = ["BoundedCache"]
+
+_MISSING = object()
+
+
+class BoundedCache:
+    """An access-ordered mapping with an optional LRU bound and counters.
+
+    ``max_entries=None`` means unbounded (the counters still work);
+    ``max_entries=0`` disables storage entirely — every ``get`` is a
+    miss and every ``put`` a no-op, which lets callers switch a cache
+    off without branching at every call site.
+    """
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 0:
+            raise ValueError(f"max_entries must be non-negative, got {max_entries}")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[Any, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._entries)
+
+    # Read-only mapping protocol, with *peek* semantics: introspection
+    # (tests asserting on warm state, stats tooling) must not disturb
+    # the hit/miss counters or the recency order.
+    def __getitem__(self, key: Any) -> Any:
+        return self._entries[key]
+
+    def keys(self):
+        return self._entries.keys()
+
+    def items(self):
+        return self._entries.items()
+
+    def values(self):
+        return self._entries.values()
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BoundedCache):
+            return dict(self._entries) == dict(other._entries)
+        if isinstance(other, dict):
+            return dict(self._entries) == other
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Look up ``key``, counting the hit/miss and refreshing recency."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def peek(self, key: Any, default: Any = None) -> Any:
+        """Look up ``key`` without touching counters or recency."""
+        return self._entries.get(key, default)
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting the LRU tail if bounded."""
+        if self.max_entries == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep their lifetime totals)."""
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int | None]:
+        """The uniform statistics payload the warm-state layers report."""
+        return {
+            "size": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,24 +1,36 @@
 """The public error taxonomy of the reproduction.
 
-Every failure that crosses the public API surface (:mod:`repro.api`) or
-the CLI is an instance of :class:`ReproError`.  The taxonomy is small
-and stable:
+Every failure that crosses the public API surface (:mod:`repro.api`),
+the CLI, or the ``repro serve`` HTTP front end is an instance of
+:class:`ReproError`.  The taxonomy is small and stable:
 
 - :class:`ValidationError` — the caller's request is malformed (a
   negative seed, a non-positive job count, an unknown scenario, a
   malformed sweep spec).  Mapped to process exit code ``2``, the same
-  convention ``argparse`` uses for usage errors.
+  convention ``argparse`` uses for usage errors, and to HTTP ``400``.
 - :class:`OutputError` — the work succeeded but a result could not be
   delivered (an unwritable trace file or topology path).  Mapped to
-  exit code ``1``.
+  exit code ``1`` and HTTP ``500``.
 - :class:`EnvelopeError` — a JSON envelope fails its schema contract
   (wrong ``kind``, missing or incompatible ``schema_version``,
-  malformed payload).  A :class:`ValidationError`, so exit code ``2``.
+  malformed payload).  A :class:`ValidationError`, so exit code ``2``
+  and HTTP ``400``.
+- :class:`ServiceError` — the service side failed: a request hit a
+  server that cannot serve it (a closed session, a failed equilibrium
+  search, an unbindable listen address).  Exit code ``1``, HTTP
+  ``500``; its :class:`ServiceUnavailableError` subclass (a draining
+  server rejecting new work) maps to HTTP ``503``.
+
+:data:`STATUS_TABLE` is the **single** error→(exit code, HTTP status)
+mapping: :func:`exit_code_for` (the CLI adapters) and
+:func:`http_status_for` (the ``repro serve`` responder) are two reads
+of the same rows, so the process exit code and the HTTP status of a
+given failure can never drift apart.
 
 The classes live in this leaf module (not inside :mod:`repro.api`) so
 lower layers — :mod:`repro.experiments`, :mod:`repro.simulation`,
-:mod:`repro.sweep` — can raise and translate them without importing the
-API package that itself imports those layers.
+:mod:`repro.sweep`, :mod:`repro.serve` — can raise and translate them
+without importing the API package that itself imports those layers.
 """
 
 from __future__ import annotations
@@ -28,18 +40,29 @@ __all__ = [
     "ValidationError",
     "OutputError",
     "EnvelopeError",
+    "ServiceError",
+    "ServiceUnavailableError",
+    "STATUS_TABLE",
     "exit_code_for",
+    "http_status_for",
 ]
 
 
 class ReproError(Exception):
     """Base class of every error the public API raises deliberately.
 
-    ``exit_code`` is the stable process exit code a CLI adapter maps the
-    error to; subclasses override it.
+    ``exit_code`` is the stable process exit code a CLI adapter maps
+    the error to and ``http_status`` the response status the serve
+    layer uses; both are reads of :data:`STATUS_TABLE`.
     """
 
-    exit_code: int = 1
+    @property
+    def exit_code(self) -> int:
+        return exit_code_for(self)
+
+    @property
+    def http_status(self) -> int:
+        return http_status_for(self)
 
 
 class ValidationError(ReproError, ValueError):
@@ -50,21 +73,57 @@ class ValidationError(ReproError, ValueError):
     same rejections (and messages) as CLI users.
     """
 
-    exit_code = 2
-
 
 class OutputError(ReproError, OSError):
     """The computation succeeded but an output could not be written."""
-
-    exit_code = 1
 
 
 class EnvelopeError(ValidationError):
     """A JSON envelope does not satisfy the schema contract."""
 
 
+class ServiceError(ReproError, RuntimeError):
+    """The service side failed; the request may be valid.
+
+    Raised for server-side conditions: a workflow invoked on a closed
+    :class:`~repro.api.session.Session`, a negotiation whose equilibrium
+    search converged for no trial, a ``repro serve`` listener that
+    cannot bind its address.
+    """
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service is up but refusing new work (draining for shutdown)."""
+
+
+#: The one error→(exit code, HTTP status) mapping, most specific class
+#: first.  Both :func:`exit_code_for` and :func:`http_status_for` walk
+#: these rows, and anything that is no :class:`ReproError` falls back
+#: to ``(1, 500)`` — an unexpected internal failure.
+STATUS_TABLE: tuple[tuple[type[ReproError], int, int], ...] = (
+    (ServiceUnavailableError, 1, 503),
+    (ServiceError, 1, 500),
+    (EnvelopeError, 2, 400),
+    (ValidationError, 2, 400),
+    (OutputError, 1, 500),
+    (ReproError, 1, 500),
+)
+
+_FALLBACK = (1, 500)
+
+
+def _status_row(error: BaseException) -> tuple[int, int]:
+    for error_type, exit_code, http_status in STATUS_TABLE:
+        if isinstance(error, error_type):
+            return (exit_code, http_status)
+    return _FALLBACK
+
+
 def exit_code_for(error: BaseException) -> int:
     """The stable process exit code for an error (1 for unknown ones)."""
-    if isinstance(error, ReproError):
-        return error.exit_code
-    return 1
+    return _status_row(error)[0]
+
+
+def http_status_for(error: BaseException) -> int:
+    """The HTTP response status for an error (500 for unknown ones)."""
+    return _status_row(error)[1]

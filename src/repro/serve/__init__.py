@@ -1,0 +1,35 @@
+"""``repro.serve`` — the long-lived negotiation service.
+
+One warm :class:`~repro.api.session.Session` behind an asyncio
+HTTP/JSON front end (stdlib only — no new runtime dependency):
+
+- :mod:`repro.serve.http` — minimal HTTP/1.1 framing over asyncio
+  streams;
+- :mod:`repro.serve.service` — envelope routing onto the session,
+  through a single-worker executor;
+- :mod:`repro.serve.coalesce` — the cross-client scheduler packing
+  concurrent negotiation requests into shared engine batches,
+  bit-identically to the sequential path;
+- :mod:`repro.serve.cache` — the fingerprint-keyed LRU cache of
+  serialized response bytes;
+- :mod:`repro.serve.log` — the structured JSONL request log;
+- :mod:`repro.serve.server` — sockets, graceful drain, and the
+  ``repro serve`` entry point;
+- :mod:`repro.serve.client` — the blocking test/bench client.
+
+``repro serve --help`` documents the knobs; the README's "Serving"
+section shows the request shapes.
+"""
+
+from repro.serve.client import ServeClient, ServeResponse
+from repro.serve.server import ReproServer, ServeConfig, run_server
+from repro.serve.service import ServeService
+
+__all__ = [
+    "ReproServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServeResponse",
+    "ServeService",
+    "run_server",
+]

@@ -1,0 +1,68 @@
+"""Fingerprint-keyed response cache of the serve subsystem.
+
+The server caches **serialized envelope bytes**, not result objects:
+a cache hit replays the exact bytes the miss produced, so cached and
+computed responses are byte-identical by construction (the same
+``json.dumps(..., indent=2, sort_keys=True)`` rendering the CLI's
+``--format json`` uses).
+
+Keys are content fingerprints, never identities:
+
+- every key starts from the request's canonical envelope JSON
+  (sorted keys, compact separators — field order cannot matter);
+- per-topology results mix in the graph's
+  :meth:`~repro.topology.graph.ASGraph.content_fingerprint`, so two
+  requests naming the same ``as-rel`` path hit only while the file's
+  *content* is unchanged — an edited topology changes the key instead
+  of serving stale bytes.
+
+Requests with filesystem side effects (``topology`` with ``output``,
+``simulate`` with ``trace_out``) are never cached: replaying bytes must
+never skip a write the client asked for.  Bounds and counters come from
+:class:`~repro.core.caching.BoundedCache`; ``/stats`` surfaces them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+from repro.core.caching import BoundedCache
+
+__all__ = ["ResultCache", "request_fingerprint"]
+
+
+def request_fingerprint(
+    request: Any, *, extra: Mapping[str, str] | None = None
+) -> str:
+    """Stable hex digest of a typed request (plus optional extra parts).
+
+    ``extra`` mixes additional content identity into the key — the serve
+    routes pass ``{"topology_fingerprint": ...}`` for requests that read
+    an ``as-rel`` file.
+    """
+    document: dict[str, Any] = dict(request.to_json_dict())
+    if extra:
+        document["_fingerprint_extra"] = dict(extra)
+    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """LRU-bounded map from request fingerprints to response bytes."""
+
+    def __init__(self, max_entries: int | None) -> None:
+        self._cache = BoundedCache(max_entries)
+
+    def lookup(self, key: str) -> bytes | None:
+        """The cached body for ``key`` (counts a hit or a miss)."""
+        return self._cache.get(key)
+
+    def store(self, key: str, body: bytes) -> None:
+        """Cache ``body`` under ``key`` (evicting LRU entries if full)."""
+        self._cache.put(key, body)
+
+    def stats(self) -> dict[str, int | None]:
+        """Size/bound/hit/miss/eviction counters for ``/stats``."""
+        return self._cache.stats()

@@ -1,0 +1,64 @@
+"""Tiny blocking client for ``repro serve`` (stdlib ``http.client``).
+
+Tests, the CI smoke-load script, and ``benchmarks/bench_serve.py`` all
+talk to the server through this class, so the request/response plumbing
+is written once.  A client holds one keep-alive connection and is
+**not** thread-safe — concurrent-load callers create one client per
+thread, which is also what exercises the server's cross-client
+coalescing.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Mapping
+
+__all__ = ["ServeClient", "ServeResponse"]
+
+
+class ServeResponse:
+    """Status + raw body of one exchange, with lazy JSON decoding."""
+
+    def __init__(self, status: int, body: bytes) -> None:
+        self.status = status
+        self.body = body
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode("utf-8"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ServeResponse(status={self.status}, body={self.body[:80]!r})"
+
+
+class ServeClient:
+    """One keep-alive connection to a running ``repro serve``."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 120.0) -> None:
+        self._connection = http.client.HTTPConnection(
+            host, port, timeout=timeout
+        )
+
+    def get(self, path: str) -> ServeResponse:
+        self._connection.request("GET", path)
+        return self._read()
+
+    def post(self, path: str, payload: Mapping[str, Any] | None = None) -> ServeResponse:
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        self._connection.request(
+            "POST", path, body=body, headers={"Content-Type": "application/json"}
+        )
+        return self._read()
+
+    def _read(self) -> ServeResponse:
+        response = self._connection.getresponse()
+        return ServeResponse(response.status, response.read())
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()

@@ -1,0 +1,88 @@
+"""Structured JSONL request log of the serve subsystem.
+
+One line per completed request, each a ``serve_log_record`` envelope
+(so ``python -m repro.api.validate`` checks log files exactly like any
+other envelope): method, path, status, latency, the queue depth when
+the request arrived, the engine batch size it rode in (negotiation
+only), and the cache disposition (``hit``/``miss``/``bypass``).
+
+Every record is written as **one** ``write()`` call followed by a
+``flush()``, and all writes happen on the event-loop thread — so a
+reader tailing the file never sees an interleaved or truncated line,
+and the graceful-shutdown drain (which waits for in-flight requests
+before closing the log) leaves a file of complete lines.  That property
+is pinned by the SIGTERM test in ``tests/serve/``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, IO
+
+from repro.envelope import envelope
+from repro.errors import OutputError
+
+__all__ = ["RequestLog"]
+
+
+class RequestLog:
+    """Append-only JSONL writer; ``path=None`` disables logging."""
+
+    def __init__(self, path: str | None) -> None:
+        self.path = path
+        self._stream: IO[str] | None = None
+        self.records_written = 0
+        if path is not None:
+            try:
+                self._stream = open(path, "a", encoding="utf-8")
+            except OSError as error:
+                raise OutputError(
+                    f"cannot open request log {path}: {error.strerror or error}"
+                ) from error
+
+    @property
+    def enabled(self) -> bool:
+        return self._stream is not None
+
+    def record(
+        self,
+        *,
+        method: str,
+        path: str,
+        status: int,
+        latency_ms: float,
+        queue_depth: int,
+        kind: str | None = None,
+        cache: str | None = None,
+        batch_size: int | None = None,
+    ) -> None:
+        """Append one complete record (single write + flush)."""
+        if self._stream is None:
+            return
+        payload: dict[str, Any] = {
+            "method": method,
+            "path": path,
+            "status": status,
+            "latency_ms": latency_ms,
+            "queue_depth": queue_depth,
+        }
+        if kind is not None:
+            payload["kind_handled"] = kind
+        if cache is not None:
+            payload["cache"] = cache
+        if batch_size is not None:
+            payload["batch_size"] = batch_size
+        line = json.dumps(
+            envelope("serve_log_record", payload),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        self._stream.write(line + "\n")
+        self._stream.flush()
+        self.records_written += 1
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None

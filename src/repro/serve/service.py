@@ -1,0 +1,311 @@
+"""Request routing and execution: HTTP envelopes → one warm session.
+
+The service owns the pieces the server wires together:
+
+- **one** :class:`~repro.api.session.Session`, driven through a
+  single-worker executor so compute runs off the event loop while
+  staying strictly serialized (the session's own lock makes even that
+  serialization a guarantee, not an accident);
+- the :class:`~repro.serve.coalesce.CoalescingScheduler` for
+  negotiation requests;
+- the :class:`~repro.serve.cache.ResultCache` of serialized envelope
+  bytes, keyed by request/topology content fingerprints;
+- the :class:`~repro.serve.log.RequestLog`.
+
+Routes accept ``POST /<name>`` and ``POST /v1/<name>`` for the five
+workflow envelopes (``topology``, ``diversity``, ``experiments``,
+``simulate``, ``negotiate``), plus ``GET /health`` and ``GET /stats``.
+A request body may be a full schema-versioned envelope or a bare
+payload object (convenient for ``curl``); an empty body means "all
+defaults".  Responses are always envelopes — results on success, an
+``error_result`` (message + the CLI exit code + the HTTP status, from
+the one :data:`~repro.errors.STATUS_TABLE`) on failure — serialized
+exactly like ``--format json`` prints them, trailing newline included,
+so a served response is byte-identical to the CLI's output for the
+same request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+from repro.api.requests import (
+    DiversityRequest,
+    ExperimentsRequest,
+    NegotiateRequest,
+    SimulateRequest,
+    TopologyRequest,
+)
+from repro.api.results import NegotiateResult
+from repro.api.session import Session
+from repro.envelope import envelope
+from repro.errors import (
+    ReproError,
+    ServiceUnavailableError,
+    ValidationError,
+    exit_code_for,
+    http_status_for,
+)
+from repro.serve.cache import ResultCache, request_fingerprint
+from repro.serve.coalesce import CoalescingScheduler
+from repro.serve.http import HttpRequest
+from repro.serve.log import RequestLog
+
+__all__ = ["ROUTES", "ServeService", "serialize_envelope"]
+
+
+def serialize_envelope(document: dict[str, Any]) -> bytes:
+    """Envelope → response bytes, exactly as the CLI prints them."""
+    return (json.dumps(document, indent=2, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _error_payload(message: str, *, exit_code: int, http_status: int) -> bytes:
+    return serialize_envelope(
+        envelope(
+            "error_result",
+            {
+                "error": message,
+                "exit_code": exit_code,
+                "http_status": http_status,
+            },
+        )
+    )
+
+
+def _error_response(error: ReproError) -> tuple[int, bytes]:
+    status = http_status_for(error)
+    return status, _error_payload(
+        str(error), exit_code=exit_code_for(error), http_status=status
+    )
+
+
+@dataclass(frozen=True)
+class _Route:
+    """One workflow route: its request type and cacheability rule."""
+
+    request_cls: type
+    workflow: str
+    #: Side-effecting requests (file writes) must never be served from
+    #: cache — a replayed body would silently skip the write.
+    cacheable: Callable[[Any], bool]
+
+
+ROUTES: dict[str, _Route] = {
+    "topology": _Route(TopologyRequest, "topology", lambda r: r.output is None),
+    "diversity": _Route(DiversityRequest, "diversity", lambda r: True),
+    "experiments": _Route(ExperimentsRequest, "experiments", lambda r: True),
+    "simulate": _Route(SimulateRequest, "simulate", lambda r: r.trace_out is None),
+    "negotiate": _Route(NegotiateRequest, "negotiate", lambda r: True),
+}
+
+
+def _build_request(request_cls: type, body: bytes) -> Any:
+    """Decode a body (envelope, bare payload, or empty) into a request."""
+    text = body.decode("utf-8", errors="replace").strip()
+    if not text:
+        data: Any = {}
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValidationError(
+                f"request body is not valid JSON: {error}"
+            ) from error
+    if not isinstance(data, dict):
+        raise ValidationError(
+            f"request body must be a JSON object, got {type(data).__name__}"
+        )
+    if "kind" not in data and "schema_version" not in data:
+        data = envelope(request_cls.kind, data)
+    return request_cls.from_json_dict(data)
+
+
+class ServeService:
+    """Everything behind the socket: routing, caching, coalescing, logging."""
+
+    def __init__(
+        self,
+        session: Session,
+        *,
+        coalesce_window_ms: float = 5.0,
+        max_batch: int = 32,
+        cache_entries: int | None = 256,
+        request_log: RequestLog | None = None,
+    ) -> None:
+        self.session = session
+        self.cache = ResultCache(cache_entries)
+        self.coalescer = CoalescingScheduler(
+            window_s=coalesce_window_ms / 1000.0,
+            max_batch=max_batch,
+            solve=self._solve_batch,
+        )
+        self.log = request_log if request_log is not None else RequestLog(None)
+        #: Compute runs here, off the event loop but strictly serialized.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve"
+        )
+        self.requests_total = 0
+        self.active = 0
+        self.draining = False
+
+    # ------------------------------------------------------------------
+    # Compute plumbing
+    # ------------------------------------------------------------------
+    async def _call(self, fn: Callable, *args: Any) -> Any:
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, fn, *args
+        )
+
+    async def _solve_batch(
+        self, requests: Sequence[NegotiateRequest]
+    ) -> list[NegotiateResult]:
+        return await self._call(self.session.negotiate_many, list(requests))
+
+    # ------------------------------------------------------------------
+    # HTTP entry point
+    # ------------------------------------------------------------------
+    async def handle(self, request: HttpRequest) -> tuple[int, bytes]:
+        """Serve one parsed request; always returns a complete response."""
+        started = time.perf_counter()
+        queue_depth = self.active
+        self.active += 1
+        self.requests_total += 1
+        kind: str | None = None
+        cache_state: str | None = None
+        batch_size: int | None = None
+        try:
+            status, body, kind, cache_state, batch_size = await self._route(
+                request
+            )
+        except ReproError as error:
+            status, body = _error_response(error)
+        except Exception as error:  # noqa: BLE001 - a route bug must not
+            # tear down the connection loop; answer 500 and keep serving.
+            status, body = 500, _error_payload(
+                f"internal error: {error}", exit_code=1, http_status=500
+            )
+        finally:
+            self.active -= 1
+        latency_ms = (time.perf_counter() - started) * 1000.0
+        self.log.record(
+            method=request.method,
+            path=request.path,
+            status=status,
+            latency_ms=round(latency_ms, 3),
+            queue_depth=queue_depth,
+            kind=kind,
+            cache=cache_state,
+            batch_size=batch_size,
+        )
+        return status, body
+
+    async def _route(
+        self, request: HttpRequest
+    ) -> tuple[int, bytes, str | None, str | None, int | None]:
+        path = request.path
+        if path.startswith("/v1/"):
+            path = path[len("/v1") :]
+        if path == "/health":
+            if request.method != "GET":
+                return self._method_not_allowed(request, "GET")
+            status = "draining" if self.draining else "ok"
+            body = serialize_envelope(envelope("serve_health", {"status": status}))
+            return 200, body, "serve_health", None, None
+        if path == "/stats":
+            if request.method != "GET":
+                return self._method_not_allowed(request, "GET")
+            return 200, serialize_envelope(self.stats_payload()), (
+                "serve_stats"
+            ), None, None
+        route = ROUTES.get(path.strip("/"))
+        if route is None:
+            known = ", ".join(sorted(ROUTES))
+            body = _error_payload(
+                f"unknown path {request.path!r}; routes: /health, /stats, "
+                f"and POST /{{{known}}} (optionally under /v1)",
+                exit_code=2,
+                http_status=404,
+            )
+            return 404, body, None, None, None
+        if request.method != "POST":
+            return self._method_not_allowed(request, "POST")
+        if self.draining:
+            raise ServiceUnavailableError(
+                "server is draining; not accepting new work"
+            )
+        typed = _build_request(route.request_cls, request.body)
+        return await self._execute(route, typed)
+
+    @staticmethod
+    def _method_not_allowed(
+        request: HttpRequest, allowed: str
+    ) -> tuple[int, bytes, str | None, str | None, int | None]:
+        body = _error_payload(
+            f"method {request.method} not allowed for {request.path} "
+            f"(use {allowed})",
+            exit_code=2,
+            http_status=405,
+        )
+        return 405, body, None, None, None
+
+    async def _execute(
+        self, route: _Route, typed: Any
+    ) -> tuple[int, bytes, str, str, int | None]:
+        """Run one typed workflow request, through the cache when allowed."""
+        kind = route.request_cls.kind
+        key: str | None = None
+        if route.cacheable(typed):
+            extra = None
+            if isinstance(typed, DiversityRequest) and typed.topology is not None:
+                # Key per-topology results on file *content*, so an
+                # edited as-rel file misses instead of serving stale
+                # bytes.  This also validates the path up front.
+                fingerprint = await self._call(
+                    self.session.topology_fingerprint, typed.topology
+                )
+                extra = {"topology_fingerprint": fingerprint}
+            key = request_fingerprint(typed, extra=extra)
+            cached = self.cache.lookup(key)
+            if cached is not None:
+                return 200, cached, kind, "hit", None
+        batch_size: int | None = None
+        if isinstance(typed, NegotiateRequest):
+            result, batch_size = await self.coalescer.submit(typed)
+        else:
+            workflow = getattr(self.session, route.workflow)
+            result = await self._call(workflow, typed)
+        body = serialize_envelope(result.to_json_dict())
+        if key is not None:
+            self.cache.store(key, body)
+            return 200, body, kind, "miss", batch_size
+        return 200, body, kind, "bypass", batch_size
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+    def stats_payload(self) -> dict[str, Any]:
+        """The ``serve_stats`` envelope served on ``/stats``."""
+        return envelope(
+            "serve_stats",
+            {
+                "requests_total": self.requests_total,
+                "active_requests": self.active,
+                "draining": self.draining,
+                "result_cache": self.cache.stats(),
+                "coalescing": self.coalescer.stats(),
+                "session": self.session.cache_stats(),
+                "log_records": self.log.records_written,
+            },
+        )
+
+    async def aclose(self) -> None:
+        """Drain the coalescer, stop the worker, close the log."""
+        await self.coalescer.drain()
+        self._executor.shutdown(wait=True)
+        self.log.close()

@@ -256,3 +256,39 @@ class TestEngineLevelEnvelopes:
             )
         )
         assert roundtrip(diversity) == diversity
+
+
+class TestNegotiateEnvelopes:
+    def test_request_round_trips(self):
+        from repro.api import NegotiateRequest
+
+        request = NegotiateRequest(
+            distribution="u2", num_choices=12, trials=6, seed=11
+        )
+        assert roundtrip(request) == request
+
+    def test_request_round_trip_revalidates(self):
+        from repro.api import NegotiateRequest, ValidationError
+
+        data = NegotiateRequest().to_json_dict()
+        data["distribution"] = "u9"
+        with pytest.raises(ValidationError, match="unknown distribution"):
+            NegotiateRequest.from_json_dict(data)
+
+    def test_result_round_trips_bit_exactly(self):
+        from repro.api import NegotiateRequest
+
+        result = Session().negotiate(
+            NegotiateRequest(num_choices=10, trials=4, seed=3)
+        )
+        restored = roundtrip(result)
+        assert restored == result  # float equality: JSON must not round
+
+    def test_result_envelope_validates(self):
+        from repro.api import NegotiateRequest
+        from repro.api.validate import validate_envelope
+
+        result = Session().negotiate(
+            NegotiateRequest(num_choices=10, trials=4, seed=3)
+        )
+        assert validate_envelope(json.loads(json.dumps(result.to_json_dict()))) == []

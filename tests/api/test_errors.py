@@ -1,0 +1,69 @@
+"""The error taxonomy's one status table: exit codes and HTTP statuses.
+
+``dispatch`` (CLI exit codes) and the serve subsystem (HTTP statuses)
+walk the same :data:`repro.errors.STATUS_TABLE`, so a new error class
+gets both mappings in one place — these tests pin the pairs.
+"""
+
+import pytest
+
+from repro.errors import (
+    STATUS_TABLE,
+    EnvelopeError,
+    OutputError,
+    ReproError,
+    ServiceError,
+    ServiceUnavailableError,
+    ValidationError,
+    exit_code_for,
+    http_status_for,
+)
+
+
+class TestStatusTable:
+    @pytest.mark.parametrize(
+        ("error", "exit_code", "http_status"),
+        [
+            (ValidationError("bad"), 2, 400),
+            (EnvelopeError("bad envelope"), 2, 400),
+            (OutputError("unwritable"), 1, 500),
+            (ServiceError("broken"), 1, 500),
+            (ServiceUnavailableError("draining"), 1, 503),
+            (ReproError("generic"), 1, 500),
+        ],
+    )
+    def test_both_mappings_agree_with_the_table(self, error, exit_code, http_status):
+        assert exit_code_for(error) == exit_code
+        assert http_status_for(error) == http_status
+        # The instance properties are the same lookups.
+        assert error.exit_code == exit_code
+        assert error.http_status == http_status
+
+    def test_non_repro_errors_fall_back_to_failure(self):
+        assert exit_code_for(RuntimeError("boom")) == 1
+        assert http_status_for(RuntimeError("boom")) == 500
+
+    def test_every_row_names_a_repro_error(self):
+        for error_cls, exit_code, http_status in STATUS_TABLE:
+            assert issubclass(error_cls, ReproError)
+            assert exit_code in (1, 2)
+            assert 400 <= http_status < 600
+
+    def test_subclass_rows_precede_their_bases(self):
+        """First-isinstance-match only works if specific rows come first."""
+        seen: list[type] = []
+        for error_cls, _, _ in STATUS_TABLE:
+            assert not any(issubclass(error_cls, earlier) for earlier in seen), (
+                f"{error_cls.__name__} is unreachable behind a base class row"
+            )
+            seen.append(error_cls)
+
+
+class TestTaxonomyShape:
+    def test_service_errors_are_runtime_errors(self):
+        assert isinstance(ServiceError("x"), RuntimeError)
+        assert isinstance(ServiceUnavailableError("x"), ServiceError)
+
+    def test_validation_branch_is_value_error(self):
+        assert isinstance(ValidationError("x"), ValueError)
+        assert isinstance(EnvelopeError("x"), ValidationError)

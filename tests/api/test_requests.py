@@ -122,3 +122,38 @@ class TestValidationErrorTaxonomy:
         from repro.api import exit_code_for
 
         assert exit_code_for(RuntimeError("boom")) == 1
+
+
+class TestNegotiateValidation:
+    def test_defaults_are_valid(self):
+        from repro.api import NegotiateRequest
+
+        request = NegotiateRequest()
+        assert request.distribution == "u1"
+        assert request.coalesce_key() == ("u1", 50)
+
+    def test_unknown_distribution_rejected(self):
+        from repro.api import NegotiateRequest, ValidationError
+
+        with pytest.raises(ValidationError, match="unknown distribution"):
+            NegotiateRequest(distribution="gaussian")
+
+    @pytest.mark.parametrize("field", ["num_choices", "trials"])
+    def test_non_positive_counts_rejected(self, field):
+        from repro.api import NegotiateRequest, ValidationError
+
+        with pytest.raises(ValidationError, match="must be a positive integer"):
+            NegotiateRequest(**{field: 0})
+
+    def test_negative_seed_rejected(self):
+        from repro.api import NegotiateRequest, ValidationError
+
+        with pytest.raises(ValidationError, match="--seed must be non-negative"):
+            NegotiateRequest(seed=-1)
+
+    def test_coalesce_key_ignores_trials_and_seed(self):
+        from repro.api import NegotiateRequest
+
+        a = NegotiateRequest(num_choices=30, trials=10, seed=1)
+        b = NegotiateRequest(num_choices=30, trials=99, seed=2)
+        assert a.coalesce_key() == b.coalesce_key()

@@ -227,3 +227,94 @@ class TestSweepWorkflow:
         bad.write_text('{"name": "x"}')
         with pytest.raises(ValidationError):
             Session().sweep(SweepRequest(spec=str(bad)))
+
+
+class TestNegotiateWorkflow:
+    def test_negotiate_reports_converged_pod_statistics(self):
+        from repro.api import NegotiateRequest
+
+        result = Session().negotiate(NegotiateRequest(num_choices=10, trials=5, seed=3))
+        assert result.converged_trials + result.skipped_trials == 5
+        assert result.min_pod <= result.mean_pod <= result.max_pod
+        assert 0.0 < result.best_expected_nash_product <= result.truthful_nash_product
+
+    def test_truthful_value_is_memoized_per_distribution(self):
+        from repro.api import NegotiateRequest
+
+        session = Session()
+        session.negotiate(NegotiateRequest(num_choices=10, trials=3, seed=1))
+        session.negotiate(NegotiateRequest(num_choices=12, trials=3, seed=2))
+        stats = session.cache_stats()["truthful_nash_products"]
+        assert stats["size"] == 1 and stats["hits"] == 1
+
+    def test_negotiate_many_is_bit_identical_to_solo_calls(self):
+        """The coalescing contract: batching must be invisible."""
+        from repro.api import NegotiateRequest
+
+        requests = [
+            NegotiateRequest(num_choices=10, trials=4, seed=seed)
+            for seed in (3, 11, 29)
+        ]
+        batched = Session().negotiate_many(requests)
+        solo = [Session().negotiate(request) for request in requests]
+        assert batched == solo  # dataclass equality over every float bit
+
+    def test_negotiate_many_rejects_mixed_coalesce_keys(self):
+        from repro.api import NegotiateRequest, ValidationError
+
+        with pytest.raises(ValidationError, match="one coalesce group"):
+            Session().negotiate_many(
+                [
+                    NegotiateRequest(num_choices=10, trials=2, seed=1),
+                    NegotiateRequest(num_choices=20, trials=2, seed=1),
+                ]
+            )
+
+    def test_negotiate_many_of_nothing_is_nothing(self):
+        assert Session().negotiate_many([]) == []
+
+
+class TestSessionLifecycle:
+    def test_context_manager_closes_and_workflows_raise(self):
+        from repro.api import NegotiateRequest, ServiceError
+
+        with Session() as session:
+            session.negotiate(NegotiateRequest(num_choices=10, trials=2, seed=1))
+            assert not session.closed
+        assert session.closed
+        with pytest.raises(ServiceError, match="session is closed"):
+            session.negotiate(NegotiateRequest(num_choices=10, trials=2, seed=1))
+
+    def test_close_is_idempotent_and_drops_caches(self):
+        session = Session()
+        session.topology(TopologyRequest(seed=3, **TINY))
+        assert session.cache_stats()["generated_topologies"]["size"] == 1
+        session.close()
+        session.close()
+        assert session.cache_stats()["generated_topologies"]["size"] == 0
+
+    def test_cache_limit_bounds_warm_state(self):
+        session = Session(cache_limit=2)
+        for seed in range(4):
+            session.topology(TopologyRequest(seed=seed, **TINY))
+        stats = session.cache_stats()["generated_topologies"]
+        assert stats["size"] == 2
+        assert stats["evictions"] == 2
+
+    def test_cache_stats_covers_every_cache(self):
+        stats = Session().cache_stats()
+        assert sorted(stats) == [
+            "diversity_artifacts",
+            "experiment_contexts",
+            "generated_topologies",
+            "loaded_topologies",
+            "truthful_nash_products",
+        ]
+        for counters in stats.values():
+            assert counters == {
+                "size": 0,
+                "max_entries": None,
+                "hits": 0,
+                "misses": 0,
+                "evictions": 0,
+            }

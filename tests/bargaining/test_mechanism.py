@@ -175,3 +175,54 @@ class TestSkippedTrialAccounting:
         stats = service.pod_statistics(12, trials=6)
         assert stats["skipped_trials"] == 6 - stats["trials"]
         assert stats["skipped_trials"] >= 0.0
+
+
+class TestTrialCohorts:
+    """The packed-cohort entry point behind session/serve coalescing."""
+
+    def test_draw_trial_pairs_is_seed_deterministic(self):
+        from repro.bargaining.mechanism import draw_trial_pairs
+
+        distribution = paper_distribution_u1()
+        first = draw_trial_pairs(distribution, 6, 3, seed=5)
+        again = draw_trial_pairs(distribution, 6, 3, seed=5)
+        assert len(first) == 3
+        for (ax, ay), (bx, by) in zip(first, again):
+            assert ax.finite_values == bx.finite_values
+            assert ay.finite_values == by.finite_values
+
+    def test_packed_cohorts_are_bit_identical_to_solo_solves(self):
+        from repro.bargaining.engine import NegotiationEngine
+        from repro.bargaining.mechanism import draw_trial_pairs, solve_trial_cohorts
+
+        distribution = paper_distribution_u1()
+        cohorts = [
+            draw_trial_pairs(distribution, 8, trials, seed=seed)
+            for trials, seed in ((3, 1), (5, 2), (2, 9))
+        ]
+        packed = solve_trial_cohorts(NegotiationEngine(), distribution, cohorts)
+        assert [len(s.batch) for s in packed] == [3, 5, 2]
+        for cohort, solved in zip(cohorts, packed):
+            solo = solve_trial_cohorts(
+                NegotiationEngine(), distribution, [cohort]
+            )[0]
+            assert np.array_equal(
+                solved.solution.pods, solo.solution.pods, equal_nan=True
+            )
+            assert np.array_equal(
+                solved.solution.nash_products,
+                solo.solution.nash_products,
+                equal_nan=True,
+            )
+            assert np.array_equal(
+                solved.solution.equilibria.converged,
+                solo.solution.equilibria.converged,
+            )
+
+    def test_empty_cohort_list_is_empty(self):
+        from repro.bargaining.engine import NegotiationEngine
+        from repro.bargaining.mechanism import solve_trial_cohorts
+
+        assert solve_trial_cohorts(
+            NegotiationEngine(), paper_distribution_u1(), []
+        ) == []

@@ -1,0 +1,85 @@
+"""BoundedCache: the instrumented LRU behind every warm-state layer."""
+
+import pytest
+
+from repro.core.caching import BoundedCache
+
+
+class TestBasics:
+    def test_get_put_and_counters(self):
+        cache = BoundedCache()
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats() == {
+            "size": 1,
+            "max_entries": None,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+        }
+
+    def test_peek_does_not_touch_counters(self):
+        cache = BoundedCache()
+        cache.put("a", 1)
+        assert cache.peek("a") == 1
+        assert cache.peek("b", "fallback") == "fallback"
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_clear_drops_entries_but_keeps_lifetime_counters(self):
+        cache = BoundedCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            BoundedCache(-1)
+
+
+class TestBounds:
+    def test_lru_eviction_order(self):
+        cache = BoundedCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh: "b" is now least recently used
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.evictions == 1
+
+    def test_put_refresh_does_not_evict(self):
+        cache = BoundedCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not growth
+        assert len(cache) == 2 and cache.evictions == 0
+        assert cache.get("a") == 10
+
+    def test_zero_disables_storage(self):
+        cache = BoundedCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+        assert cache.misses == 1 and cache.evictions == 0
+
+
+class TestMappingProtocol:
+    """Introspection reads must not disturb counters or recency."""
+
+    def test_subscript_keys_items_and_equality(self):
+        cache = BoundedCache()
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache["a"] == 1
+        assert sorted(cache.keys()) == ["a", "b"]
+        assert dict(cache) == {"a": 1, "b": 2}
+        assert cache == {"a": 1, "b": 2}
+        assert cache != {"a": 1}
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_subscript_missing_raises_key_error(self):
+        with pytest.raises(KeyError):
+            BoundedCache()["missing"]

@@ -1,0 +1,184 @@
+"""Coalescing scheduler: grouping, flushing, isolation, drain.
+
+These tests drive the scheduler with an instrumented fake solver, so
+they pin the *scheduling* contract (what gets batched with what, and
+when) independently of the engine.  The result-level contract — that a
+coalesced batch is bit-identical to the sequential path — is pinned
+end-to-end in ``test_server_integration.py`` and at the session layer
+in ``tests/api/test_session.py``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.api.requests import NegotiateRequest
+from repro.errors import ServiceError
+from repro.serve.coalesce import CoalescingScheduler
+
+
+class RecordingSolver:
+    """Fake solve(): records each batch, returns one token per request."""
+
+    def __init__(self, fail_on=None):
+        self.batches = []
+        self.fail_on = fail_on or set()
+
+    async def __call__(self, requests):
+        self.batches.append(list(requests))
+        failing = [r for r in requests if r.seed in self.fail_on]
+        if failing:
+            raise ServiceError(f"poison seed {failing[0].seed}")
+        return [("solved", r.seed) for r in requests]
+
+
+def request(seed, num_choices=10):
+    return NegotiateRequest(num_choices=num_choices, trials=5, seed=seed)
+
+
+class TestGrouping:
+    def test_concurrent_requests_share_one_batch(self):
+        solver = RecordingSolver()
+
+        async def run():
+            scheduler = CoalescingScheduler(
+                window_s=0.05, max_batch=32, solve=solver
+            )
+            return await asyncio.gather(
+                *(scheduler.submit(request(seed)) for seed in range(4))
+            )
+
+        results = asyncio.run(run())
+        assert len(solver.batches) == 1
+        assert [r.seed for r in solver.batches[0]] == [0, 1, 2, 3]
+        # Every waiter got its own result and the shared batch size.
+        assert results == [(("solved", seed), 4) for seed in range(4)]
+
+    def test_different_coalesce_keys_never_mix(self):
+        solver = RecordingSolver()
+
+        async def run():
+            scheduler = CoalescingScheduler(
+                window_s=0.05, max_batch=32, solve=solver
+            )
+            return await asyncio.gather(
+                scheduler.submit(request(1, num_choices=10)),
+                scheduler.submit(request(2, num_choices=20)),
+            )
+
+        results = asyncio.run(run())
+        assert len(solver.batches) == 2
+        assert all(size == 1 for _, size in results)
+
+    def test_max_batch_flushes_early(self):
+        solver = RecordingSolver()
+
+        async def run():
+            scheduler = CoalescingScheduler(
+                # A window long enough that only max_batch can flush it.
+                window_s=5.0,
+                max_batch=2,
+                solve=solver,
+            )
+            return await asyncio.gather(
+                *(scheduler.submit(request(seed)) for seed in range(4))
+            )
+
+        results = asyncio.run(run())
+        assert [len(batch) for batch in solver.batches] == [2, 2]
+        assert all(size == 2 for _, size in results)
+
+    def test_window_zero_disables_coalescing(self):
+        solver = RecordingSolver()
+
+        async def run():
+            scheduler = CoalescingScheduler(
+                window_s=0.0, max_batch=32, solve=solver
+            )
+            assert not scheduler.enabled
+            return await asyncio.gather(
+                *(scheduler.submit(request(seed)) for seed in range(3))
+            )
+
+        results = asyncio.run(run())
+        assert [len(batch) for batch in solver.batches] == [1, 1, 1]
+        assert all(size == 1 for _, size in results)
+
+
+class TestFailureIsolation:
+    def test_solo_failure_propagates(self):
+        solver = RecordingSolver(fail_on={7})
+
+        async def run():
+            scheduler = CoalescingScheduler(
+                window_s=0.0, max_batch=32, solve=solver
+            )
+            await scheduler.submit(request(7))
+
+        with pytest.raises(ServiceError, match="poison seed 7"):
+            asyncio.run(run())
+
+    def test_poison_request_cannot_fail_batchmates(self):
+        solver = RecordingSolver(fail_on={7})
+
+        async def run():
+            scheduler = CoalescingScheduler(
+                window_s=0.05, max_batch=32, solve=solver
+            )
+            return await asyncio.gather(
+                scheduler.submit(request(1)),
+                scheduler.submit(request(7)),
+                scheduler.submit(request(2)),
+                return_exceptions=True,
+            )
+
+        healthy_one, poisoned, healthy_two = asyncio.run(run())
+        # The mixed batch failed, so every member re-ran solo: the
+        # healthy requests still succeed (batch_size 1, the sequential
+        # path), only the poison request surfaces its error.
+        assert healthy_one == (("solved", 1), 1)
+        assert healthy_two == (("solved", 2), 1)
+        assert isinstance(poisoned, ServiceError)
+        assert len(solver.batches[0]) == 3
+        assert [len(batch) for batch in solver.batches[1:]] == [1, 1, 1]
+
+    def test_stats_count_retries(self):
+        solver = RecordingSolver(fail_on={7})
+
+        async def run():
+            scheduler = CoalescingScheduler(
+                window_s=0.05, max_batch=32, solve=solver
+            )
+            await asyncio.gather(
+                scheduler.submit(request(1)),
+                scheduler.submit(request(7)),
+                return_exceptions=True,
+            )
+            return scheduler.stats()
+
+        stats = asyncio.run(run())
+        assert stats["solo_retries"] == 2
+        assert stats["coalesced_requests"] == 2
+        assert stats["max_batch_size"] == 2
+
+
+class TestDrain:
+    def test_drain_flushes_pending_windows(self):
+        solver = RecordingSolver()
+
+        async def run():
+            scheduler = CoalescingScheduler(
+                # Nothing would flush for an hour without the drain.
+                window_s=3600.0,
+                max_batch=32,
+                solve=solver,
+            )
+            waiter = asyncio.ensure_future(scheduler.submit(request(5)))
+            await asyncio.sleep(0)  # let the submit enqueue
+            await scheduler.drain()
+            return await waiter
+
+        result, size = asyncio.run(run())
+        assert result == ("solved", 5)
+        assert size == 1
+        assert len(solver.batches) == 1

@@ -1,0 +1,60 @@
+"""Result cache: fingerprint keys and byte replay."""
+
+from repro.api.requests import DiversityRequest, NegotiateRequest
+from repro.serve.cache import ResultCache, request_fingerprint
+
+
+class TestRequestFingerprint:
+    def test_equal_requests_share_a_key(self):
+        a = NegotiateRequest(num_choices=10, trials=5, seed=3)
+        b = NegotiateRequest(seed=3, trials=5, num_choices=10)
+        assert request_fingerprint(a) == request_fingerprint(b)
+
+    def test_any_parameter_changes_the_key(self):
+        base = NegotiateRequest(num_choices=10, trials=5, seed=3)
+        for changed in (
+            NegotiateRequest(num_choices=11, trials=5, seed=3),
+            NegotiateRequest(num_choices=10, trials=6, seed=3),
+            NegotiateRequest(num_choices=10, trials=5, seed=4),
+            NegotiateRequest(distribution="u2", num_choices=10, trials=5, seed=3),
+        ):
+            assert request_fingerprint(changed) != request_fingerprint(base)
+
+    def test_request_kinds_never_collide(self):
+        # Same field values under different kinds must key differently.
+        assert request_fingerprint(DiversityRequest()) != request_fingerprint(
+            NegotiateRequest()
+        )
+
+    def test_extra_content_identity_changes_the_key(self):
+        request = DiversityRequest(topology="topo.txt", sample_size=10, seed=1)
+        first = request_fingerprint(request, extra={"topology_fingerprint": "aa"})
+        second = request_fingerprint(request, extra={"topology_fingerprint": "bb"})
+        assert first != second
+        assert first != request_fingerprint(request)
+
+
+class TestResultCache:
+    def test_lookup_miss_then_hit_replays_exact_bytes(self):
+        cache = ResultCache(4)
+        assert cache.lookup("k") is None
+        cache.store("k", b"body-bytes\n")
+        assert cache.lookup("k") == b"body-bytes\n"
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_lru_bound_and_eviction_counter(self):
+        cache = ResultCache(2)
+        cache.store("a", b"1")
+        cache.store("b", b"2")
+        cache.lookup("a")  # "b" becomes the LRU tail
+        cache.store("c", b"3")
+        assert cache.lookup("b") is None
+        assert cache.lookup("a") == b"1"
+        assert cache.stats()["evictions"] == 1
+
+    def test_zero_entries_disables_caching(self):
+        cache = ResultCache(0)
+        cache.store("a", b"1")
+        assert cache.lookup("a") is None
+        assert cache.stats()["size"] == 0

@@ -201,3 +201,91 @@ class TestDiversityCommand:
         out = capsys.readouterr().out
         assert "GRC" in out
         assert "additional paths per AS" in out
+
+
+class TestNegotiateCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["negotiate"])
+        assert args.distribution == "u1"
+        assert args.num_choices == 50
+        assert args.trials == 40
+        assert args.seed == 7
+
+    def test_text_report(self, capsys):
+        assert (
+            main(["negotiate", "--num-choices", "10", "--trials", "5", "--seed", "3"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "== negotiate: u1 distribution, W=10, 5 trials (seed 3) ==" in out
+        assert "price of dishonesty:" in out
+
+    def test_json_envelope(self, capsys):
+        import json as json_module
+
+        assert (
+            main(
+                [
+                    "negotiate",
+                    "--num-choices",
+                    "10",
+                    "--trials",
+                    "5",
+                    "--seed",
+                    "3",
+                    "--format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        document = json_module.loads(capsys.readouterr().out)
+        assert document["kind"] == "negotiate_result"
+        assert document["num_choices"] == 10
+
+    def test_invalid_trials_is_exit_2(self, capsys):
+        assert main(["negotiate", "--trials", "0"]) == 2
+        assert "--trials must be a positive integer" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8000
+        assert args.max_batch == 32
+        assert args.coalesce_window_ms == 5.0
+        assert args.cache_entries == 256
+        assert args.request_log is None
+        assert args.session_cache_limit is None
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--port",
+                "0",
+                "--coalesce-window-ms",
+                "12.5",
+                "--max-batch",
+                "4",
+                "--cache-entries",
+                "0",
+                "--request-log",
+                "req.jsonl",
+                "--session-cache-limit",
+                "16",
+            ]
+        )
+        assert args.port == 0
+        assert args.coalesce_window_ms == 12.5
+        assert args.max_batch == 4
+        assert args.cache_entries == 0
+        assert args.request_log == "req.jsonl"
+        assert args.session_cache_limit == 16
+
+    def test_invalid_config_is_a_clean_exit_2(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["serve", "--max-batch", "0", "--port", "0"]) == 2
+        assert "--max-batch must be a positive integer" in capsys.readouterr().err
