@@ -38,6 +38,7 @@ from repro.api.adapter import main
 from repro.api.requests import (
     DiversityRequest,
     ExperimentsRequest,
+    GrcAllRequest,
     NegotiateRequest,
     SimulateRequest,
     SweepRequest,
@@ -47,6 +48,7 @@ from repro.api.results import (
     DiversityResult,
     DiversityScenarioRow,
     ExperimentsResult,
+    GrcAllResult,
     NegotiateResult,
     SimulateResult,
     SweepListResult,
@@ -80,6 +82,7 @@ __all__ = [
     "TopologyRequest",
     "DiversityRequest",
     "ExperimentsRequest",
+    "GrcAllRequest",
     "SimulateRequest",
     "NegotiateRequest",
     "SweepRequest",
@@ -88,6 +91,7 @@ __all__ = [
     "DiversityResult",
     "DiversityScenarioRow",
     "ExperimentsResult",
+    "GrcAllResult",
     "SectionResult",
     "SectionTable",
     "SectionSeries",

@@ -31,6 +31,7 @@ from repro.api.requests import (
     NEGOTIATE_DISTRIBUTIONS,
     DiversityRequest,
     ExperimentsRequest,
+    GrcAllRequest,
     NegotiateRequest,
     SimulateRequest,
     SweepRequest,
@@ -39,6 +40,7 @@ from repro.api.requests import (
 from repro.api.results import (
     render_diversity_text,
     render_experiments_text,
+    render_grc_all_text,
     render_negotiate_text,
     render_simulate_text,
     render_sweep_list_text,
@@ -92,6 +94,12 @@ def _add_experiments_arguments(parser: argparse.ArgumentParser) -> None:
         "merged in a fixed order, so seeded output is byte-identical to a "
         "sequential run (default: 1)",
     )
+    parser.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="root of the memory-mapped topology artifact store shared by "
+        "--jobs workers (default: .topology-cache, or $REPRO_TOPOLOGY_STORE)",
+    )
     _add_format_argument(parser)
 
 
@@ -107,13 +115,20 @@ def build_parser() -> argparse.ArgumentParser:
     topology = subparsers.add_parser(
         "topology", help="generate a synthetic AS topology in CAIDA as-rel format"
     )
-    topology.add_argument("output", help="path of the as-rel file to write")
+    topology.add_argument("output", help="path of the topology file to write")
     topology.add_argument("--tier1", type=int, default=8, help="number of tier-1 ASes")
     topology.add_argument("--tier2", type=int, default=60, help="number of tier-2 ASes")
     topology.add_argument("--tier3", type=int, default=200, help="number of tier-3 ASes")
     topology.add_argument("--stubs", type=int, default=800, help="number of stub ASes")
     topology.add_argument("--seed", type=int, default=2021, help="generator seed")
-    _add_format_argument(topology)
+    topology.add_argument(
+        "--format",
+        choices=("text", "json", "gml"),
+        default="text",
+        help="text/json select the report format (the file is written as "
+        "CAIDA as-rel); gml writes the file in GML and prints the text "
+        "report (default: text)",
+    )
 
     diversity = subparsers.add_parser(
         "diversity", help="run the §VI path-diversity analysis"
@@ -128,6 +143,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diversity.add_argument("--seed", type=int, default=2021, help="sampling seed")
     _add_format_argument(diversity)
+
+    grc_all = subparsers.add_parser(
+        "grc-all",
+        help="run the all-sources GRC pass (blocked memory, optional sharding)",
+    )
+    grc_all.add_argument(
+        "--topology",
+        help="topology file to ingest: CAIDA as-rel (streaming-compiled, the "
+        "internet-scale path) or .gml; a synthetic topology is generated "
+        "when omitted",
+    )
+    grc_all.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="shard the source index space across N worker processes sharing "
+        "one memory-mapped artifact; output is byte-identical to a "
+        "sequential pass (default: 1)",
+    )
+    grc_all.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="number of contiguous source ranges (default: one per job)",
+    )
+    grc_all.add_argument(
+        "--output",
+        help="write the per-source asn,paths,destinations table to this CSV",
+    )
+    grc_all.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="root of the memory-mapped topology artifact store used under "
+        "--jobs (default: .topology-cache, or $REPRO_TOPOLOGY_STORE)",
+    )
+    grc_all.add_argument("--tier1", type=int, default=8, help="number of tier-1 ASes")
+    grc_all.add_argument("--tier2", type=int, default=60, help="number of tier-2 ASes")
+    grc_all.add_argument("--tier3", type=int, default=200, help="number of tier-3 ASes")
+    grc_all.add_argument("--stubs", type=int, default=800, help="number of stub ASes")
+    grc_all.add_argument(
+        "--seed", type=int, default=2021, help="generator seed (no --topology)"
+    )
+    _add_format_argument(grc_all)
 
     experiments = subparsers.add_parser(
         "experiments", help="run the full experiment harness (every figure)"
@@ -298,8 +356,27 @@ def _run_topology(session: Session, args: argparse.Namespace) -> int:
         stubs=args.stubs,
         seed=args.seed,
         output=args.output,
+        file_format="gml" if args.format == "gml" else "as-rel",
     )
-    _emit(session.topology(request), render_topology_text, args.format)
+    output_format = "text" if args.format == "gml" else args.format
+    _emit(session.topology(request), render_topology_text, output_format)
+    return 0
+
+
+def _run_grc_all(session: Session, args: argparse.Namespace) -> int:
+    request = GrcAllRequest(
+        topology=args.topology,
+        jobs=args.jobs,
+        shards=args.shards,
+        output=args.output,
+        artifact_dir=args.artifact_dir,
+        tier1=args.tier1,
+        tier2=args.tier2,
+        tier3=args.tier3,
+        stubs=args.stubs,
+        seed=args.seed,
+    )
+    _emit(session.grc_all(request), render_grc_all_text, args.format)
     return 0
 
 
@@ -313,7 +390,11 @@ def _run_diversity(session: Session, args: argparse.Namespace) -> int:
 
 def _run_experiments(session: Session, args: argparse.Namespace) -> int:
     request = ExperimentsRequest(
-        full=args.full, seed=args.seed, trials=args.trials, jobs=args.jobs
+        full=args.full,
+        seed=args.seed,
+        trials=args.trials,
+        jobs=args.jobs,
+        artifact_dir=args.artifact_dir,
     )
     _emit(session.experiments(request), render_experiments_text, args.format)
     return 0
@@ -395,6 +476,7 @@ def _run_serve(session: Session, args: argparse.Namespace) -> int:
 _HANDLERS = {
     "topology": _run_topology,
     "diversity": _run_diversity,
+    "grc-all": _run_grc_all,
     "experiments": _run_experiments,
     "simulate": _run_simulate,
     "negotiate": _run_negotiate,

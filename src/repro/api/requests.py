@@ -32,11 +32,16 @@ __all__ = [
     "TopologyRequest",
     "DiversityRequest",
     "ExperimentsRequest",
+    "GrcAllRequest",
     "SimulateRequest",
     "NegotiateRequest",
     "SweepRequest",
     "NEGOTIATE_DISTRIBUTIONS",
+    "TOPOLOGY_FILE_FORMATS",
 ]
+
+#: On-disk topology serializations ``repro topology``/``grc-all`` speak.
+TOPOLOGY_FILE_FORMATS = ("as-rel", "gml")
 
 #: The named joint utility distributions a negotiation can run under.
 NEGOTIATE_DISTRIBUTIONS = {
@@ -89,8 +94,11 @@ class _JsonRequest:
 class TopologyRequest(_JsonRequest):
     """Generate a synthetic AS topology (``repro topology``).
 
-    ``output`` is the optional CAIDA ``as-rel`` path to write; API
-    callers that only want the in-memory topology omit it.
+    ``output`` is the optional topology file path to write; API callers
+    that only want the in-memory topology omit it.  ``file_format``
+    selects the serialization of that file: CAIDA ``as-rel`` (the
+    default) or ``gml`` for interchange with networkx/igraph-based
+    tooling.
     """
 
     kind = "topology_request"
@@ -101,11 +109,17 @@ class TopologyRequest(_JsonRequest):
     stubs: int = 800
     seed: int = 2021
     output: str | None = None
+    file_format: str = "as-rel"
 
     def __post_init__(self) -> None:
         for name in ("tier1", "tier2", "tier3", "stubs"):
             _check_non_negative(name, getattr(self, name))
         _check_seed(self.seed)
+        if self.file_format not in TOPOLOGY_FILE_FORMATS:
+            raise ValidationError(
+                f"unknown topology file format {self.file_format!r}; "
+                f"available: {', '.join(TOPOLOGY_FILE_FORMATS)}"
+            )
 
     def cache_key(self) -> tuple[int, int, int, int, int]:
         """The session cache key of the generated topology."""
@@ -145,7 +159,12 @@ class DiversityRequest(_JsonRequest):
 
 @dataclass(frozen=True)
 class ExperimentsRequest(_JsonRequest):
-    """Run the combined experiment harness (``repro experiments``)."""
+    """Run the combined experiment harness (``repro experiments``).
+
+    ``artifact_dir`` roots the memory-mapped topology artifact store
+    that ``--jobs`` workers share (``None`` → the default store,
+    honoring ``REPRO_TOPOLOGY_STORE``); sequential runs never touch it.
+    """
 
     kind = "experiments_request"
 
@@ -153,11 +172,50 @@ class ExperimentsRequest(_JsonRequest):
     seed: int | None = None
     trials: int | None = None
     jobs: int = 1
+    artifact_dir: str | None = None
 
     def __post_init__(self) -> None:
         _check_seed(self.seed)
         _check_positive("jobs", self.jobs)
         _check_positive("trials", self.trials)
+
+
+@dataclass(frozen=True)
+class GrcAllRequest(_JsonRequest):
+    """Run the all-sources GRC pass (``repro grc-all``).
+
+    ``topology`` selects the input file — CAIDA ``as-rel`` (ingested via
+    the streaming compiler, never materializing the dict graph) or
+    ``.gml``; when omitted a synthetic topology is generated from the
+    tier knobs.  ``jobs > 1`` shards the source index space across
+    worker processes that share one memory-mapped artifact;
+    ``shards`` overrides the default one-range-per-job split.
+    ``output`` writes the per-source CSV table.
+    """
+
+    kind = "grc_all_request"
+
+    topology: str | None = None
+    jobs: int = 1
+    shards: int | None = None
+    output: str | None = None
+    artifact_dir: str | None = None
+    tier1: int = 8
+    tier2: int = 60
+    tier3: int = 200
+    stubs: int = 800
+    seed: int = 2021
+
+    def __post_init__(self) -> None:
+        _check_positive("jobs", self.jobs)
+        _check_positive("shards", self.shards)
+        _check_seed(self.seed)
+        for name in ("tier1", "tier2", "tier3", "stubs"):
+            _check_non_negative(name, getattr(self, name))
+
+    def generation_key(self) -> tuple[int, int, int, int, int]:
+        """The session cache key of the generated topology (no file)."""
+        return (self.tier1, self.tier2, self.tier3, self.stubs, self.seed)
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,7 @@ __all__ = [
     "DiversityScenarioRow",
     "DiversityResult",
     "ExperimentsResult",
+    "GrcAllResult",
     "SimulateResult",
     "NegotiateResult",
     "SweepResult",
@@ -34,6 +35,7 @@ __all__ = [
     "render_topology_text",
     "render_diversity_text",
     "render_experiments_text",
+    "render_grc_all_text",
     "render_simulate_text",
     "render_negotiate_text",
     "render_sweep_text",
@@ -55,6 +57,7 @@ class TopologyResult:
     num_peering_links: int
     graph_description: str
     output: str | None = None
+    file_format: str = "as-rel"
 
     def to_json_dict(self) -> dict[str, Any]:
         """Schema-versioned JSON envelope."""
@@ -71,6 +74,7 @@ class TopologyResult:
                 "num_peering_links": self.num_peering_links,
                 "graph_description": self.graph_description,
                 "output": self.output,
+                "file_format": self.file_format,
             },
         )
 
@@ -104,6 +108,7 @@ class TopologyResult:
             num_peering_links=int(payload["num_peering_links"]),
             graph_description=payload["graph_description"],
             output=payload.get("output"),
+            file_format=payload.get("file_format", "as-rel"),
         )
 
 
@@ -244,6 +249,84 @@ class ExperimentsResult:
                 SectionResult.from_json_dict(section)
                 for section in payload["sections"]
             ),
+        )
+
+
+@dataclass(frozen=True)
+class GrcAllResult:
+    """Outcome of the all-sources GRC pass (``Session.grc_all``).
+
+    The envelope carries the deterministic aggregate statistics plus
+    the run's shape (jobs/shards) and the content fingerprint of the
+    topology the pass ran on; the per-source table travels as a CSV
+    file (``output``), not inside the envelope, because at internet
+    scale it is tens of thousands of rows.
+    """
+
+    source: str  # "loaded" | "generated"
+    topology_path: str | None
+    fingerprint: str
+    jobs: int
+    shards: int
+    num_ases: int
+    total_paths: int
+    mean_paths: float
+    max_paths: int
+    mean_destinations: float
+    max_destinations: int
+    output: str | None = None
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Schema-versioned JSON envelope."""
+        return envelope(
+            "grc_all_result",
+            {
+                "source": self.source,
+                "topology_path": self.topology_path,
+                "fingerprint": self.fingerprint,
+                "jobs": self.jobs,
+                "shards": self.shards,
+                "num_ases": self.num_ases,
+                "total_paths": self.total_paths,
+                "mean_paths": self.mean_paths,
+                "max_paths": self.max_paths,
+                "mean_destinations": self.mean_destinations,
+                "max_destinations": self.max_destinations,
+                "output": self.output,
+            },
+        )
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "GrcAllResult":
+        """Inverse of :meth:`to_json_dict`."""
+        payload = expect_envelope(data, "grc_all_result")
+        require_keys(
+            payload,
+            "grc_all_result",
+            (
+                "source",
+                "fingerprint",
+                "num_ases",
+                "total_paths",
+                "mean_paths",
+                "max_paths",
+                "mean_destinations",
+                "max_destinations",
+            ),
+        )
+        return cls(
+            source=payload["source"],
+            topology_path=payload.get("topology_path"),
+            fingerprint=payload["fingerprint"],
+            jobs=int(payload.get("jobs", 1)),
+            shards=int(payload.get("shards", 1)),
+            num_ases=int(payload["num_ases"]),
+            total_paths=int(payload["total_paths"]),
+            mean_paths=float(payload["mean_paths"]),
+            max_paths=int(payload["max_paths"]),
+            mean_destinations=float(payload["mean_destinations"]),
+            max_destinations=int(payload["max_destinations"]),
+            output=payload.get("output"),
         )
 
 
@@ -529,6 +612,23 @@ def render_diversity_text(result: DiversityResult) -> str:
 def render_experiments_text(result: ExperimentsResult) -> str:
     """The combined report text (the historical ``run_all`` string)."""
     return render_report(result.sections)
+
+
+def render_grc_all_text(result: GrcAllResult) -> str:
+    """The ``repro grc-all`` summary report."""
+    lines = [
+        f"== grc-all: {result.num_ases} ASes, "
+        f"{result.jobs} job(s), {result.shards} shard(s) ==",
+        f"topology fingerprint: {result.fingerprint}",
+        f"total length-3 paths: {result.total_paths}",
+        f"paths per source:        mean {result.mean_paths:.2f}, "
+        f"max {result.max_paths}",
+        f"destinations per source: mean {result.mean_destinations:.2f}, "
+        f"max {result.max_destinations}",
+    ]
+    if result.output is not None:
+        lines.append(f"wrote per-source table to {result.output}")
+    return "\n".join(lines)
 
 
 def render_simulate_text(result: SimulateResult) -> str:

@@ -56,6 +56,7 @@ from repro.agreements.mutuality import enumerate_mutuality_agreements
 from repro.api.requests import (
     DiversityRequest,
     ExperimentsRequest,
+    GrcAllRequest,
     NegotiateRequest,
     SimulateRequest,
     SweepRequest,
@@ -65,6 +66,7 @@ from repro.api.results import (
     DiversityResult,
     DiversityScenarioRow,
     ExperimentsResult,
+    GrcAllResult,
     NegotiateResult,
     SimulateResult,
     SweepListResult,
@@ -78,7 +80,8 @@ from repro.bargaining.mechanism import (
     draw_trial_pairs,
     solve_trial_cohorts,
 )
-from repro.core import PathEngine, path_engine_for
+from repro.core import PathEngine, compile_as_rel_file, compile_topology, path_engine_for
+from repro.core.artifacts import ArtifactStore
 from repro.core.caching import BoundedCache
 from repro.errors import OutputError, ServiceError, ValidationError
 from repro.experiments.context import DiversityContext, context_for
@@ -94,8 +97,10 @@ from repro.sweep import (
     run_sweep,
     smoke_spec,
 )
-from repro.topology.caida import load_as_rel, save_as_rel
+from repro.paths.grc_all import plan_ranges, run_grc_all
+from repro.topology.caida import CaidaFormatError, load_as_rel, save_as_rel
 from repro.topology.generator import GeneratedTopology, generate_topology
+from repro.topology.gml import GmlFormatError, load_gml, save_gml
 from repro.topology.graph import ASGraph
 
 #: The conclusion degrees the diversity report lists, in report order.
@@ -207,7 +212,12 @@ class Session:
         return topology
 
     def _loaded_topology(self, path: str) -> ASGraph:
-        """Load (or reuse) an ``as-rel`` file, keyed by path + file stamp."""
+        """Load (or reuse) a topology file, keyed by path + file stamp.
+
+        The serialization is chosen by suffix: ``.gml`` files parse as
+        GML (:mod:`repro.topology.gml`), everything else as CAIDA
+        ``as-rel``.
+        """
         try:
             stat = os.stat(path)
         except OSError as error:
@@ -217,7 +227,15 @@ class Session:
         key = (os.path.abspath(path), stat.st_size, stat.st_mtime_ns)
         graph = self._loaded.get(key)
         if graph is None:
-            graph = load_as_rel(path)
+            if path.endswith(".gml"):
+                try:
+                    graph = load_gml(path)
+                except GmlFormatError as error:
+                    raise ValidationError(
+                        f"cannot parse GML topology {path}: {error}"
+                    ) from error
+            else:
+                graph = load_as_rel(path)
             self._loaded.put(key, graph)
         return graph
 
@@ -274,7 +292,11 @@ class Session:
     # Workflows
     # ------------------------------------------------------------------
     def topology(self, request: TopologyRequest | None = None) -> TopologyResult:
-        """Generate a synthetic topology; optionally write it as ``as-rel``."""
+        """Generate a synthetic topology; optionally write it to a file.
+
+        ``request.file_format`` selects the serialization of the
+        written file: CAIDA ``as-rel`` (default) or ``gml``.
+        """
         request = request or TopologyRequest()
         with self._entered():
             topology = self._generated_topology(request.cache_key())
@@ -282,8 +304,9 @@ class Session:
         # The write happens outside the lock: it touches no shared state
         # and a slow disk should not stall concurrent workflows.
         if request.output is not None:
+            writer = save_gml if request.file_format == "gml" else save_as_rel
             try:
-                save_as_rel(graph, request.output)
+                writer(graph, request.output)
             except OSError as error:
                 raise OutputError(
                     f"cannot write topology to {request.output}: "
@@ -300,6 +323,7 @@ class Session:
             num_peering_links=graph.num_peering_links(),
             graph_description=str(graph),
             output=request.output,
+            file_format=request.file_format,
         )
 
     def diversity(self, request: DiversityRequest | None = None) -> DiversityResult:
@@ -359,13 +383,94 @@ class Session:
             context = None
             if request.jobs == 1:
                 context = self.context_for(config.diversity())
-            sections = run_sections(config, jobs=request.jobs, context=context)
+            sections = run_sections(
+                config,
+                jobs=request.jobs,
+                context=context,
+                artifact_dir=request.artifact_dir,
+            )
         return ExperimentsResult(
             full=request.full,
             seed=request.seed,
             trials=request.trials,
             jobs=request.jobs,
             sections=sections,
+        )
+
+    def grc_all(self, request: GrcAllRequest | None = None) -> GrcAllResult:
+        """Run the all-sources GRC pass, optionally sharded across processes.
+
+        ``as-rel`` inputs take the streaming compile path — lines to
+        compiled arrays, never materializing the dict-of-sets graph —
+        which is what keeps a full CAIDA snapshot ingestible.  ``.gml``
+        inputs and generated topologies compile from their graph.  With
+        ``jobs > 1`` the compiled view is published into the
+        memory-mapped artifact store and the source ranges run in
+        worker processes; results are byte-identical to ``jobs == 1``.
+        """
+        request = request or GrcAllRequest()
+        with self._entered():
+            if request.topology is not None:
+                source = "loaded"
+                if request.topology.endswith(".gml"):
+                    compiled = compile_topology(self._loaded_topology(request.topology))
+                else:
+                    try:
+                        compiled = compile_as_rel_file(request.topology)
+                    except OSError as error:
+                        raise ValidationError(
+                            f"cannot read topology {request.topology}: "
+                            f"{error.strerror or error}"
+                        ) from error
+                    except CaidaFormatError as error:
+                        raise ValidationError(
+                            f"cannot parse topology {request.topology}: {error}"
+                        ) from error
+            else:
+                source = "generated"
+                compiled = compile_topology(
+                    self._generated_topology(request.generation_key()).graph
+                )
+            num_shards = 1
+            if request.jobs > 1 and compiled.n > 0:
+                store = ArtifactStore(request.artifact_dir)
+                artifact_path = store.ensure_compiled(compiled)
+                ranges = plan_ranges(
+                    compiled.n,
+                    request.shards if request.shards is not None else request.jobs,
+                )
+                num_shards = len(ranges)
+                grc_pass = run_grc_all(
+                    compiled,
+                    jobs=request.jobs,
+                    shards=request.shards,
+                    artifact_path=artifact_path,
+                )
+            else:
+                grc_pass = run_grc_all(compiled)
+        # The CSV write happens outside the lock, like topology output.
+        if request.output is not None:
+            try:
+                grc_pass.write_csv(request.output)
+            except OSError as error:
+                raise OutputError(
+                    f"cannot write per-source table to {request.output}: "
+                    f"{error.strerror or error}"
+                ) from error
+        summary = grc_pass.summary()
+        return GrcAllResult(
+            source=source,
+            topology_path=request.topology,
+            fingerprint=grc_pass.fingerprint,
+            jobs=request.jobs,
+            shards=num_shards,
+            num_ases=int(summary["num_ases"]),
+            total_paths=int(summary["total_paths"]),
+            mean_paths=float(summary["mean_paths"]),
+            max_paths=int(summary["max_paths"]),
+            mean_destinations=float(summary["mean_destinations"]),
+            max_destinations=int(summary["max_destinations"]),
+            output=request.output,
         )
 
     def simulate(self, request: SimulateRequest | None = None) -> SimulateResult:

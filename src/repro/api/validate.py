@@ -36,6 +36,7 @@ REQUIRED_KEYS: dict[str, tuple[str, ...]] = {
     "topology_request": (),
     "diversity_request": (),
     "experiments_request": (),
+    "grc_all_request": (),
     "simulate_request": (),
     "negotiate_request": (),
     "sweep_request": (),
@@ -47,6 +48,16 @@ REQUIRED_KEYS: dict[str, tuple[str, ...]] = {
     ),
     "diversity_result": ("source", "graph_description", "num_agreements", "rows"),
     "experiments_result": ("sections",),
+    "grc_all_result": (
+        "source",
+        "fingerprint",
+        "num_ases",
+        "total_paths",
+        "mean_paths",
+        "max_paths",
+        "mean_destinations",
+        "max_destinations",
+    ),
     "section_result": ("key", "title", "metrics"),
     "simulate_result": (
         "name",

@@ -15,6 +15,13 @@ This package is the performance substrate of the reproduction:
   and scan kernels that keep batched engines (the path engine, the
   bargaining :class:`~repro.bargaining.engine.NegotiationEngine`)
   bit-identical to their naive per-instance reference paths.
+- :mod:`~repro.core.streaming` compiles CAIDA ``as-rel`` lines straight
+  into the array form without materializing the dict-of-sets graph —
+  the internet-scale ingestion path.
+- :mod:`~repro.core.artifacts` persists compiled views as
+  content-addressed ``.npy`` artifacts opened zero-copy via
+  ``np.load(mmap_mode="r")``, so worker processes share pages instead
+  of recompiling.
 
 Higher layers (``paths``, ``agreements``, ``experiments``,
 ``simulation``) consume these through the cached helpers
@@ -28,15 +35,22 @@ from repro.core.arrays import (
     running_maximum,
     sequential_sum,
 )
+from repro.core.artifacts import ArtifactError, ArtifactStore, load_artifact
 from repro.core.compiled import CompiledTopology, compile_topology
-from repro.core.path_engine import DENSE_LIMIT, PathEngine, path_engine_for
+from repro.core.path_engine import DEFAULT_BLOCK_BYTES, PathEngine, path_engine_for
+from repro.core.streaming import compile_as_rel_file, compile_as_rel_lines
 
 __all__ = [
     "CompiledTopology",
     "compile_topology",
     "PathEngine",
     "path_engine_for",
-    "DENSE_LIMIT",
+    "DEFAULT_BLOCK_BYTES",
+    "ArtifactStore",
+    "ArtifactError",
+    "load_artifact",
+    "compile_as_rel_lines",
+    "compile_as_rel_file",
     "sequential_sum",
     "running_maximum",
     "exclusive_suffix_minimum",

@@ -1,0 +1,186 @@
+"""Content-addressed on-disk store of compiled topology artifacts.
+
+Before this store, every ``--jobs`` worker, sweep shard, and serve
+process re-parsed and re-compiled its topology from scratch: the graph
+cannot be shared across processes, and pickling a dict-of-frozensets
+``ASGraph`` into each worker costs more than recompiling.  The compiled
+arrays, however, are exactly the thing an OS can share: this module
+serializes a :class:`~repro.core.compiled.CompiledTopology` as one
+``.npy`` file per array plus a ``meta.json``, and loads it back with
+``np.load(mmap_mode="r")`` — zero-copy, lazily paged, and with the
+physical pages shared between every process that opens the same
+artifact.
+
+Layout (mirrors the sweep cache's content-addressed design)::
+
+    <root>/                         # .topology-cache/ by default
+      <fingerprint>-v<format>/      # one directory per topology content
+        meta.json                   # format, fingerprint, n, num_links
+        asn_array.npy
+        prov_indptr.npy … nbr_roles.npy   # one per ARRAY_FIELDS entry
+
+Contract:
+
+- **Addressing** — the directory name is the topology's
+  ``source_fingerprint`` (``ASGraph.content_fingerprint()``; the
+  streaming compiler produces the identical digest) plus the artifact
+  format version.  Identical content → identical artifact; a format
+  bump changes every address, so stale-layout artifacts are simply
+  never hit again.
+- **Staleness** — mmap-loaded views are *detached*: there is no source
+  graph to mutate under them, so the fingerprint IS the staleness
+  contract.  An artifact is valid for exactly the byte-identical
+  topology content it was compiled from; callers holding a mutated
+  graph get a different fingerprint and miss.
+- **Atomicity** — artifacts are written to a temporary sibling
+  directory and published with one ``os.rename``; a concurrent writer
+  losing the race discards its copy.  Readers never observe a partial
+  artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.compiled import ARRAY_FIELDS, CompiledTopology, compile_topology
+from repro.topology.graph import ASGraph
+
+#: Bump when the on-disk layout or the compiled array semantics change;
+#: old artifacts become unreachable (different directory suffix) rather
+#: than misread.
+ARTIFACT_FORMAT = 1
+
+#: Default store location, relative to the working directory; override
+#: with the ``REPRO_TOPOLOGY_STORE`` environment variable or an explicit
+#: ``ArtifactStore(root=...)``.
+DEFAULT_ARTIFACT_DIR = ".topology-cache"
+
+_META_NAME = "meta.json"
+
+
+class ArtifactError(Exception):
+    """Raised when an artifact on disk is unreadable or inconsistent."""
+
+
+def default_store_root() -> Path:
+    """The store root honoring the ``REPRO_TOPOLOGY_STORE`` override."""
+    return Path(os.environ.get("REPRO_TOPOLOGY_STORE") or DEFAULT_ARTIFACT_DIR)
+
+
+def load_artifact(path: str | Path) -> CompiledTopology:
+    """Open one artifact directory as a memory-mapped detached view.
+
+    This is the worker-process entry point: parents pass the artifact
+    *path* (a short string) across the process boundary instead of a
+    pickled graph, and every worker maps the same physical pages.
+    """
+    path = Path(path)
+    try:
+        meta = json.loads((path / _META_NAME).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ArtifactError(f"unreadable topology artifact at {path}: {exc}") from exc
+    if meta.get("format") != ARTIFACT_FORMAT:
+        raise ArtifactError(
+            f"topology artifact at {path} has format {meta.get('format')!r}, "
+            f"expected {ARTIFACT_FORMAT}"
+        )
+    fingerprint = meta.get("fingerprint")
+    if not isinstance(fingerprint, str) or not fingerprint:
+        raise ArtifactError(f"topology artifact at {path} has no fingerprint")
+    arrays: dict[str, np.ndarray] = {}
+    for name in ARRAY_FIELDS:
+        try:
+            arrays[name] = np.load(path / f"{name}.npy", mmap_mode="r")
+        except (OSError, ValueError) as exc:
+            raise ArtifactError(
+                f"unreadable array {name!r} in topology artifact at {path}: {exc}"
+            ) from exc
+    return CompiledTopology.from_arrays(source_fingerprint=fingerprint, **arrays)
+
+
+class ArtifactStore:
+    """Content-addressed store of memory-mapped compiled topologies."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_store_root()
+
+    def path_for(self, fingerprint: str) -> Path:
+        """The artifact directory address of a topology fingerprint."""
+        return self.root / f"{fingerprint}-v{ARTIFACT_FORMAT}"
+
+    def contains(self, fingerprint: str) -> bool:
+        """Whether a published artifact exists for this fingerprint."""
+        return (self.path_for(fingerprint) / _META_NAME).is_file()
+
+    def load(self, fingerprint: str) -> CompiledTopology:
+        """Memory-map the artifact for a fingerprint (must exist)."""
+        view = load_artifact(self.path_for(fingerprint))
+        if view.source_fingerprint != fingerprint:
+            raise ArtifactError(
+                f"topology artifact at {self.path_for(fingerprint)} declares "
+                f"fingerprint {view.source_fingerprint}, expected {fingerprint}"
+            )
+        return view
+
+    def save(self, compiled: CompiledTopology) -> Path:
+        """Publish a compiled view; returns the artifact directory.
+
+        Idempotent: publishing content that is already stored is a
+        no-op, and a concurrent writer racing on the same fingerprint
+        resolves to whichever rename lands first.
+        """
+        fingerprint = compiled.source_fingerprint
+        final = self.path_for(fingerprint)
+        if (final / _META_NAME).is_file():
+            return final
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.root / f".tmp-{fingerprint[:16]}-{os.getpid()}"
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir()
+        try:
+            for name in ARRAY_FIELDS:
+                np.save(tmp / f"{name}.npy", np.asarray(getattr(compiled, name)))
+            meta = {
+                "format": ARTIFACT_FORMAT,
+                "fingerprint": fingerprint,
+                "n": compiled.n,
+                "num_links": compiled.num_links,
+                "arrays": list(ARRAY_FIELDS),
+            }
+            (tmp / _META_NAME).write_text(
+                json.dumps(meta, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+            )
+            try:
+                os.rename(tmp, final)
+            except OSError:
+                if not (final / _META_NAME).is_file():
+                    raise
+                # Another process published the same content first.
+                shutil.rmtree(tmp, ignore_errors=True)
+        finally:
+            if tmp.exists() and (final / _META_NAME).is_file():
+                shutil.rmtree(tmp, ignore_errors=True)
+        return final
+
+    def ensure(self, graph: ASGraph) -> tuple[CompiledTopology, Path]:
+        """Mmap-open the artifact for a graph, compiling it on first use.
+
+        Returns ``(view, artifact_path)``.  On a hit the graph is never
+        compiled — only fingerprinted; on a miss the graph is compiled
+        once, published, and the memory-mapped view is returned, so
+        warm and cold callers hold exactly the same kind of object.
+        """
+        fingerprint = graph.content_fingerprint()
+        if not self.contains(fingerprint):
+            self.save(compile_topology(graph))
+        return self.load(fingerprint), self.path_for(fingerprint)
+
+    def ensure_compiled(self, compiled: CompiledTopology) -> Path:
+        """Publish an already-compiled (e.g. streamed) view; returns its path."""
+        return self.save(compiled)

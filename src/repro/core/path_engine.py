@@ -11,14 +11,29 @@ one batched sweep over the compiled CSR arrays:
 - **Counts** — the number of paths of source ``s`` decomposes per
   transit ``t ∈ N(s)``: ``|N(t)| - 1`` paths when ``s ∈ γ(t)`` (the
   transit exports everything to its customer) and ``|γ(t)|`` paths
-  otherwise (only customer destinations are exported).  Summing this
-  per-edge contribution with one vectorized pass gives every per-source
-  count in O(links).
-- **Destination sets** — the same decomposition as a boolean-matrix
-  union: ``dest(s) = ⋃ N(t)`` over customer transits ``∪ ⋃ γ(t)`` over
-  the rest, minus ``s`` itself.
+  otherwise (only customer destinations are exported).  Whether
+  ``s ∈ γ(t)`` is one vectorized comparison on the compiled per-edge
+  role codes (``s`` is a customer of ``t`` exactly when ``t`` is a
+  provider of ``s``), so every per-source count falls out of a single
+  O(links) pass — no membership matrix of any kind.
+- **Destination sets** — the same decomposition as a boolean union:
+  ``dest(s) = ⋃ N(t)`` over customer transits ``∪ ⋃ γ(t)`` over the
+  rest, minus ``s`` itself.  The all-sources pass is *blocked*: sources
+  are processed in contiguous ranges sized to a fixed byte budget
+  (:data:`DEFAULT_BLOCK_BYTES`), so peak memory is ``O(block × n)``
+  bytes regardless of topology size — a full-Internet snapshot never
+  allocates an n×n matrix.  Within a block the per-transit rows are
+  gathered with one vectorized CSR multi-row scatter.
 - **Path sets** — materialized lazily per source (they are the only
   O(paths) product) and memoized.
+
+The blocked range methods (:meth:`PathEngine.counts_range`,
+:meth:`PathEngine.destination_counts_range`) are also the sharding
+surface of the all-sources GRC pass (:mod:`repro.paths.grc_all`):
+per-source results are independent, so contiguous source ranges can be
+computed in separate processes against the same memory-mapped topology
+artifact and concatenated in range order — byte-identical to one
+sequential pass.
 
 Results are memoized per source; :meth:`PathEngine.refresh` implements
 the dirty-region invalidation contract used under topology churn: only
@@ -33,14 +48,44 @@ import weakref
 
 import numpy as np
 
-from repro.core.compiled import CompiledTopology, compile_topology
+from repro.core.compiled import (
+    ROLE_PROVIDER,
+    CompiledTopology,
+    compile_topology,
+)
 from repro.topology.graph import ASGraph
 
-#: Above this many ASes the dense boolean destination matrices (n²
-#: bytes each) are not worth the memory; the engine falls back to a
-#: per-source sweep over the CSR rows, which is still batched and far
-#: cheaper than the naive per-source graph walk.
-DENSE_LIMIT = 4096
+#: Byte budget of one destination block: a block covers
+#: ``DEFAULT_BLOCK_BYTES // n`` sources (at least one), so the blocked
+#: all-sources destination sweep peaks at roughly this many bytes of
+#: boolean matrix no matter how large the topology is.
+DEFAULT_BLOCK_BYTES = 16 * 1024 * 1024
+
+
+def _gather_rows(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    rows: np.ndarray,
+    owners: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gather several CSR rows at once.
+
+    For each ``rows[k]``, emits every value of that CSR row paired with
+    ``owners[k]``; returns ``(owner_per_value, values)``.  This is the
+    vectorized replacement for the per-row Python loop: one ``repeat`` +
+    one ``arange`` + one fancy index regardless of how many rows are
+    gathered.
+    """
+    starts = indptr[rows]
+    lens = (indptr[rows + 1] - starts).astype(np.int64, copy=False)
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=owners.dtype), np.empty(0, dtype=indices.dtype)
+    ends = np.cumsum(lens)
+    positions = np.arange(total, dtype=np.int64)
+    positions -= np.repeat(ends - lens, lens)
+    positions += np.repeat(starts.astype(np.int64, copy=False), lens)
+    return np.repeat(owners, lens), indices[positions]
 
 
 class PathEngine:
@@ -52,11 +97,16 @@ class PathEngine:
     ``grc_length3_paths``, ``grc_length3_destinations``,
     ``count_grc_length3_paths``, and ``grc_paths_between`` exactly (the
     property tests assert set-level equality against the naive
-    reference).
+    reference).  ``block_bytes`` bounds the peak memory of the blocked
+    all-sources destination sweep; the default suits everything from
+    paper scale to full CAIDA snapshots.
     """
 
-    def __init__(self, topology: CompiledTopology) -> None:
+    def __init__(
+        self, topology: CompiledTopology, *, block_bytes: int | None = None
+    ) -> None:
         self._topo = topology
+        self.block_bytes = DEFAULT_BLOCK_BYTES if block_bytes is None else block_bytes
         self._path_memo: dict[int, frozenset[tuple[int, int, int]]] = {}
         self._dest_memo: dict[int, frozenset[int]] = {}
         self._reset_batches()
@@ -69,9 +119,6 @@ class PathEngine:
     def _reset_batches(self) -> None:
         self._counts: np.ndarray | None = None
         self._dest_counts: np.ndarray | None = None
-        self._dest_matrix: np.ndarray | None = None
-        self._nbr_matrix: np.ndarray | None = None
-        self._cust_matrix: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Invalidation / rebuild contract
@@ -105,90 +152,98 @@ class PathEngine:
     # ------------------------------------------------------------------
     # Batched sweeps
     # ------------------------------------------------------------------
-    def _edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
-        """(source index, transit index) per directed adjacency edge."""
-        topo = self._topo
-        sources = np.repeat(np.arange(topo.n), np.diff(topo.nbr_indptr))
-        return sources, topo.nbr_indices
+    def block_size(self) -> int:
+        """Sources per destination block under the byte budget."""
+        n = self._topo.n
+        return max(1, self.block_bytes // max(n, 1))
 
-    def _membership_matrices(self) -> tuple[np.ndarray, np.ndarray]:
-        """Dense boolean neighbor/customer row matrices (small-n path)."""
-        if self._nbr_matrix is None:
-            topo = self._topo
-            n = topo.n
-            nbr = np.zeros((n, n), dtype=bool)
-            cust = np.zeros((n, n), dtype=bool)
-            rows, cols = self._edge_arrays()
-            nbr[rows, cols] = True
-            cust_rows = np.repeat(np.arange(n), np.diff(topo.cust_indptr))
-            cust[cust_rows, topo.cust_indices] = True
-            self._nbr_matrix = nbr
-            self._cust_matrix = cust
-        assert self._cust_matrix is not None
-        return self._nbr_matrix, self._cust_matrix
+    def counts_range(self, lo: int, hi: int) -> np.ndarray:
+        """Path counts of the contiguous source range ``[lo, hi)``.
 
-    def _compute_counts(self) -> np.ndarray:
+        One vectorized pass over the range's adjacency slice; sharded
+        callers concatenate ranges in order and obtain the exact
+        sequential all-sources array.
+        """
         topo = self._topo
-        n = topo.n
-        if n == 0:
+        width = hi - lo
+        if width <= 0:
             return np.zeros(0, dtype=np.int64)
-        sources, transits = self._edge_arrays()
-        if n <= DENSE_LIMIT:
-            _, cust = self._membership_matrices()
-            source_is_customer = cust[transits, sources]
-        else:
-            pairs = topo._customer_pairs
-            source_is_customer = np.fromiter(
-                (int(t) * n + int(s) in pairs for s, t in zip(sources, transits)),
-                dtype=bool,
-                count=len(sources),
-            )
+        e0 = int(topo.nbr_indptr[lo])
+        e1 = int(topo.nbr_indptr[hi])
+        transits = topo.nbr_indices[e0:e1]
+        # s ∈ γ(t)  ⟺  t plays the provider role for s.
+        source_is_customer = topo.nbr_roles[e0:e1] == ROLE_PROVIDER
+        sources_rel = np.repeat(
+            np.arange(width), np.diff(topo.nbr_indptr[lo:hi + 1])
+        )
         contributions = np.where(
             source_is_customer,
             topo.degrees[transits] - 1,
             topo.customer_counts[transits],
         )
-        return np.bincount(sources, weights=contributions, minlength=n).astype(np.int64)
+        return np.bincount(
+            sources_rel, weights=contributions, minlength=width
+        ).astype(np.int64)
+
+    def _destination_block(self, lo: int, hi: int) -> np.ndarray:
+        """Boolean destination matrix of sources ``[lo, hi)`` (rows × n)."""
+        topo = self._topo
+        width = hi - lo
+        block = np.zeros((width, topo.n), dtype=bool)
+        e0 = int(topo.nbr_indptr[lo])
+        e1 = int(topo.nbr_indptr[hi])
+        transits = topo.nbr_indices[e0:e1]
+        roles = topo.nbr_roles[e0:e1]
+        sources_rel = np.repeat(
+            np.arange(width), np.diff(topo.nbr_indptr[lo:hi + 1])
+        )
+        customer_edge = roles == ROLE_PROVIDER
+        for mask, indptr, indices in (
+            (customer_edge, topo.nbr_indptr, topo.nbr_indices),
+            (~customer_edge, topo.cust_indptr, topo.cust_indices),
+        ):
+            owners, values = _gather_rows(
+                indptr, indices, transits[mask], sources_rel[mask]
+            )
+            block[owners, values] = True
+        block[np.arange(width), np.arange(lo, hi)] = False
+        return block
+
+    def destination_counts_range(self, lo: int, hi: int) -> np.ndarray:
+        """Destination counts of the source range ``[lo, hi)``, blocked.
+
+        Peak memory is bounded by ``block_bytes`` — blocks of
+        :meth:`block_size` sources are materialized one at a time and
+        reduced to their row sums immediately.
+        """
+        if hi <= lo:
+            return np.zeros(0, dtype=np.int64)
+        step = self.block_size()
+        chunks = []
+        for start in range(lo, hi, step):
+            stop = min(start + step, hi)
+            chunks.append(self._destination_block(start, stop).sum(axis=1))
+        return np.concatenate(chunks).astype(np.int64)
 
     def _counts_array(self) -> np.ndarray:
         if self._counts is None:
-            self._counts = self._compute_counts()
+            self._counts = self.counts_range(0, self._topo.n)
         return self._counts
 
-    def _compute_destinations_dense(self) -> np.ndarray:
-        topo = self._topo
-        n = topo.n
-        nbr, cust = self._membership_matrices()
-        destinations = np.zeros((n, n), dtype=bool)
-        for s in range(n):
-            transits = topo.neighbors_idx(s)
-            if transits.size == 0:
-                continue
-            customer_of = cust[transits, s]
-            mask = destinations[s]
-            via_customer = transits[customer_of]
-            if via_customer.size:
-                np.logical_or.reduce(nbr[via_customer], axis=0, out=mask)
-            via_other = transits[~customer_of]
-            if via_other.size:
-                mask |= np.logical_or.reduce(cust[via_other], axis=0)
-            mask[s] = False
-        return destinations
-
-    def _destination_matrix(self) -> np.ndarray:
-        if self._dest_matrix is None:
-            self._dest_matrix = self._compute_destinations_dense()
-        return self._dest_matrix
+    def _dest_counts_array(self) -> np.ndarray:
+        if self._dest_counts is None:
+            self._dest_counts = self.destination_counts_range(0, self._topo.n)
+        return self._dest_counts
 
     def _destination_indices(self, index: int) -> np.ndarray:
-        """Destination indices of one source (dense or CSR sweep)."""
+        """Destination indices of one source (single-row union sweep)."""
         topo = self._topo
-        if topo.n <= DENSE_LIMIT:
-            return np.nonzero(self._destination_matrix()[index])[0]
+        transits = topo.neighbors_idx(index)
+        roles = topo.neighbor_roles_idx(index)
         rows = []
-        for t in topo.neighbors_idx(index):
+        for t, role in zip(transits, roles):
             t = int(t)
-            if topo.is_customer_idx(t, index):
+            if role == ROLE_PROVIDER:
                 rows.append(topo.neighbors_idx(t))
             else:
                 rows.append(topo.customers_idx(t))
@@ -196,21 +251,6 @@ class PathEngine:
             return np.empty(0, dtype=np.int32)
         merged = np.unique(np.concatenate(rows))
         return merged[merged != index]
-
-    def _dest_counts_array(self) -> np.ndarray:
-        if self._dest_counts is None:
-            topo = self._topo
-            if topo.n == 0:
-                self._dest_counts = np.zeros(0, dtype=np.int64)
-            elif topo.n <= DENSE_LIMIT:
-                self._dest_counts = self._destination_matrix().sum(axis=1)
-            else:
-                self._dest_counts = np.fromiter(
-                    (len(self._destination_indices(i)) for i in range(topo.n)),
-                    dtype=np.int64,
-                    count=topo.n,
-                )
-        return self._dest_counts
 
     # ------------------------------------------------------------------
     # Per-source queries (grc.py semantics)
@@ -251,10 +291,10 @@ class PathEngine:
             s = topo.index_of(source)
             asn = topo.asn_array
             collected: list[tuple[int, int, int]] = []
-            for t in topo.neighbors_idx(s):
+            for t, role in zip(topo.neighbors_idx(s), topo.neighbor_roles_idx(s)):
                 t = int(t)
                 transit_asn = int(asn[t])
-                if topo.is_customer_idx(t, s):
+                if role == ROLE_PROVIDER:
                     dests = topo.neighbors_idx(t)
                 else:
                     dests = topo.customers_idx(t)
@@ -276,11 +316,11 @@ class PathEngine:
             return frozenset()
         found = []
         asn = topo.asn_array
-        for t in topo.neighbors_idx(s):
+        for t, role in zip(topo.neighbors_idx(s), topo.neighbor_roles_idx(s)):
             t = int(t)
             if t == d or not topo.has_link_idx(t, d):
                 continue
-            if topo.is_customer_idx(t, s) or topo.is_customer_idx(t, d):
+            if role == ROLE_PROVIDER or topo.is_customer_idx(t, d):
                 found.append((source, int(asn[t]), destination))
         return frozenset(found)
 

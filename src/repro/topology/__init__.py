@@ -1,10 +1,11 @@
 """AS-level topology substrate.
 
 Provides the mixed AS graph of §III-A (provider–customer and peering
-links), CAIDA ``as-rel`` serialization, a synthetic Internet-like
-topology generator, a geographic embedding for the geodistance analysis,
-a degree-gravity link-capacity model, and the canonical example
-topologies of the paper (Fig. 1 and the BGP stability gadgets).
+links), CAIDA ``as-rel`` and GML serialization, a synthetic
+Internet-like topology generator, a geographic embedding for the
+geodistance analysis, a degree-gravity link-capacity model, and the
+canonical example topologies of the paper (Fig. 1 and the BGP
+stability gadgets).
 """
 
 from repro.topology.bandwidth import LinkCapacityModel, degree_gravity_capacities
@@ -46,6 +47,13 @@ from repro.topology.geography import (
     centroid,
     haversine_km,
 )
+from repro.topology.gml import (
+    GmlFormatError,
+    dump_gml_lines,
+    load_gml,
+    parse_gml,
+    save_gml,
+)
 from repro.topology.graph import ASGraph, TopologyError
 from repro.topology.relationships import Link, Relationship, Role
 
@@ -60,6 +68,11 @@ __all__ = [
     "load_as_rel",
     "dump_as_rel_lines",
     "save_as_rel",
+    "GmlFormatError",
+    "parse_gml",
+    "load_gml",
+    "dump_gml_lines",
+    "save_gml",
     "TopologyParameters",
     "InternetTopologyGenerator",
     "GeneratedTopology",

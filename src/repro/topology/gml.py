@@ -1,0 +1,199 @@
+"""GML serialization of AS topologies.
+
+GML (Graph Modelling Language) is the interchange format of the related
+internet-topology tooling (monerosim ships its internet snapshots as
+``.gml`` files; networkx and igraph both read it).  This module maps the
+mixed AS graph onto plain GML without external dependencies:
+
+- every AS is a ``node`` with ``id``/``label`` set to its ASN,
+- every link is an ``edge`` whose ``relationship`` attribute is
+  ``"p2c"`` (provider→customer, the *source* is the provider) or
+  ``"p2p"`` (settlement-free peering).
+
+The writer emits nodes in sorted-ASN order and edges in the graph's
+deterministic link order, so identical topology content serializes to
+identical bytes.  The reader is deliberately tolerant of foreign files:
+it accepts any key order, ignores unknown attributes (``graphics``,
+``weight``, …), takes the ASN from ``label`` when it parses as an
+integer and from ``id`` otherwise, and treats edges without a
+``relationship`` attribute as peering links — the common case in
+generic GML exports, which carry no business relationships at all.
+Structural problems (missing endpoints, unknown node references,
+self-loops, conflicting duplicate links) raise :class:`GmlFormatError`.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.topology.graph import ASGraph, TopologyError
+from repro.topology.relationships import Relationship
+
+
+class GmlFormatError(Exception):
+    """Raised when a GML topology file cannot be parsed."""
+
+
+_TOKEN = re.compile(r'"[^"]*"|\[|\]|[^\s\[\]]+')
+
+
+def _tokenize(text: str) -> Iterator[str]:
+    for match in _TOKEN.finditer(text):
+        token = match.group(0)
+        if not token.startswith("#"):
+            yield token
+
+
+def _parse_block(tokens: Iterator[str]) -> dict[str, object]:
+    """Parse one ``[ … ]`` block into a key→value dict.
+
+    Repeated keys (``node``, ``edge``) collect into lists.  Values are
+    nested dicts, unquoted scalars, or quoted strings.
+    """
+    block: dict[str, object] = {}
+    for key in tokens:
+        if key == "]":
+            return block
+        if key == "[":
+            raise GmlFormatError("unexpected '[' without a key")
+        try:
+            value_token = next(tokens)
+        except StopIteration:
+            raise GmlFormatError(f"key {key!r} has no value") from None
+        value: object
+        if value_token == "[":
+            value = _parse_block(tokens)
+        elif value_token.startswith('"'):
+            value = value_token[1:-1]
+        else:
+            value = value_token
+        existing = block.get(key)
+        if existing is None:
+            block[key] = value
+        elif isinstance(existing, list):
+            existing.append(value)
+        else:
+            block[key] = [existing, value]
+    return block
+
+
+def _as_list(value: object) -> list[object]:
+    if value is None:
+        return []
+    return value if isinstance(value, list) else [value]
+
+
+def _as_int(value: object, what: str) -> int:
+    try:
+        return int(str(value))
+    except (TypeError, ValueError):
+        raise GmlFormatError(f"{what} is not an integer: {value!r}") from None
+
+
+def parse_gml(text: str) -> ASGraph:
+    """Parse GML text into an :class:`ASGraph`."""
+    tokens = _tokenize(text)
+    top: dict[str, object] = {}
+    for token in tokens:
+        try:
+            value = next(tokens)
+        except StopIteration:
+            raise GmlFormatError(f"key {token!r} has no value") from None
+        if value == "[":
+            top[token] = _parse_block(tokens)
+        else:
+            top[token] = value
+    graph_block = top.get("graph")
+    if not isinstance(graph_block, dict):
+        raise GmlFormatError("no 'graph [ … ]' block found")
+
+    graph = ASGraph()
+    id_to_asn: dict[int, int] = {}
+    for raw in _as_list(graph_block.get("node")):
+        if not isinstance(raw, dict):
+            raise GmlFormatError(f"malformed node entry: {raw!r}")
+        if "id" not in raw:
+            raise GmlFormatError(f"node without an id: {raw!r}")
+        node_id = _as_int(raw["id"], "node id")
+        label = raw.get("label")
+        if label is not None and re.fullmatch(r"-?\d+", str(label).strip()):
+            asn = int(str(label).strip())
+        else:
+            asn = node_id
+        if node_id in id_to_asn:
+            raise GmlFormatError(f"duplicate node id {node_id}")
+        id_to_asn[node_id] = asn
+        graph.add_as(asn)
+
+    for raw in _as_list(graph_block.get("edge")):
+        if not isinstance(raw, dict):
+            raise GmlFormatError(f"malformed edge entry: {raw!r}")
+        if "source" not in raw or "target" not in raw:
+            raise GmlFormatError(f"edge without source/target: {raw!r}")
+        source_id = _as_int(raw["source"], "edge source")
+        target_id = _as_int(raw["target"], "edge target")
+        try:
+            source = id_to_asn[source_id]
+            target = id_to_asn[target_id]
+        except KeyError as exc:
+            raise GmlFormatError(
+                f"edge references unknown node id {exc.args[0]}"
+            ) from None
+        relationship = str(raw.get("relationship", "p2p")).lower()
+        try:
+            if relationship in ("p2c", "provider", "transit"):
+                graph.add_provider_customer(source, target)
+            elif relationship in ("p2p", "peer", "peering"):
+                graph.add_peering(source, target)
+            else:
+                raise GmlFormatError(
+                    f"unknown edge relationship {relationship!r} "
+                    f"on edge {source}->{target}"
+                )
+        except (TopologyError, ValueError) as exc:
+            raise GmlFormatError(
+                f"invalid edge {source}->{target} ({relationship}): {exc}"
+            ) from exc
+    return graph
+
+
+def load_gml(path: str | Path) -> ASGraph:
+    """Load an :class:`ASGraph` from a GML file."""
+    return parse_gml(Path(path).read_text(encoding="utf-8"))
+
+
+def dump_gml_lines(graph: ASGraph) -> list[str]:
+    """Serialize a topology to GML lines (without newlines)."""
+    lines = [
+        "graph [",
+        "  comment \"repro AS topology export\"",
+        "  directed 0",
+    ]
+    for asn in sorted(graph.ases):
+        lines.extend(
+            ["  node [", f"    id {asn}", f"    label \"{asn}\"", "  ]"]
+        )
+    for link in graph.links:
+        if link.relationship is Relationship.PROVIDER_TO_CUSTOMER:
+            source, target, kind = link.provider, link.customer, "p2c"
+        else:
+            source, target, kind = link.first, link.second, "p2p"
+        lines.extend(
+            [
+                "  edge [",
+                f"    source {source}",
+                f"    target {target}",
+                f"    relationship \"{kind}\"",
+                "  ]",
+            ]
+        )
+    lines.append("]")
+    return lines
+
+
+def save_gml(graph: ASGraph, path: str | Path) -> None:
+    """Write a topology to a GML file."""
+    content = "\n".join(dump_gml_lines(graph)) + "\n"
+    Path(path).write_text(content, encoding="utf-8")

@@ -90,28 +90,57 @@ class TestBatchedQueries:
         assert engine.paths(AS_D) is engine.paths(AS_D)
 
 
-class TestSparseFallback:
-    def test_small_dense_limit_gives_identical_results(self, graph, monkeypatch):
+class TestBlockedSweep:
+    def test_tiny_blocks_give_identical_results(self, graph):
+        # block_bytes=1 forces one source per destination block; results
+        # must not depend on the blocking at all.
+        blocked = PathEngine(compile_topology(graph), block_bytes=1)
+        assert blocked.block_size() == 1
+        wide = PathEngine(compile_topology(graph))
+        for source in graph:
+            assert (
+                blocked.count(source),
+                blocked.destination_count(source),
+                blocked.destinations(source),
+            ) == (
+                wide.count(source),
+                wide.destination_count(source),
+                wide.destinations(source),
+            )
+
+    def test_range_concatenation_equals_full_pass(self, graph):
+        import numpy as np
+
+        engine = PathEngine(compile_topology(graph))
+        n = engine.topology.n
+        cut = n // 3
+        for method in (engine.counts_range, engine.destination_counts_range):
+            full = method(0, n)
+            merged = np.concatenate(
+                [method(0, cut), method(cut, 2 * cut), method(2 * cut, n)]
+            )
+            assert np.array_equal(full, merged)
+
+    def test_no_dense_nxn_allocation(self, graph):
         import repro.core.path_engine as pe
 
-        monkeypatch.setattr(pe, "DENSE_LIMIT", 0)
-        sparse = PathEngine(compile_topology(graph))
-        sparse_results = {
-            source: (
-                sparse.count(source),
-                sparse.destination_count(source),
-                sparse.destinations(source),
-            )
-            for source in graph
-        }
-        monkeypatch.undo()
-        dense = PathEngine(compile_topology(graph))
-        for source in graph:
-            assert sparse_results[source] == (
-                dense.count(source),
-                dense.destination_count(source),
-                dense.destinations(source),
-            )
+        engine = PathEngine(compile_topology(graph), block_bytes=64)
+        seen_shapes = []
+        original = pe.PathEngine._destination_block
+
+        def spy(self, lo, hi):
+            block = original(self, lo, hi)
+            seen_shapes.append(block.shape)
+            return block
+
+        pe.PathEngine._destination_block = spy
+        try:
+            engine.destination_counts_range(0, engine.topology.n)
+        finally:
+            pe.PathEngine._destination_block = original
+        n = engine.topology.n
+        assert seen_shapes, "blocked sweep never ran"
+        assert all(rows < n for rows, _ in seen_shapes)
 
 
 class TestRefresh:

@@ -49,6 +49,30 @@ class TestParsing:
             parse_as_rel_lines(["1|2|5"])
 
 
+class TestHardening:
+    def test_self_loop_rejected_with_line_number(self):
+        with pytest.raises(CaidaFormatError, match=r"line 2: self-loop link on AS 7"):
+            parse_as_rel_lines(["1|2|0", "7|7|-1"])
+
+    def test_conflicting_duplicate_rejected_with_both_line_numbers(self):
+        with pytest.raises(
+            CaidaFormatError,
+            match=r"line 3: conflicting duplicate link.*first declared on line 1",
+        ):
+            parse_as_rel_lines(["1|2|-1", "3|4|0", "1|2|0"])
+
+    def test_reversed_p2c_is_a_conflict(self):
+        # 1|2|-1 makes 1 the provider; 2|1|-1 would make 2 the provider.
+        with pytest.raises(CaidaFormatError, match="conflicting duplicate link"):
+            parse_as_rel_lines(["1|2|-1", "2|1|-1"])
+
+    def test_identical_duplicate_lines_tolerated(self):
+        graph = parse_as_rel_lines(["1|2|-1", "1|2|-1", "2|3|0", "3|2|0"])
+        assert graph.customers(1) == frozenset({2})
+        assert graph.peers(2) == frozenset({3})
+        assert len(graph.links) == 2
+
+
 class TestRoundTrip:
     def test_dump_and_parse_roundtrip(self):
         original = figure1_topology()
