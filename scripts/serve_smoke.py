@@ -1,12 +1,17 @@
 #!/usr/bin/env python3
-"""CI smoke load for ``repro serve``.
+"""CI smoke load for multi-worker ``repro serve``.
 
-Boots a real server on an ephemeral port, fires a concurrent mixed
-workload at it (negotiation envelopes from several client threads —
-exercising the coalescing window — plus topology/simulate/diversity
-requests and the introspection routes), writes every response envelope
-to ``--out`` as a ``.json`` file, SIGTERMs the server, and checks the
-drain: exit code 0 and a request log of complete JSONL lines.
+Boots a real ``--workers 2`` server on an ephemeral port, fires a
+concurrent mixed workload at it through the typed
+:class:`~repro.serve.client.ServeClient` — negotiation requests from
+several client threads (exercising the coalescing window), the other
+workflow routes, async job submissions polled to completion, and the
+introspection routes — then SIGKILLs one worker mid-run and verifies
+the survivors keep answering (byte-identically, off the shared disk
+cache) while the supervisor forks a replacement.  Every response
+envelope is written to ``--out`` as a ``.json`` file, the server is
+SIGTERMed, and the drain is checked: exit code 0 and a request log of
+complete JSONL lines.
 
 CI then validates every written response (and the log records) with
 ``python -m repro.api.validate`` and uploads the request log as an
@@ -27,18 +32,25 @@ import re
 import signal
 import subprocess
 import sys
+import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.api import NegotiateRequest  # noqa: E402
+from repro.api.validate import validate_envelope  # noqa: E402
 from repro.serve.client import ServeClient  # noqa: E402
 
 #: Concurrent negotiation clients (>= the acceptance bar of 8).
 CLIENTS = 8
+WORKERS = 2
 
 TINY_TOPOLOGY = {"tier1": 2, "tier2": 4, "tier3": 8, "stubs": 20, "seed": 1}
+# A seed no load client uses: the warm body is computed by exactly one
+# worker, so post-kill replays *must* come off the shared disk store.
+WARM_NEGOTIATE = {"num_choices": 10, "trials": 5, "seed": 9999}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -67,6 +79,8 @@ def main(argv: list[str] | None = None) -> int:
             "serve",
             "--port",
             "0",
+            "--workers",
+            str(WORKERS),
             "--coalesce-window-ms",
             "25",
             "--request-log",
@@ -84,7 +98,7 @@ def main(argv: list[str] | None = None) -> int:
         server.kill()
         return 1
     port = int(match.group(1))
-    print(f"serve_smoke: server up on port {port}")
+    print(f"serve_smoke: server up on port {port} ({WORKERS} workers)")
 
     failures: list[str] = []
 
@@ -94,60 +108,113 @@ def main(argv: list[str] | None = None) -> int:
             return
         (out_dir / f"{name}.json").write_bytes(response.body)
 
+    def save_envelope(name: str, document: dict) -> None:
+        (out_dir / f"{name}.json").write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
     def negotiate_client(client_id: int) -> None:
         with ServeClient("127.0.0.1", port) as client:
             for wave in range(2):
                 seed = 100 + client_id * 2 + wave
                 save(
                     f"negotiate_c{client_id}_w{wave}",
-                    client.post(
-                        "/negotiate",
+                    client.raw_post(
+                        "/v1/negotiate",
                         {"num_choices": 10, "trials": 5, "seed": seed},
                     ),
                 )
 
+    def mixed_routes() -> None:
+        with ServeClient("127.0.0.1", port) as client:
+            save("health", client.raw_get("/v1/health"))
+            save("topology", client.raw_post("/v1/topology", TINY_TOPOLOGY))
+            save(
+                "diversity",
+                client.raw_post(
+                    "/v1/diversity", {**TINY_TOPOLOGY, "sample_size": 5}
+                ),
+            )
+            save(
+                "simulate",
+                client.raw_post(
+                    "/v1/simulate", {"scenario": "failure-churn", "duration": 6}
+                ),
+            )
+            # The deprecated bare path still answers, flagged as such.
+            legacy = client.raw_get("/health")
+            if legacy.headers.get("deprecation") != "true":
+                failures.append("legacy /health lacked the Deprecation header")
+
+    def job_client() -> None:
+        with ServeClient("127.0.0.1", port) as client:
+            submitted = client.jobs.submit(
+                "negotiate", {"num_choices": 12, "trials": 8, "seed": 7}
+            )
+            save_envelope("job_submitted", submitted.to_json_dict())
+            final = client.jobs.wait(submitted.job_id, timeout=120.0)
+            save_envelope("job_final", final.to_json_dict())
+            expected = NegotiateRequest(num_choices=12, trials=8, seed=7)
+            if final.result != client.negotiate(expected).to_json_dict():
+                failures.append("async job result differs from the sync route")
+
     try:
         # Concurrent mixed load: 8 negotiation clients inside the
-        # coalescing window, plus the other routes interleaved.
-        with ThreadPoolExecutor(max_workers=CLIENTS + 1) as pool:
+        # coalescing window, the other routes, and an async job.
+        with ThreadPoolExecutor(max_workers=CLIENTS + 2) as pool:
             workers = [
                 pool.submit(negotiate_client, client_id)
                 for client_id in range(CLIENTS)
             ]
-
-            def mixed_routes() -> None:
-                with ServeClient("127.0.0.1", port) as client:
-                    save("health", client.get("/health"))
-                    save("topology", client.post("/topology", TINY_TOPOLOGY))
-                    save(
-                        "diversity",
-                        client.post(
-                            "/v1/diversity",
-                            {**TINY_TOPOLOGY, "sample_size": 5},
-                        ),
-                    )
-                    save(
-                        "simulate",
-                        client.post(
-                            "/simulate",
-                            {"scenario": "failure-churn", "duration": 6},
-                        ),
-                    )
-
             workers.append(pool.submit(mixed_routes))
+            workers.append(pool.submit(job_client))
             for worker in workers:
                 worker.result()
 
-        # After the concurrent load settles: a repeat negotiation must
-        # be served from the cache, and /stats reports the totals.
+        # Warm one body through a known worker, SIGKILL that worker,
+        # and demand the survivors replay the exact bytes at once.
         with ServeClient("127.0.0.1", port) as client:
-            save(
-                "negotiate_repeat",
-                client.post(
-                    "/negotiate", {"num_choices": 10, "trials": 5, "seed": 100}
-                ),
-            )
-            save("stats", client.get("/stats"))
+            warm = client.raw_post("/v1/negotiate", WARM_NEGOTIATE)
+            save("negotiate_repeat", warm)
+            victim = warm.worker_pid
+        if victim is None:
+            failures.append("no X-Repro-Worker header on the warm response")
+        else:
+            print(f"serve_smoke: SIGKILLing worker {victim}")
+            os.kill(victim, signal.SIGKILL)
+
+            def replay(_: int) -> bytes:
+                with ServeClient("127.0.0.1", port) as client:
+                    response = client.raw_post("/v1/negotiate", WARM_NEGOTIATE)
+                    if response.status != 200:
+                        failures.append(
+                            f"post-kill replay: HTTP {response.status}"
+                        )
+                    return response.body
+
+            with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+                bodies = set(pool.map(replay, range(CLIENTS)))
+            if bodies != {warm.body}:
+                failures.append(
+                    "post-kill replays were not byte-identical to the warm body"
+                )
+            # The supervisor restarts the victim within a few seconds.
+            deadline = time.monotonic() + 15.0
+            replaced = False
+            while time.monotonic() < deadline and not replaced:
+                with ServeClient("127.0.0.1", port) as client:
+                    stats = client.stats()
+                pids = {int(p) for p in stats["workers"]}
+                replaced = len(pids - {victim}) >= WORKERS
+                if not replaced:
+                    time.sleep(0.25)
+            if not replaced:
+                failures.append("no replacement worker appeared within 15s")
+
+        # After the load settles: merged /stats reports the totals.
+        with ServeClient("127.0.0.1", port) as client:
+            save("stats", client.raw_get("/v1/stats"))
     finally:
         server.send_signal(signal.SIGTERM)
         exit_code = server.wait(timeout=60)
@@ -163,13 +230,20 @@ def main(argv: list[str] | None = None) -> int:
     records = []
     for number, line_text in enumerate(raw.decode("utf-8").splitlines(), 1):
         try:
-            records.append(json.loads(line_text))
+            record = json.loads(line_text)
         except json.JSONDecodeError as error:
             failures.append(f"request log line {number} is not JSON: {error}")
+            continue
+        for problem in validate_envelope(record):
+            failures.append(f"request log line {number}: {problem}")
+        records.append(record)
+    log_pids = {record.get("pid") for record in records}
     print(
         f"serve_smoke: {len(list(out_dir.glob('*.json')))} envelopes written, "
-        f"{len(records)} log records"
+        f"{len(records)} log records from {len(log_pids)} workers"
     )
+    if len(log_pids) < 2:
+        failures.append(f"request log names fewer than 2 workers: {log_pids}")
 
     stats = json.loads((out_dir / "stats.json").read_bytes())
     coalescing = stats.get("coalescing", {})
@@ -178,6 +252,8 @@ def main(argv: list[str] | None = None) -> int:
     cache = stats.get("result_cache", {})
     if cache.get("hits", 0) < 1:
         failures.append(f"no cache hit recorded: {cache}")
+    if cache.get("disk_hits", 0) < 1:
+        failures.append(f"no cross-worker disk hit recorded: {cache}")
 
     if failures:
         print("serve_smoke failures:", file=sys.stderr)

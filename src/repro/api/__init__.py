@@ -36,19 +36,23 @@ A typical lifecycle::
 
 from repro.api.adapter import main
 from repro.api.requests import (
+    JOB_WORKFLOWS,
     DiversityRequest,
     ExperimentsRequest,
     GrcAllRequest,
+    JobRequest,
     NegotiateRequest,
     SimulateRequest,
     SweepRequest,
     TopologyRequest,
+    build_workflow_request,
 )
 from repro.api.results import (
     DiversityResult,
     DiversityScenarioRow,
     ExperimentsResult,
     GrcAllResult,
+    JobStatusResult,
     NegotiateResult,
     SimulateResult,
     SweepListResult,
@@ -86,6 +90,9 @@ __all__ = [
     "SimulateRequest",
     "NegotiateRequest",
     "SweepRequest",
+    "JobRequest",
+    "JOB_WORKFLOWS",
+    "build_workflow_request",
     # results
     "TopologyResult",
     "DiversityResult",
@@ -100,6 +107,7 @@ __all__ = [
     "NegotiateResult",
     "SweepResult",
     "SweepListResult",
+    "JobStatusResult",
     # errors
     "ReproError",
     "ValidationError",

@@ -291,6 +291,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="append a structured JSONL record per request to this file",
     )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes accepting on one shared socket; 2+ runs the "
+        "pre-fork supervisor with crash restarts (default: 1)",
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        help="directory for the cross-worker shared state (result cache, "
+        "job queue, stats board); default: a private tempdir",
+    )
 
     sweep = subparsers.add_parser(
         "sweep", help="run a sharded, resumable parameter sweep"
@@ -467,6 +480,8 @@ def _run_serve(session: Session, args: argparse.Namespace) -> int:
         coalesce_window_ms=args.coalesce_window_ms,
         cache_entries=args.cache_entries,
         request_log=args.request_log,
+        workers=args.workers,
+        state_dir=args.state_dir,
     )
     if args.session_cache_limit is not None:
         session = Session(cache_limit=args.session_cache_limit)

@@ -16,7 +16,7 @@ near-duplicates.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field as dataclasses_field, fields
 from typing import Any, Mapping
 
 from repro.bargaining.distributions import (
@@ -36,6 +36,9 @@ __all__ = [
     "SimulateRequest",
     "NegotiateRequest",
     "SweepRequest",
+    "JobRequest",
+    "JOB_WORKFLOWS",
+    "build_workflow_request",
     "NEGOTIATE_DISTRIBUTIONS",
     "TOPOLOGY_FILE_FORMATS",
 ]
@@ -291,6 +294,75 @@ class NegotiateRequest(_JsonRequest):
         return (self.distribution, self.num_choices)
 
 
+#: Workflow name → typed request class, the single registry both the
+#: async job API (``POST /v1/jobs``) and :func:`build_workflow_request`
+#: dispatch on.  Names match the CLI subcommands.
+JOB_WORKFLOWS: dict[str, type[_JsonRequest]] = {}
+
+
+def build_workflow_request(workflow: str, document: Mapping[str, Any]) -> Any:
+    """Build (and validate) the typed request of a named workflow.
+
+    ``document`` is either the request's full JSON envelope or a bare
+    payload mapping (field name → value); both forms reject unknown
+    fields and run the constructor's parameter checks, so a caller of
+    the job API gets exactly the same :class:`ValidationError` messages
+    as a direct caller of the workflow.
+    """
+    try:
+        request_type = JOB_WORKFLOWS[workflow]
+    except KeyError:
+        raise ValidationError(
+            f"unknown workflow {workflow!r}; "
+            f"available: {', '.join(sorted(JOB_WORKFLOWS))}"
+        ) from None
+    if not isinstance(document, Mapping):
+        raise ValidationError(
+            f"workflow request must be a JSON object, "
+            f"got {type(document).__name__}"
+        )
+    if "kind" in document or "schema_version" in document:
+        return request_type.from_json_dict(document)
+    known = {f.name for f in fields(request_type)}
+    unknown = set(document) - known
+    if unknown:
+        raise ValidationError(
+            f"unknown {request_type.kind} field(s): {', '.join(sorted(unknown))}"
+        )
+    return request_type(**document)
+
+
+@dataclass(frozen=True)
+class JobRequest(_JsonRequest):
+    """Submit a workflow for asynchronous execution (``POST /v1/jobs``).
+
+    ``workflow`` names the workflow to run (a :data:`JOB_WORKFLOWS`
+    key); ``request`` carries that workflow's request as a JSON object
+    — either its full envelope or a bare payload.  Construction
+    validates the inner request eagerly, so a malformed submission is
+    rejected at ``POST`` time with a ``400`` instead of surfacing later
+    as a failed job.
+    """
+
+    kind = "job_request"
+
+    workflow: str = ""
+    request: Mapping[str, Any] = dataclasses_field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.typed_request()
+
+    def typed_request(self) -> Any:
+        """The validated typed request the job will execute."""
+        return build_workflow_request(self.workflow, self.request)
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Schema-versioned JSON envelope of the submission."""
+        return envelope(
+            self.kind, {"workflow": self.workflow, "request": dict(self.request)}
+        )
+
+
 @dataclass(frozen=True)
 class SweepRequest(_JsonRequest):
     """Run (or list) a sharded parameter sweep (``repro sweep``).
@@ -315,3 +387,19 @@ class SweepRequest(_JsonRequest):
             raise ValidationError(
                 "exactly one of 'spec' and 'smoke' must select the sweep"
             )
+
+
+# Populated here, after every request class exists; the names match the
+# CLI subcommands so `{"workflow": "grc-all", ...}` reads like the
+# command line it replaces.
+JOB_WORKFLOWS.update(
+    {
+        "topology": TopologyRequest,
+        "diversity": DiversityRequest,
+        "experiments": ExperimentsRequest,
+        "grc-all": GrcAllRequest,
+        "simulate": SimulateRequest,
+        "negotiate": NegotiateRequest,
+        "sweep": SweepRequest,
+    }
+)

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.envelope import envelope, expect_envelope, require_keys
-from repro.errors import OutputError
+from repro.errors import EnvelopeError, OutputError
 from repro.experiments.reporting import SectionResult, render_report
 from repro.simulation.scenarios import ScenarioResult
 
@@ -32,7 +32,10 @@ __all__ = [
     "NegotiateResult",
     "SweepResult",
     "SweepListResult",
+    "JobStatusResult",
+    "JOB_STATES",
     "render_topology_text",
+    "render_job_status_text",
     "render_diversity_text",
     "render_experiments_text",
     "render_grc_all_text",
@@ -577,6 +580,72 @@ class SweepListResult:
         return cls(name=payload["name"], shard_ids=tuple(payload["shard_ids"]))
 
 
+#: The lifecycle states of an asynchronous job, in order of appearance.
+#: ``done``/``failed``/``cancelled`` are terminal.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+
+@dataclass(frozen=True)
+class JobStatusResult:
+    """One observation of an asynchronous job (``GET /v1/jobs/<id>``).
+
+    ``progress`` is a small free-form mapping the running workflow
+    updates as it goes (sweeps report ``completed``/``total`` shards);
+    ``result`` carries the workflow's full result envelope once the
+    state is ``done``, and ``error`` an ``error_result`` envelope once
+    it is ``failed``.
+    """
+
+    job_id: str
+    workflow: str
+    state: str
+    progress: dict[str, Any] = field(default_factory=dict)
+    result: dict[str, Any] | None = None
+    error: dict[str, Any] | None = None
+
+    def __post_init__(self) -> None:
+        if self.state not in JOB_STATES:
+            raise EnvelopeError(
+                f"unknown job state {self.state!r}; "
+                f"known: {', '.join(JOB_STATES)}"
+            )
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether the job can no longer change state."""
+        return self.state in ("done", "failed", "cancelled")
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Schema-versioned JSON envelope."""
+        return envelope(
+            "job_status_result",
+            {
+                "job_id": self.job_id,
+                "workflow": self.workflow,
+                "state": self.state,
+                "progress": dict(self.progress),
+                "result": self.result,
+                "error": self.error,
+            },
+        )
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "JobStatusResult":
+        """Inverse of :meth:`to_json_dict`."""
+        payload = expect_envelope(data, "job_status_result")
+        require_keys(
+            payload, "job_status_result", ("job_id", "workflow", "state", "progress")
+        )
+        return cls(
+            job_id=payload["job_id"],
+            workflow=payload["workflow"],
+            state=payload["state"],
+            progress=dict(payload["progress"]),
+            result=payload.get("result"),
+            error=payload.get("error"),
+        )
+
+
 # ----------------------------------------------------------------------
 # Pure text renderers: result -> the exact pre-redesign CLI output.
 # ----------------------------------------------------------------------
@@ -676,3 +745,14 @@ def render_sweep_list_text(result: SweepListResult) -> str:
     """The ``repro sweep --list`` output."""
     lines = [*result.shard_ids, f"{len(result.shard_ids)} shards"]
     return "\n".join(lines)
+
+
+def render_job_status_text(result: JobStatusResult) -> str:
+    """One human-readable line per job observation."""
+    parts = [f"job {result.job_id}", result.workflow, result.state]
+    if result.progress:
+        rendered = ", ".join(
+            f"{key}={value}" for key, value in sorted(result.progress.items())
+        )
+        parts.append(f"({rendered})")
+    return " ".join(parts)

@@ -82,6 +82,8 @@ REQUIRED_KEYS: dict[str, tuple[str, ...]] = {
         "max_pod",
     ),
     "error_result": ("error", "exit_code", "http_status"),
+    "job_request": ("workflow", "request"),
+    "job_status_result": ("job_id", "workflow", "state", "progress"),
     "serve_stats": ("requests_total", "result_cache", "coalescing", "session"),
     "serve_health": ("status",),
     "serve_log_record": ("method", "path", "status", "latency_ms"),

@@ -43,6 +43,7 @@ __all__ = [
     "ServiceError",
     "ServiceUnavailableError",
     "STATUS_TABLE",
+    "error_class_for",
     "exit_code_for",
     "http_status_for",
 ]
@@ -127,3 +128,38 @@ def exit_code_for(error: BaseException) -> int:
 def http_status_for(error: BaseException) -> int:
     """The HTTP response status for an error (500 for unknown ones)."""
     return _status_row(error)[1]
+
+
+#: The class a typed client raises for a given status pair.  Several
+#: taxonomy members share a row (EnvelopeError/ValidationError both map
+#: to (2, 400); ServiceError/OutputError to (1, 500)) — the codes alone
+#: cannot tell them apart, so the client re-raises the *canonical*
+#: member of each group: the one whose ``except`` clause a caller would
+#: reach for first.
+_CLIENT_CLASS_PREFERENCE: tuple[type["ReproError"], ...] = (
+    ServiceUnavailableError,
+    ValidationError,
+    ServiceError,
+)
+
+
+def error_class_for(exit_code: int, http_status: int) -> type[ReproError]:
+    """The error class a ``(exit_code, http_status)`` pair maps back to.
+
+    This is the client-side read of :data:`STATUS_TABLE`: an
+    ``error_result`` envelope carries the two codes, and a typed client
+    (:class:`repro.serve.client.ServeClient`) re-raises the matching
+    class, so a served failure surfaces as an exception of the same
+    taxonomy the underlying workflow raised.  Pairs shared by several
+    classes resolve to the canonical member (``(2, 400)`` →
+    :class:`ValidationError`, ``(1, 500)`` → :class:`ServiceError`);
+    unknown pairs fall back to :class:`ReproError`.
+    """
+    for error_type in _CLIENT_CLASS_PREFERENCE:
+        row = _status_row(error_type(""))
+        if row == (exit_code, http_status):
+            return error_type
+    for error_type, row_exit_code, row_http_status in STATUS_TABLE:
+        if (row_exit_code, row_http_status) == (exit_code, http_status):
+            return error_type
+    return ReproError

@@ -18,19 +18,42 @@ Keys are content fingerprints, never identities:
 
 Requests with filesystem side effects (``topology`` with ``output``,
 ``simulate`` with ``trace_out``) are never cached: replaying bytes must
-never skip a write the client asked for.  Bounds and counters come from
-:class:`~repro.core.caching.BoundedCache`; ``/stats`` surfaces them.
+never skip a write the client asked for.
+
+The cache is **two-tier** since the pre-fork supervisor arrived:
+
+- a per-worker in-memory LRU front (:class:`~repro.core.caching.
+  BoundedCache`, same bounds and counters as before), and
+- an optional shared :class:`DiskResultStore` behind it — a
+  content-addressed byte store on disk, published with the same
+  tmp-write + atomic-rename discipline as
+  :class:`~repro.core.artifacts.ArtifactStore`, so a result computed
+  by any worker process is a warm hit for all of them.
+
+A *disk hit* is the cross-process event: a worker that computed a
+result holds it in its own memory tier, so serving from disk means
+some **other** worker (or a previous incarnation after a crash)
+computed it.  ``/stats`` surfaces the tiered counters per worker and
+merged across workers.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Mapping
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterable, Mapping
 
 from repro.core.caching import BoundedCache
 
-__all__ = ["ResultCache", "request_fingerprint"]
+__all__ = [
+    "DiskResultStore",
+    "ResultCache",
+    "merge_cache_stats",
+    "request_fingerprint",
+]
 
 
 def request_fingerprint(
@@ -49,20 +72,140 @@ def request_fingerprint(
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-class ResultCache:
-    """LRU-bounded map from request fingerprints to response bytes."""
+class DiskResultStore:
+    """Content-addressed on-disk byte store shared by all workers.
 
-    def __init__(self, max_entries: int | None) -> None:
+    Layout is ``root/<fp[:2]>/<fp>`` (two-hex-char fan-out keeps
+    directory sizes flat at paper scale).  Publication is crash- and
+    race-safe the same way :class:`~repro.core.artifacts.ArtifactStore`
+    is: bytes land in a uniquely named temp file in the same directory,
+    then a single atomic :func:`os.replace` installs them.  Two workers
+    racing on one fingerprint both publish identical bytes (the key is
+    a content hash of the request, the value a deterministic rendering
+    of the result), so the loser's replace is a benign overwrite — no
+    locks, no torn reads: a reader either misses or sees complete bytes.
+    """
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        if len(key) < 3 or not all(c in "0123456789abcdef" for c in key):
+            raise ValueError(f"not a hex fingerprint: {key!r}")
+        return self.root / key[:2] / key
+
+    def get(self, key: str) -> bytes | None:
+        """The stored bytes for ``key``, or ``None`` if never published."""
+        try:
+            return self._path(key).read_bytes()
+        except FileNotFoundError:
+            return None
+
+    def put(self, key: str, body: bytes) -> None:
+        """Atomically publish ``body`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:12]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(body)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except FileNotFoundError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*") if _.suffix != ".tmp")
+
+
+class ResultCache:
+    """Fingerprint → response-bytes cache: memory LRU over a shared store.
+
+    ``lookup`` consults the per-process LRU first, then the disk store
+    (promoting disk hits into memory so repeat traffic stays off the
+    filesystem); ``store`` publishes to both tiers.  Without a disk
+    store the behavior is exactly the pre-supervisor single-process
+    cache.
+    """
+
+    def __init__(
+        self, max_entries: int | None, *, store: DiskResultStore | None = None
+    ) -> None:
         self._cache = BoundedCache(max_entries)
+        self._store = store
+        self._disk_hits = 0
+        self._disk_misses = 0
+        self._store_writes = 0
+
+    @property
+    def disk_hits(self) -> int:
+        return self._disk_hits
 
     def lookup(self, key: str) -> bytes | None:
-        """The cached body for ``key`` (counts a hit or a miss)."""
-        return self._cache.get(key)
+        """The cached body for ``key`` (counts a hit or a miss per tier)."""
+        body = self._cache.get(key)
+        if body is not None or self._store is None:
+            return body
+        body = self._store.get(key)
+        if body is None:
+            self._disk_misses += 1
+            return None
+        self._disk_hits += 1
+        self._cache.put(key, body)
+        return body
 
     def store(self, key: str, body: bytes) -> None:
-        """Cache ``body`` under ``key`` (evicting LRU entries if full)."""
+        """Cache ``body`` under ``key`` (memory LRU + shared disk store)."""
         self._cache.put(key, body)
+        if self._store is not None:
+            self._store.put(key, body)
+            self._store_writes += 1
 
     def stats(self) -> dict[str, int | None]:
-        """Size/bound/hit/miss/eviction counters for ``/stats``."""
-        return self._cache.stats()
+        """Tiered counters for ``/stats``.
+
+        The memory-tier keys (``size``/``max_entries``/``hits``/
+        ``misses``/``evictions``) keep their pre-supervisor meaning;
+        ``disk_hits``/``disk_misses``/``store_writes`` count shared-store
+        traffic (``disk_hits >= 1`` on a worker proves it served bytes
+        computed by a different process).
+        """
+        merged: dict[str, int | None] = dict(self._cache.stats())
+        merged["disk_hits"] = self._disk_hits
+        merged["disk_misses"] = self._disk_misses
+        merged["store_writes"] = self._store_writes
+        return merged
+
+
+def merge_cache_stats(
+    snapshots: Iterable[Mapping[str, int | None]],
+) -> dict[str, int | None]:
+    """Sum per-worker cache counters into one merged ``/stats`` view.
+
+    Counters add across workers; ``max_entries`` is a per-worker bound,
+    not a total, so the merged view reports the common bound (they are
+    all configured identically) rather than a sum.
+    """
+    merged: dict[str, int | None] = {
+        "size": 0,
+        "max_entries": None,
+        "hits": 0,
+        "misses": 0,
+        "evictions": 0,
+        "disk_hits": 0,
+        "disk_misses": 0,
+        "store_writes": 0,
+    }
+    for snapshot in snapshots:
+        for key, value in snapshot.items():
+            if key == "max_entries":
+                merged["max_entries"] = value
+            elif value is not None:
+                merged[key] = int(merged.get(key) or 0) + int(value)
+    return merged

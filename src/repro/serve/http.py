@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
+from typing import Mapping
 
 __all__ = [
     "MAX_BODY_BYTES",
@@ -33,6 +34,7 @@ MAX_BODY_BYTES = 4 * 1024 * 1024
 #: Reason phrases for every status the service emits.
 REASONS = {
     200: "OK",
+    202: "Accepted",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
@@ -127,14 +129,23 @@ def response_bytes(
     *,
     content_type: str = "application/json",
     keep_alive: bool = True,
+    extra_headers: Mapping[str, str] | None = None,
 ) -> bytes:
-    """Serialize one complete response (headers + body) to wire bytes."""
+    """Serialize one complete response (headers + body) to wire bytes.
+
+    ``extra_headers`` are emitted verbatim after the framing headers —
+    the service uses them for ``Deprecation`` on legacy unversioned
+    paths and ``X-Repro-Worker`` (the serving worker's pid), neither of
+    which may leak into the body bytes.
+    """
     reason = REASONS.get(status, "Unknown")
-    head = (
-        f"HTTP/1.1 {status} {reason}\r\n"
-        f"Content-Type: {content_type}\r\n"
-        f"Content-Length: {len(body)}\r\n"
-        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-        "\r\n"
-    )
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
     return head.encode("latin-1") + body

@@ -17,6 +17,7 @@ is pinned by the SIGTERM test in ``tests/serve/``.
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, IO
 
 from repro.envelope import envelope
@@ -65,6 +66,9 @@ class RequestLog:
             "status": status,
             "latency_ms": latency_ms,
             "queue_depth": queue_depth,
+            # Workers of one supervisor may share a log file; the pid
+            # attributes every record to the process that served it.
+            "pid": os.getpid(),
         }
         if kind is not None:
             payload["kind_handled"] = kind

@@ -9,6 +9,14 @@ the event loop; compute is delegated to the
 is printed (and flushed) once the socket is bound — with ``--port 0``
 that is how tests, CI, and the benchmark discover the ephemeral port.
 
+With ``--workers N`` (N ≥ 2) this module only delegates:
+:func:`run_server` hands the config to the pre-fork supervisor
+(:mod:`repro.serve.supervisor`), which binds the socket once, prints
+the discovery line, and forks N workers that each run a
+:class:`ReproServer` on the *inherited* socket (``start(sock=...,
+announce=False)``) — one shared listen queue, so a killed worker's
+pending connections are picked up by its siblings.
+
 Shutdown (SIGTERM/SIGINT or :meth:`ReproServer.shutdown`) is a drain,
 not an abort:
 
@@ -16,9 +24,9 @@ not an abort:
    requests on kept-alive connections get ``503``);
 2. wait until every in-flight request has produced and written its
    response — coalesced negotiation batches included;
-3. flush the coalescer, stop the worker, close the request log (whose
-   records are single-write lines, so the file ends on a line
-   boundary);
+3. stop the job runner after its in-flight job, flush the coalescer,
+   stop the worker, close the request log (whose records are
+   single-write lines, so the file ends on a line boundary);
 4. cancel the now-idle keep-alive readers and close the session.
 
 Exit code 0 on a drained shutdown.
@@ -29,7 +37,9 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import os
 import signal
+import socket as socket_module
 from dataclasses import dataclass
 
 from repro.api.session import Session
@@ -55,6 +65,8 @@ class ServeConfig:
     coalesce_window_ms: float = 5.0
     cache_entries: int = 256
     request_log: str | None = None
+    workers: int = 1
+    state_dir: str | None = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.port <= 65535:
@@ -74,6 +86,10 @@ class ServeConfig:
             raise ValidationError(
                 f"--cache-entries must be non-negative, got {self.cache_entries}"
             )
+        if self.workers < 1:
+            raise ValidationError(
+                f"--workers must be a positive integer, got {self.workers}"
+            )
 
 
 class ReproServer:
@@ -88,6 +104,7 @@ class ReproServer:
             max_batch=config.max_batch,
             cache_entries=config.cache_entries,
             request_log=RequestLog(config.request_log),
+            state_dir=config.state_dir,
         )
         self._server: asyncio.Server | None = None
         self._connections: set[asyncio.Task] = set()
@@ -96,16 +113,32 @@ class ReproServer:
         self._idle.set()
         self.port: int | None = None
 
-    async def start(self) -> None:
-        """Bind the socket and print the discovery line."""
-        self._server = await asyncio.start_server(
-            self._on_connection, self.config.host, self.config.port
-        )
+    async def start(
+        self,
+        *,
+        sock: socket_module.socket | None = None,
+        announce: bool = True,
+    ) -> None:
+        """Bind (or adopt) the socket; print the discovery line.
+
+        A supervisor worker passes the pre-bound listening socket it
+        inherited across ``fork()`` as ``sock`` and sets
+        ``announce=False`` — the supervisor already printed the
+        discovery line, once, for the one shared socket.
+        """
+        if sock is not None:
+            self._server = await asyncio.start_server(self._on_connection, sock=sock)
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, self.config.host, self.config.port
+            )
         self.port = self._server.sockets[0].getsockname()[1]
-        print(
-            f"repro serve: listening on http://{self.config.host}:{self.port}",
-            flush=True,
-        )
+        self.service.job_runner.start()
+        if announce:
+            print(
+                f"repro serve: listening on http://{self.config.host}:{self.port}",
+                flush=True,
+            )
 
     async def _on_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -142,9 +175,13 @@ class ReproServer:
             self._inflight += 1
             self._idle.clear()
             try:
-                status, body = await self.service.handle(request)
+                status, body, headers = await self.service.handle(request)
                 keep_alive = request.wants_keep_alive() and not self.service.draining
-                writer.write(response_bytes(status, body, keep_alive=keep_alive))
+                writer.write(
+                    response_bytes(
+                        status, body, keep_alive=keep_alive, extra_headers=headers
+                    )
+                )
                 await writer.drain()
             except ConnectionError:
                 return
@@ -167,7 +204,7 @@ class ReproServer:
             self._server = None
         # 1. Every accepted request finishes and writes its response.
         await self._idle.wait()
-        # 2. Coalescer/executor/log shut down cleanly.
+        # 2. Job runner/coalescer/executor/log shut down cleanly.
         await self.service.aclose()
         # 3. Remaining connections are idle keep-alive readers: cancel.
         for task in list(self._connections):
@@ -177,9 +214,27 @@ class ReproServer:
         self.session.close()
 
 
-async def _serve_until_signal(config: ServeConfig, session: Session | None) -> int:
+async def serve_until_signal(
+    config: ServeConfig,
+    session: Session | None = None,
+    *,
+    sock: socket_module.socket | None = None,
+    announce: bool = True,
+    parent_pid: int | None = None,
+) -> int:
+    """Run one server until SIGTERM/SIGINT, then drain; returns 0.
+
+    This is both the single-process body of :func:`run_server` and the
+    per-worker body a supervisor child runs on its inherited socket.
+    A worker passes ``parent_pid`` (the supervisor's pid): if the
+    supervisor ever dies without fanning out the drain — SIGKILLed,
+    crashed — the worker notices its reparenting and drains itself,
+    so no orphan keeps holding the shared socket.  (On Linux the
+    kernel-level ``PR_SET_PDEATHSIG`` the supervisor arms fires first;
+    this watchdog is the portable cover.)
+    """
     server = ReproServer(config, session=session)
-    await server.start()
+    await server.start(sock=sock, announce=announce)
     loop = asyncio.get_running_loop()
     stop = asyncio.Event()
     installed: list[signal.Signals] = []
@@ -189,9 +244,22 @@ async def _serve_until_signal(config: ServeConfig, session: Session | None) -> i
             installed.append(signum)
         except (NotImplementedError, RuntimeError):  # non-main thread / platform
             pass
+    watchdog: asyncio.Task | None = None
+    if parent_pid is not None:
+
+        async def watch_parent() -> None:
+            while os.getppid() == parent_pid:
+                await asyncio.sleep(1.0)
+            stop.set()
+
+        watchdog = loop.create_task(watch_parent())
     try:
         await stop.wait()
     finally:
+        if watchdog is not None:
+            watchdog.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await watchdog
         for signum in installed:
             loop.remove_signal_handler(signum)
         await server.shutdown()
@@ -200,7 +268,11 @@ async def _serve_until_signal(config: ServeConfig, session: Session | None) -> i
 
 def run_server(config: ServeConfig, *, session: Session | None = None) -> int:
     """Blocking entry point of ``repro serve``; returns the exit code."""
+    if config.workers > 1:
+        from repro.serve.supervisor import run_supervisor
+
+        return run_supervisor(config)
     try:
-        return asyncio.run(_serve_until_signal(config, session))
+        return asyncio.run(serve_until_signal(config, session))
     except KeyboardInterrupt:  # SIGINT raced the handler installation
         return 0

@@ -8,13 +8,25 @@ The service owns the pieces the server wires together:
   serialization a guarantee, not an accident);
 - the :class:`~repro.serve.coalesce.CoalescingScheduler` for
   negotiation requests;
-- the :class:`~repro.serve.cache.ResultCache` of serialized envelope
-  bytes, keyed by request/topology content fingerprints;
+- the two-tier :class:`~repro.serve.cache.ResultCache` of serialized
+  envelope bytes — a per-process LRU over the content-addressed disk
+  store every worker of a pre-fork supervisor shares;
+- the :class:`~repro.serve.jobs.JobStore`/:class:`~repro.serve.jobs.
+  JobRunner` pair behind the async job API;
+- the :class:`~repro.serve.board.WorkerBoard` that merges per-worker
+  counters into one ``/stats`` view;
 - the :class:`~repro.serve.log.RequestLog`.
 
-Routes accept ``POST /<name>`` and ``POST /v1/<name>`` for the five
+Routing is **versioned**: ``/v1/<name>`` is canonical for the five
 workflow envelopes (``topology``, ``diversity``, ``experiments``,
-``simulate``, ``negotiate``), plus ``GET /health`` and ``GET /stats``.
+``simulate``, ``negotiate``), the job API (``POST /v1/jobs``,
+``GET``/``DELETE /v1/jobs/<id>``), ``GET /v1/health`` and ``GET
+/v1/stats``.  The bare legacy paths still answer, but carry a
+``Deprecation: true`` response header and ``"meta": {"deprecated":
+true}`` in the envelope — the body is re-marked *after* the byte cache,
+so cached bytes stay canonical and both forms are served from one
+entry.
+
 A request body may be a full schema-versioned envelope or a bare
 payload object (convenient for ``curl``); an empty body means "all
 defaults".  Responses are always envelopes — results on success, an
@@ -22,22 +34,29 @@ defaults".  Responses are always envelopes — results on success, an
 the one :data:`~repro.errors.STATUS_TABLE`) on failure — serialized
 exactly like ``--format json`` prints them, trailing newline included,
 so a served response is byte-identical to the CLI's output for the
-same request.
+same request.  Every response names its worker process in an
+``X-Repro-Worker`` header (a framing header, never body bytes).
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
+import os
+import re
+import tempfile
 import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any
 
 from repro.api.requests import (
     DiversityRequest,
     ExperimentsRequest,
+    JobRequest,
     NegotiateRequest,
     SimulateRequest,
     TopologyRequest,
@@ -52,12 +71,19 @@ from repro.errors import (
     exit_code_for,
     http_status_for,
 )
-from repro.serve.cache import ResultCache, request_fingerprint
+from repro.serve.board import WorkerBoard
+from repro.serve.cache import (
+    DiskResultStore,
+    ResultCache,
+    merge_cache_stats,
+    request_fingerprint,
+)
 from repro.serve.coalesce import CoalescingScheduler
 from repro.serve.http import HttpRequest
+from repro.serve.jobs import JobRunner, JobStore
 from repro.serve.log import RequestLog
 
-__all__ = ["ROUTES", "ServeService", "serialize_envelope"]
+__all__ = ["ROUTES", "JOB_SESSION_WORKFLOWS", "ServeService", "serialize_envelope"]
 
 
 def serialize_envelope(document: dict[str, Any]) -> bytes:
@@ -104,6 +130,17 @@ ROUTES: dict[str, _Route] = {
     "negotiate": _Route(NegotiateRequest, "negotiate", lambda r: True),
 }
 
+#: Job workflow name → the :class:`Session` method that runs it.
+JOB_SESSION_WORKFLOWS: dict[str, str] = {
+    "topology": "topology",
+    "diversity": "diversity",
+    "experiments": "experiments",
+    "grc-all": "grc_all",
+    "simulate": "simulate",
+    "negotiate": "negotiate",
+    "sweep": "sweep",
+}
+
 
 def _build_request(request_cls: type, body: bytes) -> Any:
     """Decode a body (envelope, bare payload, or empty) into a request."""
@@ -126,8 +163,22 @@ def _build_request(request_cls: type, body: bytes) -> Any:
     return request_cls.from_json_dict(data)
 
 
+def _mark_deprecated(body: bytes) -> bytes:
+    """Re-serialize a response envelope with ``meta.deprecated = true``."""
+    try:
+        document = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):  # pragma: no cover
+        return body
+    if not isinstance(document, dict):  # pragma: no cover - always envelopes
+        return body
+    meta = dict(document.get("meta") or {})
+    meta["deprecated"] = True
+    document["meta"] = meta
+    return serialize_envelope(document)
+
+
 class ServeService:
-    """Everything behind the socket: routing, caching, coalescing, logging."""
+    """Everything behind the socket: routing, caching, coalescing, jobs."""
 
     def __init__(
         self,
@@ -137,14 +188,35 @@ class ServeService:
         max_batch: int = 32,
         cache_entries: int | None = 256,
         request_log: RequestLog | None = None,
+        state_dir: str | os.PathLike[str] | None = None,
     ) -> None:
         self.session = session
-        self.cache = ResultCache(cache_entries)
+        # The state dir is the cross-process substrate: shared result
+        # store, job queue, worker board.  Without one a private
+        # tempdir is used (single-process semantics, cleaned on close).
+        self._state_tmp: tempfile.TemporaryDirectory | None = None
+        if state_dir is None:
+            self._state_tmp = tempfile.TemporaryDirectory(prefix="repro-serve-")
+            state_dir = self._state_tmp.name
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        store = (
+            DiskResultStore(self.state_dir / "results-cache")
+            if cache_entries != 0
+            else None
+        )
+        self.cache = ResultCache(cache_entries, store=store)
         self.coalescer = CoalescingScheduler(
             window_s=coalesce_window_ms / 1000.0,
             max_batch=max_batch,
             solve=self._solve_batch,
         )
+        self.jobs = JobStore(self.state_dir / "jobs")
+        self.job_runner = JobRunner(self.jobs, self._execute_job)
+        # A (re)starting worker releases claims of dead predecessors so
+        # their jobs run again instead of hanging "running" forever.
+        self.jobs.requeue_orphans()
+        self.board = WorkerBoard(self.state_dir / "workers")
         self.log = request_log if request_log is not None else RequestLog(None)
         #: Compute runs here, off the event loop but strictly serialized.
         self._executor = ThreadPoolExecutor(
@@ -170,8 +242,10 @@ class ServeService:
     # ------------------------------------------------------------------
     # HTTP entry point
     # ------------------------------------------------------------------
-    async def handle(self, request: HttpRequest) -> tuple[int, bytes]:
-        """Serve one parsed request; always returns a complete response."""
+    async def handle(
+        self, request: HttpRequest
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """Serve one parsed request: ``(status, body, extra headers)``."""
         started = time.perf_counter()
         queue_depth = self.active
         self.active += 1
@@ -192,6 +266,13 @@ class ServeService:
             )
         finally:
             self.active -= 1
+        headers = {"X-Repro-Worker": str(self.board.pid)}
+        if not request.path.startswith("/v1/") and status != 404:
+            # Legacy unversioned path: same entry, marked.  The byte
+            # cache holds only canonical bodies, so the marking happens
+            # after cache lookup/store and both forms share one entry.
+            body = _mark_deprecated(body)
+            headers["Deprecation"] = "true"
         latency_ms = (time.perf_counter() - started) * 1000.0
         self.log.record(
             method=request.method,
@@ -203,7 +284,8 @@ class ServeService:
             cache=cache_state,
             batch_size=batch_size,
         )
-        return status, body
+        self.board.publish(self._snapshot())
+        return status, body, headers
 
     async def _route(
         self, request: HttpRequest
@@ -211,6 +293,8 @@ class ServeService:
         path = request.path
         if path.startswith("/v1/"):
             path = path[len("/v1") :]
+        if path == "/jobs" or path.startswith("/jobs/"):
+            return await self._route_jobs(request, path)
         if path == "/health":
             if request.method != "GET":
                 return self._method_not_allowed(request, "GET")
@@ -227,8 +311,8 @@ class ServeService:
         if route is None:
             known = ", ".join(sorted(ROUTES))
             body = _error_payload(
-                f"unknown path {request.path!r}; routes: /health, /stats, "
-                f"and POST /{{{known}}} (optionally under /v1)",
+                f"unknown path {request.path!r}; routes: /v1/health, "
+                f"/v1/stats, /v1/jobs, and POST /v1/{{{known}}}",
                 exit_code=2,
                 http_status=404,
             )
@@ -287,25 +371,157 @@ class ServeService:
         return 200, body, kind, "bypass", batch_size
 
     # ------------------------------------------------------------------
+    # The async job API
+    # ------------------------------------------------------------------
+    async def _route_jobs(
+        self, request: HttpRequest, path: str
+    ) -> tuple[int, bytes, str | None, str | None, int | None]:
+        if path == "/jobs":
+            if request.method != "POST":
+                return self._method_not_allowed(request, "POST")
+            if self.draining:
+                raise ServiceUnavailableError(
+                    "server is draining; not accepting new work"
+                )
+            typed = _build_request(JobRequest, request.body)
+            job_id = self.jobs.submit(typed)
+            self.job_runner.wake()
+            status = self.jobs.status(job_id)
+            assert status is not None
+            body = serialize_envelope(status.to_json_dict())
+            return 202, body, "job_request", None, None
+        job_id = path[len("/jobs/") :]
+        if not job_id or "/" in job_id:
+            return 404, self._unknown_job(request.path), None, None, None
+        if request.method == "GET":
+            status = self.jobs.status(job_id)
+        elif request.method == "DELETE":
+            status = self.jobs.cancel(job_id)
+        else:
+            return self._method_not_allowed(request, "GET or DELETE")
+        if status is None:
+            return 404, self._unknown_job(request.path), None, None, None
+        body = serialize_envelope(status.to_json_dict())
+        return 200, body, "job_status_result", None, None
+
+    @staticmethod
+    def _unknown_job(path: str) -> bytes:
+        return _error_payload(
+            f"unknown job {path!r}", exit_code=2, http_status=404
+        )
+
+    async def _execute_job(
+        self, request: JobRequest, *, progress: Callable[[dict[str, Any]], None]
+    ) -> dict[str, Any]:
+        """Run one claimed job to its result envelope (the runner's hook).
+
+        Work goes through the same single-thread executor as the
+        synchronous routes, so job compute serializes with request
+        compute instead of racing the session.
+        """
+        typed = request.typed_request()
+        method = getattr(self.session, JOB_SESSION_WORKFLOWS[request.workflow])
+        if request.workflow == "sweep":
+            on_message = _sweep_progress(progress)
+            result = await self._call(
+                lambda: method(typed, progress=on_message)
+            )
+        else:
+            result = await self._call(method, typed)
+        return result.to_json_dict()
+
+    # ------------------------------------------------------------------
     # Introspection and lifecycle
     # ------------------------------------------------------------------
+    def _snapshot(self) -> dict[str, Any]:
+        """This worker's counters, as published on the board."""
+        return {
+            "pid": self.board.pid,
+            "requests_total": self.requests_total,
+            "result_cache": self.cache.stats(),
+            "coalescing": self.coalescer.stats(),
+            "jobs_run": self.job_runner.jobs_run,
+        }
+
     def stats_payload(self) -> dict[str, Any]:
-        """The ``serve_stats`` envelope served on ``/stats``."""
+        """The ``serve_stats`` envelope served on ``/stats``.
+
+        Counters are merged across every worker that ever published on
+        the board (this worker's live values replace its possibly stale
+        snapshot), so any connection sees cluster-wide totals no matter
+        which worker answers.
+        """
+        own = self._snapshot()
+        others = [
+            snapshot
+            for pid, snapshot in self.board.read_all().items()
+            if pid != self.board.pid
+        ]
+        merged = [own, *others]
+        coalescing = dict(own["coalescing"])
+        for snapshot in others:
+            peer = snapshot.get("coalescing", {})
+            for counter in (
+                "requests",
+                "batches",
+                "coalesced_requests",
+                "solo_retries",
+            ):
+                coalescing[counter] += int(peer.get(counter, 0))
+            coalescing["max_batch_size"] = max(
+                coalescing["max_batch_size"], int(peer.get("max_batch_size", 0))
+            )
         return envelope(
             "serve_stats",
             {
-                "requests_total": self.requests_total,
+                "requests_total": sum(
+                    int(s.get("requests_total", 0)) for s in merged
+                ),
                 "active_requests": self.active,
                 "draining": self.draining,
-                "result_cache": self.cache.stats(),
-                "coalescing": self.coalescer.stats(),
+                "result_cache": merge_cache_stats(
+                    [s.get("result_cache", {}) for s in merged]
+                ),
+                "coalescing": coalescing,
                 "session": self.session.cache_stats(),
                 "log_records": self.log.records_written,
+                "jobs": self.jobs.counts(),
+                "worker_pid": self.board.pid,
+                "workers": {
+                    str(s.get("pid", "?")): {
+                        "requests_total": int(s.get("requests_total", 0)),
+                        "jobs_run": int(s.get("jobs_run", 0)),
+                    }
+                    for s in merged
+                },
             },
         )
 
     async def aclose(self) -> None:
-        """Drain the coalescer, stop the worker, close the log."""
+        """Stop the job runner and coalescer, the worker, and the log."""
+        await self.job_runner.aclose()
         await self.coalescer.drain()
         self._executor.shutdown(wait=True)
         self.log.close()
+        if self._state_tmp is not None:
+            with contextlib.suppress(OSError):
+                self._state_tmp.cleanup()
+            self._state_tmp = None
+
+
+def _sweep_progress(
+    progress: Callable[[dict[str, Any]], None],
+) -> Callable[[str], None]:
+    """Adapt the sweep's message callback into progress-dict updates."""
+    state = {"completed": 0, "total": 0}
+
+    def on_message(message: str) -> None:
+        header = re.match(r"(\d+) shards: (\d+) cached, (\d+) to compute", message)
+        if header:
+            state["total"] = int(header.group(1))
+            state["completed"] = int(header.group(2))
+        elif message.startswith("done "):
+            state["completed"] += 1
+        progress({**state, "last": message})
+
+    return on_message

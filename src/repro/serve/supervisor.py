@@ -1,0 +1,238 @@
+"""Pre-fork supervisor: one bound socket, N worker processes.
+
+``repro serve --workers N`` (N ≥ 2) runs this module instead of a
+single asyncio process:
+
+1. the supervisor binds the listening socket **once** and prints the
+   discovery line;
+2. it forks N workers; each inherits the bound socket across
+   ``fork()`` and runs the ordinary single-process server on it
+   (:func:`~repro.serve.server.serve_until_signal` with
+   ``sock=...``) — one shared kernel listen queue, every worker
+   accepting from it.  Inherited-fd accept is chosen over
+   ``SO_REUSEPORT`` deliberately: with one queue, connections queued
+   behind a worker that dies are simply accepted by its siblings,
+   which is what lets a SIGKILLed worker vanish without any client
+   seeing a dropped connection;
+3. it reaps dead workers and restarts them with exponential backoff
+   (0.1 s doubling, capped at 5 s; reset once a worker survives 5 s),
+   releasing job claims the dead worker held so another worker re-runs
+   them;
+4. SIGTERM/SIGINT fan out as SIGTERM to every worker, each drains its
+   in-flight requests (coalesced batches and running jobs included),
+   and the supervisor exits 0 once all workers are reaped.
+
+Workers share state through the filesystem only — the content-addressed
+result store, the job queue, and the stats board all live under one
+``--state-dir`` (a supervisor-owned tempdir when unset) — so the
+supervisor never proxies a byte of request traffic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import os
+import shutil
+import signal
+import socket
+import sys
+import tempfile
+import time
+import traceback
+
+from repro.errors import ServiceError
+from repro.serve.jobs import JobStore
+from repro.serve.server import ServeConfig, serve_until_signal
+
+__all__ = ["Supervisor", "run_supervisor"]
+
+#: A worker dying sooner than this is an early death: backoff escalates.
+STABLE_AFTER_S = 5.0
+#: First restart delay; doubles per consecutive early death.
+BACKOFF_BASE_S = 0.1
+#: Restart delay ceiling.
+BACKOFF_MAX_S = 5.0
+
+
+def _arm_parent_death_signal() -> None:
+    """Linux: have the kernel SIGTERM this worker when its parent dies.
+
+    A SIGKILLed supervisor cannot fan out the drain, and an orphaned
+    worker would keep accepting on the shared socket forever.
+    ``PR_SET_PDEATHSIG`` closes that hole at the kernel level; the
+    ``parent_pid`` watchdog in :func:`serve_until_signal` is the
+    portable fallback (and covers the fork-to-prctl race).
+    """
+    try:
+        import ctypes
+
+        libc = ctypes.CDLL(None, use_errno=True)
+        libc.prctl(1, signal.SIGTERM, 0, 0, 0)  # 1 == PR_SET_PDEATHSIG
+    except (OSError, AttributeError):  # pragma: no cover - non-Linux
+        pass
+
+
+def _worker_main(config: ServeConfig, sock: socket.socket) -> int:
+    """The body of one forked worker (never returns to the fork site)."""
+    # The child inherited the supervisor's Python-level signal handlers;
+    # reset them so the worker's own asyncio drain handlers (installed
+    # by serve_until_signal) are the only ones in play.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
+    parent_pid = os.getppid()
+    _arm_parent_death_signal()
+    try:
+        return asyncio.run(
+            serve_until_signal(
+                config, sock=sock, announce=False, parent_pid=parent_pid
+            )
+        )
+    except KeyboardInterrupt:
+        return 0
+
+
+class Supervisor:
+    """Owns the bound socket and the worker pool of one ``--workers N`` run."""
+
+    def __init__(self, config: ServeConfig, sock: socket.socket) -> None:
+        if config.state_dir is None:
+            raise ServiceError("supervisor requires a resolved state_dir")
+        self.config = config
+        self.sock = sock
+        self.jobs = JobStore(os.path.join(config.state_dir, "jobs"))
+        #: pid → monotonic spawn time of every live worker.
+        self.workers: dict[int, float] = {}
+        self.restarts = 0
+        self._early_deaths = 0
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self) -> int:
+        pid = os.fork()
+        if pid == 0:
+            code = 1
+            try:
+                code = _worker_main(self.config, self.sock)
+            except BaseException:  # noqa: BLE001 - the child must never
+                # fall through into the supervisor's stack.
+                traceback.print_exc()
+            finally:
+                # Skip atexit/stdio teardown shared with the parent.
+                os._exit(code)
+        self.workers[pid] = time.monotonic()
+        return pid
+
+    def _reap(self) -> None:
+        """Collect every dead worker; requeue its jobs; restart it."""
+        while True:
+            try:
+                pid, status = os.waitpid(-1, os.WNOHANG)
+            except ChildProcessError:
+                return
+            if pid == 0:
+                return
+            born = self.workers.pop(pid, None)
+            # Authoritative orphan release: any claim not held by a
+            # currently live worker frees its job for the survivors.
+            self.jobs.requeue_orphans(alive=set(self.workers))
+            if self._stopping:
+                continue
+            lifetime = 0.0 if born is None else time.monotonic() - born
+            if os.WIFSIGNALED(status):
+                why = f"killed by signal {os.WTERMSIG(status)}"
+            else:
+                why = f"exited with code {os.WEXITSTATUS(status)}"
+            if lifetime < STABLE_AFTER_S:
+                self._early_deaths += 1
+            else:
+                self._early_deaths = 0
+            delay = (
+                min(BACKOFF_BASE_S * 2 ** (self._early_deaths - 1), BACKOFF_MAX_S)
+                if self._early_deaths
+                else 0.0
+            )
+            print(
+                f"repro serve: worker {pid} {why} after {lifetime:.1f}s; "
+                f"restarting{f' in {delay:.1f}s' if delay else ''}",
+                file=sys.stderr,
+                flush=True,
+            )
+            if delay:
+                time.sleep(delay)
+            if not self._stopping:
+                self.restarts += 1
+                self._spawn()
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def _on_signal(self, signum: int, frame: object) -> None:
+        self._stopping = True
+
+    def run(self) -> int:
+        """Spawn the pool; babysit until a stop signal; drain; return 0."""
+        previous = {
+            signum: signal.signal(signum, self._on_signal)
+            for signum in (signal.SIGTERM, signal.SIGINT)
+        }
+        try:
+            for _ in range(self.config.workers):
+                self._spawn()
+            while not self._stopping:
+                self._reap()
+                # A stop signal interrupts the sleep (PEP 475 restarts
+                # it only after the handler ran, and the handler set
+                # the flag the loop checks next).
+                time.sleep(0.05)
+            # Fan the drain out: every worker finishes its in-flight
+            # requests and jobs, then exits 0.
+            for pid in list(self.workers):
+                with contextlib.suppress(ProcessLookupError):
+                    os.kill(pid, signal.SIGTERM)
+            for pid in list(self.workers):
+                with contextlib.suppress(ChildProcessError):
+                    os.waitpid(pid, 0)
+                self.workers.pop(pid, None)
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+            self.sock.close()
+        return 0
+
+
+def run_supervisor(config: ServeConfig) -> int:
+    """Blocking entry point of ``repro serve --workers N``; returns 0.
+
+    Binds the socket, resolves the shared state dir (owning a tempdir
+    when ``--state-dir`` was not given), prints the discovery line, and
+    runs the supervision loop.
+    """
+    owns_state = config.state_dir is None
+    state_dir = config.state_dir or tempfile.mkdtemp(prefix="repro-serve-state-")
+    try:
+        sock = socket.create_server(
+            (config.host, config.port), backlog=128, reuse_port=False
+        )
+    except OSError as error:
+        if owns_state:
+            shutil.rmtree(state_dir, ignore_errors=True)
+        raise ServiceError(
+            f"cannot bind {config.host}:{config.port}: "
+            f"{error.strerror or error}"
+        ) from error
+    port = sock.getsockname()[1]
+    worker_config = dataclasses.replace(config, port=port, state_dir=state_dir)
+    print(
+        f"repro serve: listening on http://{config.host}:{port} "
+        f"(workers={config.workers})",
+        flush=True,
+    )
+    try:
+        return Supervisor(worker_config, sock).run()
+    finally:
+        if owns_state:
+            shutil.rmtree(state_dir, ignore_errors=True)

@@ -15,6 +15,7 @@ from repro.errors import (
     ServiceError,
     ServiceUnavailableError,
     ValidationError,
+    error_class_for,
     exit_code_for,
     http_status_for,
 )
@@ -57,6 +58,28 @@ class TestStatusTable:
                 f"{error_cls.__name__} is unreachable behind a base class row"
             )
             seen.append(error_cls)
+
+
+class TestErrorClassFor:
+    """The client-side inverse: served status pairs → raised classes."""
+
+    @pytest.mark.parametrize(
+        ("exit_code", "http_status", "expected"),
+        [
+            (2, 400, ValidationError),
+            (1, 500, ServiceError),
+            (1, 503, ServiceUnavailableError),
+            (7, 418, ReproError),  # unknown pair falls back to the root
+        ],
+    )
+    def test_pairs_map_to_canonical_classes(self, exit_code, http_status, expected):
+        assert error_class_for(exit_code, http_status) is expected
+
+    def test_round_trips_through_the_status_table(self):
+        """Raising the mapped class reproduces the served status pair."""
+        for _, exit_code, http_status in STATUS_TABLE:
+            error = error_class_for(exit_code, http_status)("x")
+            assert (error.exit_code, error.http_status) == (exit_code, http_status)
 
 
 class TestTaxonomyShape:

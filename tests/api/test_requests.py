@@ -157,3 +157,84 @@ class TestNegotiateValidation:
         a = NegotiateRequest(num_choices=30, trials=10, seed=1)
         b = NegotiateRequest(num_choices=30, trials=99, seed=2)
         assert a.coalesce_key() == b.coalesce_key()
+
+
+class TestJobRequests:
+    """The async job layer's request envelope and workflow registry."""
+
+    def test_every_registered_workflow_builds_its_request_type(self):
+        from repro.api import JOB_WORKFLOWS, build_workflow_request
+
+        # Sweep insists on exactly one of spec/smoke; the rest accept
+        # their defaults.
+        minimal = {"sweep": {"smoke": True}}
+        for workflow, request_type in JOB_WORKFLOWS.items():
+            built = build_workflow_request(workflow, minimal.get(workflow, {}))
+            assert isinstance(built, request_type)
+
+    def test_unknown_workflow_names_the_available_ones(self):
+        from repro.api import ValidationError, build_workflow_request
+
+        with pytest.raises(ValidationError, match="negotiate"):
+            build_workflow_request("bogus", {})
+
+    def test_envelope_and_bare_payload_build_identically(self):
+        from repro.api import NegotiateRequest, build_workflow_request
+
+        payload = {"num_choices": 10, "trials": 5, "seed": 3}
+        bare = build_workflow_request("negotiate", payload)
+        enveloped = build_workflow_request(
+            "negotiate", NegotiateRequest(**payload).to_json_dict()
+        )
+        assert bare == enveloped
+
+    def test_bare_payload_rejects_unknown_fields(self):
+        from repro.api import ValidationError, build_workflow_request
+
+        with pytest.raises(ValidationError, match="unknown"):
+            build_workflow_request("negotiate", {"bogus": 1})
+
+    def test_job_request_validates_its_inner_request_eagerly(self):
+        from repro.api import JobRequest, ValidationError
+
+        with pytest.raises(ValidationError, match="--num-choices"):
+            JobRequest(workflow="negotiate", request={"num_choices": -1})
+
+    def test_job_request_round_trips_through_its_envelope(self):
+        from repro.api import JobRequest
+
+        job = JobRequest(workflow="negotiate", request={"trials": 5})
+        restored = JobRequest.from_json_dict(job.to_json_dict())
+        assert restored == job
+        assert restored.typed_request() == job.typed_request()
+
+
+class TestJobStatusResult:
+    def test_terminal_states(self):
+        from repro.api import JobStatusResult
+        from repro.api.results import JOB_STATES
+
+        for state in JOB_STATES:
+            status = JobStatusResult(
+                job_id="j", workflow="negotiate", state=state, progress={}
+            )
+            assert status.is_terminal == (state in ("done", "failed", "cancelled"))
+
+    def test_unknown_state_is_rejected(self):
+        from repro.api import JobStatusResult
+        from repro.errors import EnvelopeError
+
+        with pytest.raises(EnvelopeError, match="unknown job state"):
+            JobStatusResult(job_id="j", workflow="negotiate", state="paused", progress={})
+
+    def test_round_trips_through_its_envelope(self):
+        from repro.api import JobStatusResult
+
+        status = JobStatusResult(
+            job_id="j-1",
+            workflow="sweep",
+            state="running",
+            progress={"completed": 2, "total": 9},
+        )
+        restored = JobStatusResult.from_json_dict(status.to_json_dict())
+        assert restored == status

@@ -113,3 +113,35 @@ class TestValidateCli:
         target = tmp_path / "simulate.json"
         target.write_text(payload)
         assert main([str(target)]) == 0
+
+
+class TestJobKinds:
+    """The async job layer's envelopes are first-class validated kinds."""
+
+    def test_job_request_and_status_kinds_are_registered(self):
+        from repro.api.validate import REQUIRED_KEYS
+
+        assert REQUIRED_KEYS["job_request"] == ("workflow", "request")
+        assert REQUIRED_KEYS["job_status_result"] == (
+            "job_id",
+            "workflow",
+            "state",
+            "progress",
+        )
+
+    def test_live_job_envelopes_validate(self):
+        from repro.api import JobRequest
+
+        job = JobRequest(workflow="negotiate", request={"trials": 5})
+        assert validate_envelope(job.to_json_dict()) == []
+
+    def test_job_status_missing_state_is_rejected(self):
+        document = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "job_status_result",
+            "job_id": "j",
+            "workflow": "negotiate",
+            "progress": {},
+        }
+        problems = validate_envelope(document)
+        assert any("state" in p for p in problems)

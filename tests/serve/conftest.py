@@ -53,6 +53,15 @@ class ServeProcess:
             self.proc.wait(timeout=10)
 
 
+@pytest.fixture(scope="module")
+def module_server(request):
+    """One server shared by a whole module (args from ``SERVER_ARGS``)."""
+    args = list(getattr(request.module, "SERVER_ARGS", []))
+    process = ServeProcess(args)
+    yield process
+    process.kill()
+
+
 @pytest.fixture()
 def serve_process():
     """Launcher fixture: ``serve_process(["--flag", ...]) -> ServeProcess``."""

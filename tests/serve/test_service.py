@@ -13,6 +13,11 @@ from repro.serve.service import ServeService, serialize_envelope
 
 
 def handle(service: ServeService, method: str, path: str, payload=None):
+    status, body, _ = handle_full(service, method, path, payload)
+    return status, body
+
+
+def handle_full(service: ServeService, method: str, path: str, payload=None):
     body = b"" if payload is None else json.dumps(payload).encode()
     request = HttpRequest(method=method, path=path, query="", body=body)
     return asyncio.run(service.handle(request))
@@ -28,15 +33,15 @@ TINY_NEGOTIATE = {"num_choices": 10, "trials": 5, "seed": 3}
 
 class TestIntrospectionRoutes:
     def test_health(self, service):
-        status, body = handle(service, "GET", "/health")
+        status, body = handle(service, "GET", "/v1/health")
         assert status == 200
         document = json.loads(body)
         assert validate_envelope(document) == []
         assert document["status"] == "ok"
 
     def test_stats_envelope_validates(self, service):
-        handle(service, "POST", "/negotiate", TINY_NEGOTIATE)
-        status, body = handle(service, "GET", "/stats")
+        handle(service, "POST", "/v1/negotiate", TINY_NEGOTIATE)
+        status, body = handle(service, "GET", "/v1/stats")
         assert status == 200
         document = json.loads(body)
         assert validate_envelope(document) == []
@@ -44,16 +49,58 @@ class TestIntrospectionRoutes:
         assert document["requests_total"] == 2
         assert document["result_cache"]["misses"] == 1
         assert "truthful_nash_products" in document["session"]
+        # The cross-worker fields of the merged view.
+        assert document["worker_pid"] == service.board.pid
+        assert str(service.board.pid) in document["workers"]
+        assert document["jobs"]["queued"] == 0
 
     def test_health_rejects_post(self, service):
-        status, body = handle(service, "POST", "/health")
+        status, body = handle(service, "POST", "/v1/health")
         assert status == 405
         assert json.loads(body)["exit_code"] == 2
+
+    def test_every_response_names_its_worker(self, service):
+        _, _, headers = handle_full(service, "GET", "/v1/health")
+        assert headers["X-Repro-Worker"] == str(service.board.pid)
+
+
+class TestVersionedRouting:
+    def test_legacy_path_carries_the_deprecation_marker(self, service):
+        status, body, headers = handle_full(service, "GET", "/health")
+        assert status == 200
+        assert headers["Deprecation"] == "true"
+        document = json.loads(body)
+        assert validate_envelope(document) == []
+        assert document["meta"] == {"deprecated": True}
+
+    def test_canonical_path_is_unmarked(self, service):
+        status, body, headers = handle_full(service, "GET", "/v1/health")
+        assert status == 200
+        assert "Deprecation" not in headers
+        assert "meta" not in json.loads(body)
+
+    def test_legacy_body_differs_only_by_the_marker(self, service):
+        _, canonical, _ = handle_full(
+            service, "POST", "/v1/negotiate", TINY_NEGOTIATE
+        )
+        _, legacy, headers = handle_full(
+            service, "POST", "/negotiate", TINY_NEGOTIATE
+        )
+        assert headers["Deprecation"] == "true"
+        marked = json.loads(legacy)
+        assert marked.pop("meta") == {"deprecated": True}
+        assert marked == json.loads(canonical)
+
+    def test_both_forms_share_one_cache_entry(self, service):
+        handle(service, "POST", "/v1/negotiate", TINY_NEGOTIATE)
+        handle(service, "POST", "/negotiate", TINY_NEGOTIATE)
+        stats = service.cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
 
 
 class TestWorkflowRoutes:
     def test_negotiate_matches_the_direct_session_bytes(self, service):
-        status, body = handle(service, "POST", "/negotiate", TINY_NEGOTIATE)
+        status, body = handle(service, "POST", "/v1/negotiate", TINY_NEGOTIATE)
         assert status == 200
         expected = serialize_envelope(
             Session().negotiate(NegotiateRequest(**TINY_NEGOTIATE)).to_json_dict()
@@ -62,22 +109,22 @@ class TestWorkflowRoutes:
         assert validate_envelope(json.loads(body)) == []
 
     def test_v1_prefix_and_full_envelope_bodies(self, service):
-        _, direct = handle(service, "POST", "/negotiate", TINY_NEGOTIATE)
+        _, direct = handle(service, "POST", "/v1/negotiate", TINY_NEGOTIATE)
         envelope_body = NegotiateRequest(**TINY_NEGOTIATE).to_json_dict()
         status, body = handle(service, "POST", "/v1/negotiate", envelope_body)
         assert status == 200
         assert body == direct
 
     def test_empty_body_means_defaults(self, service):
-        status, body = handle(service, "POST", "/topology")
+        status, body = handle(service, "POST", "/v1/topology")
         assert status == 200
         document = json.loads(body)
         assert validate_envelope(document) == []
         assert document["seed"] == 2021
 
     def test_repeat_request_hits_the_cache(self, service):
-        _, first = handle(service, "POST", "/negotiate", TINY_NEGOTIATE)
-        _, second = handle(service, "POST", "/negotiate", TINY_NEGOTIATE)
+        _, first = handle(service, "POST", "/v1/negotiate", TINY_NEGOTIATE)
+        _, second = handle(service, "POST", "/v1/negotiate", TINY_NEGOTIATE)
         assert second == first
         stats = service.cache.stats()
         assert stats["hits"] == 1 and stats["misses"] == 1
@@ -89,13 +136,13 @@ class TestWorkflowRoutes:
         tiny = dict(tier1=2, tier2=3, tier3=4, stubs=8)
         service.session.topology(TopologyRequest(seed=1, output=str(path), **tiny))
         payload = {"topology": str(path), "sample_size": 4, "seed": 1}
-        handle(service, "POST", "/diversity", payload)
-        handle(service, "POST", "/diversity", payload)
+        handle(service, "POST", "/v1/diversity", payload)
+        handle(service, "POST", "/v1/diversity", payload)
         assert service.cache.stats()["hits"] == 1
         # Same path, different *content*: the fingerprint key must miss
         # instead of replaying the stale body.
         service.session.topology(TopologyRequest(seed=2, output=str(path), **tiny))
-        handle(service, "POST", "/diversity", payload)
+        handle(service, "POST", "/v1/diversity", payload)
         stats = service.cache.stats()
         assert stats["hits"] == 1 and stats["misses"] == 2
 
@@ -109,14 +156,50 @@ class TestWorkflowRoutes:
             "seed": 1,
             "output": str(target),
         }
-        handle(service, "POST", "/topology", payload)
+        handle(service, "POST", "/v1/topology", payload)
         assert target.exists()
         target.unlink()
         # A bypassing request re-runs the workflow (and its write).
-        status, _ = handle(service, "POST", "/topology", payload)
+        status, _ = handle(service, "POST", "/v1/topology", payload)
         assert status == 200
         assert target.exists()
         assert service.cache.stats()["size"] == 0
+
+
+class TestSharedDiskCache:
+    def test_two_services_share_one_store(self, tmp_path):
+        """A result computed by one process-alike is a disk hit for another."""
+        first = ServeService(
+            Session(),
+            coalesce_window_ms=0.0,
+            cache_entries=8,
+            state_dir=tmp_path / "state",
+        )
+        _, body = handle(first, "POST", "/v1/negotiate", TINY_NEGOTIATE)
+        second = ServeService(
+            Session(),
+            coalesce_window_ms=0.0,
+            cache_entries=8,
+            state_dir=tmp_path / "state",
+        )
+        _, again = handle(second, "POST", "/v1/negotiate", TINY_NEGOTIATE)
+        assert again == body
+        stats = second.cache.stats()
+        assert stats["disk_hits"] == 1
+        assert stats["misses"] == 1  # memory tier missed, disk tier served
+
+    def test_cache_entries_zero_disables_both_tiers(self, tmp_path):
+        service = ServeService(
+            Session(),
+            coalesce_window_ms=0.0,
+            cache_entries=0,
+            state_dir=tmp_path / "state",
+        )
+        handle(service, "POST", "/v1/negotiate", TINY_NEGOTIATE)
+        handle(service, "POST", "/v1/negotiate", TINY_NEGOTIATE)
+        stats = service.cache.stats()
+        assert stats["size"] == 0 and stats["store_writes"] == 0
+        assert not (tmp_path / "state" / "results-cache").exists()
 
 
 class TestErrorMapping:
@@ -129,7 +212,7 @@ class TestErrorMapping:
 
     def test_validation_error_is_400_with_cli_exit_code(self, service):
         status, body = handle(
-            service, "POST", "/negotiate", {"num_choices": -1}
+            service, "POST", "/v1/negotiate", {"num_choices": -1}
         )
         assert status == 400
         document = json.loads(body)
@@ -138,38 +221,40 @@ class TestErrorMapping:
         assert "--num-choices must be a positive integer" in document["error"]
 
     def test_unknown_field_is_400(self, service):
-        status, body = handle(service, "POST", "/negotiate", {"bogus": 1})
+        status, body = handle(service, "POST", "/v1/negotiate", {"bogus": 1})
         assert status == 400
         assert "unknown negotiate_request field" in json.loads(body)["error"]
 
     def test_malformed_json_body_is_400(self, service):
         request = HttpRequest(
-            method="POST", path="/negotiate", query="", body=b"{not json"
+            method="POST", path="/v1/negotiate", query="", body=b"{not json"
         )
-        status, body = asyncio.run(service.handle(request))
+        status, body, _ = asyncio.run(service.handle(request))
         assert status == 400
         assert "not valid JSON" in json.loads(body)["error"]
 
     def test_draining_service_answers_503(self, service):
         service.draining = True
-        status, body = handle(service, "POST", "/negotiate", TINY_NEGOTIATE)
+        status, body = handle(service, "POST", "/v1/negotiate", TINY_NEGOTIATE)
         assert status == 503
         document = json.loads(body)
         assert document["http_status"] == 503
         # /health still answers, reporting the drain.
-        status, body = handle(service, "GET", "/health")
+        status, body = handle(service, "GET", "/v1/health")
         assert status == 200
         assert json.loads(body)["status"] == "draining"
 
 
 class TestRequestLogFields:
     def test_log_records_cache_and_batch_fields(self, service, tmp_path):
+        import os
+
         from repro.serve.log import RequestLog
 
         service.log = RequestLog(str(tmp_path / "requests.jsonl"))
-        handle(service, "POST", "/negotiate", TINY_NEGOTIATE)
-        handle(service, "POST", "/negotiate", TINY_NEGOTIATE)
-        handle(service, "GET", "/stats")
+        handle(service, "POST", "/v1/negotiate", TINY_NEGOTIATE)
+        handle(service, "POST", "/v1/negotiate", TINY_NEGOTIATE)
+        handle(service, "GET", "/v1/stats")
         service.log.close()
         records = [
             json.loads(line)
@@ -182,3 +267,4 @@ class TestRequestLogFields:
         assert stats["kind_handled"] == "serve_stats"
         assert all(r["latency_ms"] >= 0 for r in records)
         assert all(r["queue_depth"] == 0 for r in records)
+        assert all(r["pid"] == os.getpid() for r in records)
