@@ -48,12 +48,15 @@ from repro.api.requests import (
     build_workflow_request,
 )
 from repro.api.results import (
+    AgentsListResult,
     DiversityResult,
     DiversityScenarioRow,
     ExperimentsResult,
     GrcAllResult,
     JobStatusResult,
     NegotiateResult,
+    PopulationResult,
+    ScenarioListResult,
     SimulateResult,
     SweepListResult,
     SweepResult,
@@ -104,6 +107,9 @@ __all__ = [
     "SectionSeries",
     "PaperComparison",
     "SimulateResult",
+    "PopulationResult",
+    "AgentsListResult",
+    "ScenarioListResult",
     "NegotiateResult",
     "SweepResult",
     "SweepListResult",

@@ -38,10 +38,14 @@ from repro.api.requests import (
     TopologyRequest,
 )
 from repro.api.results import (
+    AgentsListResult,
+    ScenarioListResult,
+    render_agents_list_text,
     render_diversity_text,
     render_experiments_text,
     render_grc_all_text,
     render_negotiate_text,
+    render_scenario_list_text,
     render_simulate_text,
     render_sweep_list_text,
     render_sweep_text,
@@ -214,7 +218,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out",
         help="write the full JSONL metrics trace to this file",
     )
+    simulate.add_argument(
+        "--population",
+        default=None,
+        help="JSON population spec mapping behavior profiles onto AS sets "
+        "(scenarios with a 'population' field only; see README 'Agents')",
+    )
+    simulate.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print the scenario catalog with parameter schemas and exit",
+    )
     _add_format_argument(simulate)
+
+    agents = subparsers.add_parser(
+        "agents", help="inspect the heterogeneous-agent behavior registry"
+    )
+    agents.add_argument(
+        "action",
+        choices=("list",),
+        help="'list' prints every registered behavior profile with its "
+        "parameter schema",
+    )
+    _add_format_argument(agents)
 
     negotiate = subparsers.add_parser(
         "negotiate", help="run a batched BOSCO negotiation pass"
@@ -414,11 +440,15 @@ def _run_experiments(session: Session, args: argparse.Namespace) -> int:
 
 
 def _run_simulate(session: Session, args: argparse.Namespace) -> int:
+    if args.list_scenarios:
+        _emit(ScenarioListResult.build(), render_scenario_list_text, args.format)
+        return 0
     request = SimulateRequest(
         scenario=args.scenario,
         seed=args.seed,
         duration=args.duration,
         trace_out=args.trace_out,
+        population=args.population,
     )
     if args.format == "json":
         # The session writes the trace before the envelope is printed,
@@ -435,6 +465,12 @@ def _run_simulate(session: Session, args: argparse.Namespace) -> int:
             f"trace written to {args.trace_out} "
             f"({result.num_trace_records} records)"
         )
+    return 0
+
+
+def _run_agents(session: Session, args: argparse.Namespace) -> int:
+    # Only 'list' exists today; argparse choices already rejected the rest.
+    _emit(AgentsListResult.build(), render_agents_list_text, args.format)
     return 0
 
 
@@ -494,6 +530,7 @@ _HANDLERS = {
     "grc-all": _run_grc_all,
     "experiments": _run_experiments,
     "simulate": _run_simulate,
+    "agents": _run_agents,
     "negotiate": _run_negotiate,
     "serve": _run_serve,
     "sweep": _run_sweep,

@@ -26,7 +26,7 @@ from repro.bargaining.distributions import (
 )
 from repro.envelope import envelope, expect_envelope
 from repro.errors import ValidationError
-from repro.simulation.scenarios import SCENARIOS
+from repro.simulation.scenarios import SCENARIOS, scenario_field_names
 
 __all__ = [
     "TopologyRequest",
@@ -231,6 +231,9 @@ class SimulateRequest(_JsonRequest):
     seed: int | None = None
     duration: float | None = None
     trace_out: str | None = None
+    #: Path of a population spec JSON — only meaningful for scenarios
+    #: with a ``population`` field (``marketplace-heterogeneous``).
+    population: str | None = None
 
     def __post_init__(self) -> None:
         # Checked in the order the CLI historically reported them.
@@ -247,6 +250,20 @@ class SimulateRequest(_JsonRequest):
                 f"unknown scenario {self.scenario!r}; "
                 f"available: {', '.join(sorted(SCENARIOS))}"
             )
+        if self.population is not None:
+            if not self.population:
+                raise ValidationError("--population must be a non-empty file path")
+            supported = sorted(
+                name
+                for name in SCENARIOS
+                if "population" in scenario_field_names(name)
+            )
+            if "population" not in scenario_field_names(self.scenario):
+                raise ValidationError(
+                    f"--population is not supported by scenario "
+                    f"{self.scenario!r}; scenarios with populations: "
+                    f"{', '.join(supported)}"
+                )
 
 
 @dataclass(frozen=True)

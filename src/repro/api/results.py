@@ -29,6 +29,9 @@ __all__ = [
     "ExperimentsResult",
     "GrcAllResult",
     "SimulateResult",
+    "PopulationResult",
+    "AgentsListResult",
+    "ScenarioListResult",
     "NegotiateResult",
     "SweepResult",
     "SweepListResult",
@@ -40,6 +43,8 @@ __all__ = [
     "render_experiments_text",
     "render_grc_all_text",
     "render_simulate_text",
+    "render_agents_list_text",
+    "render_scenario_list_text",
     "render_negotiate_text",
     "render_sweep_text",
     "render_sweep_list_text",
@@ -334,6 +339,50 @@ class GrcAllResult:
 
 
 @dataclass(frozen=True)
+class PopulationResult:
+    """Per-profile metrics of a heterogeneous population run.
+
+    Built from the ``profile_metrics`` records a population-carrying
+    scenario appends to its trace: one row per behavior profile with
+    uptake, realized utility, Price of Dishonesty, and default rate.
+    """
+
+    name: str
+    profiles: tuple[dict[str, Any], ...]
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Schema-versioned JSON envelope."""
+        return envelope(
+            "population_result",
+            {
+                "name": self.name,
+                "profiles": [dict(row) for row in self.profiles],
+            },
+        )
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "PopulationResult":
+        """Inverse of :meth:`to_json_dict`."""
+        payload = expect_envelope(data, "population_result")
+        require_keys(payload, "population_result", ("name", "profiles"))
+        return cls(
+            name=payload["name"],
+            profiles=tuple(dict(row) for row in payload["profiles"]),
+        )
+
+    @classmethod
+    def from_scenario(cls, result: ScenarioResult) -> "PopulationResult | None":
+        """Extract the per-profile metrics of a run (None if homogeneous)."""
+        records = result.trace.of_kind("profile_metrics")
+        if not records:
+            return None
+        return cls(
+            name=result.name,
+            profiles=tuple(dict(record.data) for record in records),
+        )
+
+
+@dataclass(frozen=True)
 class SimulateResult:
     """Outcome of one scenario run (``Session.simulate``).
 
@@ -354,25 +403,28 @@ class SimulateResult:
     kinds: dict[str, int]
     headline: tuple[str, ...]
     trace_out: str | None = None
+    #: Per-profile metrics of a heterogeneous population run (None for
+    #: the homogeneous scenarios).
+    population: PopulationResult | None = None
     scenario_result: ScenarioResult | None = field(
         default=None, compare=False, repr=False
     )
 
     def to_json_dict(self) -> dict[str, Any]:
         """Schema-versioned JSON envelope."""
-        return envelope(
-            "simulate_result",
-            {
-                "name": self.name,
-                "seed": self.seed,
-                "duration": self.duration,
-                "events_processed": self.events_processed,
-                "num_trace_records": self.num_trace_records,
-                "kinds": dict(self.kinds),
-                "headline": list(self.headline),
-                "trace_out": self.trace_out,
-            },
-        )
+        payload = {
+            "name": self.name,
+            "seed": self.seed,
+            "duration": self.duration,
+            "events_processed": self.events_processed,
+            "num_trace_records": self.num_trace_records,
+            "kinds": dict(self.kinds),
+            "headline": list(self.headline),
+            "trace_out": self.trace_out,
+        }
+        if self.population is not None:
+            payload["population"] = self.population.to_json_dict()
+        return envelope("simulate_result", payload)
 
     @classmethod
     def from_json_dict(cls, data: Mapping[str, Any]) -> "SimulateResult":
@@ -383,6 +435,7 @@ class SimulateResult:
             "simulate_result",
             ("name", "seed", "duration", "events_processed", "num_trace_records"),
         )
+        population_payload = payload.get("population")
         return cls(
             name=payload["name"],
             seed=int(payload["seed"]),
@@ -392,6 +445,11 @@ class SimulateResult:
             kinds={str(k): int(v) for k, v in payload.get("kinds", {}).items()},
             headline=tuple(payload.get("headline", ())),
             trace_out=payload.get("trace_out"),
+            population=(
+                PopulationResult.from_json_dict(population_payload)
+                if population_payload
+                else None
+            ),
         )
 
     @classmethod
@@ -408,6 +466,7 @@ class SimulateResult:
             kinds=result.trace.kinds(),
             headline=tuple(result.headline),
             trace_out=trace_out,
+            population=PopulationResult.from_scenario(result),
             scenario_result=result,
         )
 
@@ -710,6 +769,87 @@ def render_simulate_text(result: SimulateResult) -> str:
         f"trace records: {result.num_trace_records} ({kinds})",
         *result.headline,
     ]
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class AgentsListResult:
+    """The registered behavior profiles (``repro agents list``)."""
+
+    profiles: tuple[dict[str, Any], ...]
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Schema-versioned JSON envelope."""
+        return envelope(
+            "agents_list_result",
+            {"profiles": [dict(row) for row in self.profiles]},
+        )
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "AgentsListResult":
+        """Inverse of :meth:`to_json_dict`."""
+        payload = expect_envelope(data, "agents_list_result")
+        require_keys(payload, "agents_list_result", ("profiles",))
+        return cls(profiles=tuple(dict(row) for row in payload["profiles"]))
+
+    @classmethod
+    def build(cls) -> "AgentsListResult":
+        """Snapshot the behavior registry."""
+        from repro.agents.registry import behavior_catalog
+
+        return cls(profiles=behavior_catalog())
+
+
+@dataclass(frozen=True)
+class ScenarioListResult:
+    """The canned scenarios (``repro simulate --list-scenarios``)."""
+
+    scenarios: tuple[dict[str, Any], ...]
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """Schema-versioned JSON envelope."""
+        return envelope(
+            "scenario_list_result",
+            {"scenarios": [dict(row) for row in self.scenarios]},
+        )
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "ScenarioListResult":
+        """Inverse of :meth:`to_json_dict`."""
+        payload = expect_envelope(data, "scenario_list_result")
+        require_keys(payload, "scenario_list_result", ("scenarios",))
+        return cls(scenarios=tuple(dict(row) for row in payload["scenarios"]))
+
+    @classmethod
+    def build(cls) -> "ScenarioListResult":
+        """Snapshot the scenario registry."""
+        from repro.simulation.scenarios import scenario_catalog
+
+        return cls(scenarios=scenario_catalog())
+
+
+def render_agents_list_text(result: AgentsListResult) -> str:
+    """The ``repro agents list`` profile catalog."""
+    lines = [f"== behavior profiles ({len(result.profiles)}) =="]
+    for profile in result.profiles:
+        lines.append(f"{profile['profile']}: {profile['description']}")
+        for param in profile["parameters"]:
+            doc = f"  — {param['doc']}" if param["doc"] else ""
+            lines.append(
+                f"  {param['name']}: {param['type']} = {param['default']!r}{doc}"
+            )
+    return "\n".join(lines)
+
+
+def render_scenario_list_text(result: ScenarioListResult) -> str:
+    """The ``repro simulate --list-scenarios`` scenario catalog."""
+    lines = [f"== scenarios ({len(result.scenarios)}) =="]
+    for scenario in result.scenarios:
+        lines.append(f"{scenario['name']}: {scenario['description']}")
+        for spec in scenario["fields"]:
+            lines.append(
+                f"  {spec['name']}: {spec['type']} = {spec['default']!r}"
+            )
     return "\n".join(lines)
 
 

@@ -483,9 +483,15 @@ class Session:
         historical output ordering).
         """
         request = request or SimulateRequest()
+        overrides: dict[str, object] = {}
+        if request.population:
+            overrides["population"] = request.population
         with self._entered():
             scenario_result = run_scenario(
-                request.scenario, seed=request.seed, duration=request.duration
+                request.scenario,
+                seed=request.seed,
+                duration=request.duration,
+                **overrides,
             )
         result = SimulateResult.from_scenario(
             scenario_result, trace_out=request.trace_out

@@ -68,6 +68,9 @@ REQUIRED_KEYS: dict[str, tuple[str, ...]] = {
     ),
     "sweep_result": ("name", "executed", "reused", "summary_path"),
     "sweep_list_result": ("name", "shard_ids"),
+    "population_result": ("name", "profiles"),
+    "agents_list_result": ("profiles",),
+    "scenario_list_result": ("scenarios",),
     "scenario_result": ("name", "seed", "duration", "events_processed", "trace"),
     "sweep_run_result": ("spec", "summary", "executed", "reused"),
     "negotiate_result": (

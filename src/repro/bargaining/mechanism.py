@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
@@ -65,9 +66,15 @@ class MechanismInformation:
         return self.game().is_equilibrium(self.equilibrium)
 
 
-@dataclass(frozen=True)
-class NegotiationOutcome:
-    """Result of one BOSCO-mediated negotiation."""
+class NegotiationOutcome(NamedTuple):
+    """Result of one BOSCO-mediated negotiation.
+
+    A ``NamedTuple`` rather than a frozen dataclass: the marketplace
+    lifecycle constructs one outcome per negotiation per flush, and
+    tuple construction (``_make``) is what keeps the batched
+    :meth:`BoscoService.negotiate_many` path cheap at
+    tens-of-thousands-of-pairs cohort sizes.
+    """
 
     claim_x: float
     claim_y: float
@@ -498,7 +505,7 @@ class BoscoService:
                 f"{len(true_utilities_x)} x-utilities and "
                 f"{len(true_utilities_y)} y-utilities"
             )
-        if not true_utilities_x:
+        if not len(true_utilities_x):
             return []
         claims_x = batched_claims(
             information.equilibrium.strategy_x,
@@ -508,22 +515,22 @@ class BoscoService:
             information.equilibrium.strategy_y,
             np.asarray(true_utilities_y, dtype=np.float64),
         )
-        outcomes = []
-        for utility_x, utility_y, claim_x, claim_y in zip(
-            true_utilities_x, true_utilities_y, claims_x, claims_y
-        ):
-            claim_x = float(claim_x)
-            claim_y = float(claim_y)
-            concluded = claim_x + claim_y >= 0.0
-            transfer = (claim_x - claim_y) / 2.0 if concluded else 0.0
-            outcomes.append(
-                NegotiationOutcome(
-                    claim_x=claim_x,
-                    claim_y=claim_y,
-                    concluded=concluded,
-                    transfer_x_to_y=transfer,
-                    true_utility_x=float(utility_x),
-                    true_utility_y=float(utility_y),
-                )
+        # Vectorized conclusion test and transfer; the transfer is
+        # computed only where concluded (the scalar path's guard), so
+        # opposing infinite claims never produce a NaN.
+        concluded = claims_x + claims_y >= 0.0
+        transfers = np.zeros(len(claims_x))
+        transfers[concluded] = (claims_x[concluded] - claims_y[concluded]) / 2.0
+        return list(
+            map(
+                NegotiationOutcome._make,
+                zip(
+                    claims_x.tolist(),
+                    claims_y.tolist(),
+                    concluded.tolist(),
+                    transfers.tolist(),
+                    map(float, true_utilities_x),
+                    map(float, true_utilities_y),
+                ),
             )
-        return outcomes
+        )

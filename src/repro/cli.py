@@ -1,6 +1,6 @@
 """Command-line interface of the reproduction — a thin API adapter.
 
-Five subcommands cover the workflows a downstream user needs:
+These subcommands cover the workflows a downstream user needs:
 
 ``repro topology``
     Generate a synthetic Internet-like AS topology and write it in the
@@ -18,8 +18,16 @@ Five subcommands cover the workflows a downstream user needs:
 
 ``repro simulate``
     Run a canned discrete-event simulation scenario (failure churn,
-    agreement marketplace, flash crowd) and print its metrics summary;
-    optionally write the full JSONL metrics trace to a file.
+    agreement marketplace, flash crowd, heterogeneous marketplace) and
+    print its metrics summary; optionally write the full JSONL metrics
+    trace to a file.  ``--population pop.json`` maps behavior profiles
+    onto the AS population; ``--list-scenarios`` prints the scenario
+    catalog with parameter schemas.
+
+``repro agents``
+    Inspect the heterogeneous-agent behavior registry: ``repro agents
+    list`` prints every profile (honest, dishonest, adaptive, budget,
+    regional) with its parameter schema.
 
 ``repro sweep``
     Expand a declarative sweep spec (scales × seeds × figures ×

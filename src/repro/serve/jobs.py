@@ -1,9 +1,11 @@
 """Asynchronous jobs: submit-then-poll execution over a shared directory.
 
 ``POST /v1/jobs`` exists because slow workflows (``sweep``,
-``experiments``, long ``simulate`` runs) should not occupy a keep-alive
-connection start-to-finish: the submit returns a job id immediately and
-the client polls ``GET /v1/jobs/<id>`` until the state is terminal.
+``experiments``, long ``simulate`` runs — including
+population-carrying heterogeneous-marketplace simulations, which are
+never result-cached) should not occupy a keep-alive connection
+start-to-finish: the submit returns a job id immediately and the
+client polls ``GET /v1/jobs/<id>`` until the state is terminal.
 
 All job state lives on the filesystem, one directory per job under the
 server's shared state dir, written with crash-safe primitives only:

@@ -126,7 +126,13 @@ ROUTES: dict[str, _Route] = {
     "topology": _Route(TopologyRequest, "topology", lambda r: r.output is None),
     "diversity": _Route(DiversityRequest, "diversity", lambda r: True),
     "experiments": _Route(ExperimentsRequest, "experiments", lambda r: True),
-    "simulate": _Route(SimulateRequest, "simulate", lambda r: r.trace_out is None),
+    # Population specs are referenced by path, whose contents the cache
+    # key cannot see — population-carrying runs are never cached.
+    "simulate": _Route(
+        SimulateRequest,
+        "simulate",
+        lambda r: r.trace_out is None and r.population is None,
+    ),
     "negotiate": _Route(NegotiateRequest, "negotiate", lambda r: True),
 }
 

@@ -25,12 +25,27 @@ those one-shot computations into a lifecycle over virtual time:
    per-usage price; the negotiated cash compensation is applied on top.
 5. **Renegotiate** — the lifecycle restarts with fresh demand-dependent
    utilities, so marketplace runs show agreements coming and going.
+
+With a resolved :class:`~repro.agents.population.Population` attached,
+every AS negotiates under its own behavior profile: reports may be
+shaded (dishonest/adaptive agents), transfers may be vetoed (budget
+agents), billing prices carry per-agent and :class:`PriceWar`
+multipliers, and realized utilities feed post-billing learning.  Pairs
+preferring different BOSCO cardinalities are decided inside one flush
+as order-preserving sub-batches (:func:`decide_mixed_cohort`) — still
+bit-identical to the per-agent sequential reference.  Without a
+population, every code path reduces exactly to the homogeneous
+marketplace, keeping seeded traces byte-identical to the historical
+formulation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.agents.behaviors import AgentState
+from repro.agents.negotiator import CohortEntry, decide_mixed_cohort
+from repro.agents.population import Population
 from repro.agreements.agreement import Agreement
 from repro.agreements.mutuality import mutuality_agreement
 from repro.agreements.scenario import AgreementScenario, SegmentTraffic
@@ -46,6 +61,7 @@ from repro.economics.timeseries import BillingRule, billed_volume
 from repro.economics.traffic import ENDHOSTS, FlowVector
 from repro.simulation.engine import Process, SimulationEngine
 from repro.simulation.network import DynamicNetwork
+from repro.simulation.shocks import PriceWar
 from repro.simulation.traffic import FlashCrowd, TimeVaryingDemand
 
 
@@ -82,10 +98,17 @@ class AgreementLifecycleManager(Process):
     seed: int = 0
     distribution: JointUtilityDistribution = field(default_factory=paper_distribution_u1)
     flash_crowds: tuple[FlashCrowd, ...] = ()
+    #: Resolved heterogeneous population (None = the homogeneous
+    #: marketplace, byte-identical to the historical formulation).
+    population: Population | None = None
+    price_wars: tuple[PriceWar, ...] = ()
     name: str = "agreement-lifecycle"
 
     _engine: SimulationEngine | None = field(default=None, init=False)
     _mechanism: MechanismInformation | None = field(default=None, init=False)
+    #: Published mechanisms keyed by choice-set cardinality ``W``.
+    _mechanisms: dict[int, MechanismInformation] = field(default_factory=dict, init=False)
+    _states: dict[int, AgentState] = field(default_factory=dict, init=False)
     _businesses: dict[int, ASBusiness] = field(default_factory=dict, init=False)
     _demands: dict[tuple[int, int], TimeVaryingDemand] = field(
         default_factory=dict, init=False
@@ -108,18 +131,31 @@ class AgreementLifecycleManager(Process):
         self._engine = engine
         self.pairs = tuple(sorted((min(a, b), max(a, b)) for a, b in self.pairs))
         self._businesses = default_business_models(self.network.base_graph)
-        # One BOSCO configuration is published for the whole marketplace;
-        # every negotiation applies its equilibrium strategies (§V-B).
+        # One BOSCO configuration is published per choice-set
+        # cardinality the population negotiates under (a homogeneous
+        # marketplace publishes exactly one); every negotiation applies
+        # the equilibrium strategies of its pair's mechanism (§V-B).
         service = BoscoService(self.distribution, seed=self.seed)
-        self._mechanism = service.configure(
-            self.num_choices, trials=self.configuration_trials
+        widths = (
+            (self.num_choices,)
+            if self.population is None
+            else self.population.choice_widths(self.num_choices)
         )
-        engine.trace.record(
-            engine.now,
-            "bosco_configured",
-            price_of_dishonesty=self._mechanism.price_of_dishonesty,
-            num_choices=self.num_choices,
-        )
+        for width in widths:
+            mechanism = service.configure(width, trials=self.configuration_trials)
+            self._mechanisms[width] = mechanism
+            engine.trace.record(
+                engine.now,
+                "bosco_configured",
+                price_of_dishonesty=mechanism.price_of_dishonesty,
+                num_choices=width,
+            )
+        self._mechanism = self._mechanisms.get(self.num_choices, self._mechanisms[widths[0]])
+        if self.population is not None:
+            for pair in self.pairs:
+                for party in pair:
+                    if party not in self._states:
+                        self._states[party] = self.population.new_state(party)
         for index, pair in enumerate(self.pairs):
             for party in pair:
                 direction = (party, pair[0] if party == pair[1] else pair[1])
@@ -166,14 +202,26 @@ class AgreementLifecycleManager(Process):
         else:
             bucket.append(pair)
 
+    def _pair_width(self, pair: tuple[int, int]) -> int:
+        """The BOSCO cardinality a pair negotiates under (min of the two)."""
+        if self.population is None:
+            return self.num_choices
+        return min(
+            self.population.behavior_for(party).num_choices or self.num_choices
+            for party in pair
+        )
+
     def _negotiate_due(self, due: float):
         def negotiate_batch() -> None:
             engine = self._engine
             assert engine is not None and self._mechanism is not None
             pairs = self._due.pop(due, [])
             # First pass: evaluate every pair's agreement and economic
-            # utilities (pure graph/demand computations, no events).
-            evaluations: list[tuple[tuple[int, int], Agreement | None, float, float, float]] = []
+            # utilities (pure graph/demand computations, no events),
+            # then apply each party's reporting behavior.
+            evaluations: list[
+                tuple[tuple[int, int], Agreement | None, float, float, float, float, float, int]
+            ] = []
             for pair in pairs:
                 self.negotiations += 1
                 left, right = pair
@@ -181,27 +229,47 @@ class AgreementLifecycleManager(Process):
                 if self.network.is_link_up(left, right):
                     agreement = mutuality_agreement(self.network.base_graph, left, right)
                 if agreement is None:
-                    evaluations.append((pair, None, 0.0, 0.0, 1.0))
+                    evaluations.append((pair, None, 0.0, 0.0, 0.0, 0.0, 1.0, self.num_choices))
                     continue
                 utilities = joint_utilities(self._scenario(agreement), self._businesses)
                 u_left, u_right = utilities[left], utilities[right]
+                reported_left, reported_right = u_left, u_right
+                width = self.num_choices
+                if self.population is not None:
+                    width = self._pair_width(pair)
+                    for party, true_utility in ((left, u_left), (right, u_right)):
+                        behavior = self.population.behavior_for(party)
+                        state = self._states[party]
+                        state.negotiations += 1
+                        state.pod_total += self._mechanisms[width].price_of_dishonesty
+                        reported = behavior.reported_utility(true_utility, state)
+                        state.misreport_total += abs(reported - true_utility)
+                        if party == left:
+                            reported_left = reported
+                        else:
+                            reported_right = reported
                 # BOSCO strategies are defined over the published utility
-                # distribution; economic utilities are normalized into its
+                # distribution; reported utilities are normalized into its
                 # support so the equilibrium thresholds apply.
-                scale = max(abs(u_left), abs(u_right), 1e-9)
-                evaluations.append((pair, agreement, u_left, u_right, scale))
-            # One batched engine call decides every negotiable pair.
+                scale = max(abs(reported_left), abs(reported_right), 1e-9)
+                evaluations.append(
+                    (pair, agreement, u_left, u_right, reported_left, reported_right, scale, width)
+                )
+            # One batched engine call per mechanism decides every
+            # negotiable pair; a homogeneous cohort is a single batch.
             negotiable = [entry for entry in evaluations if entry[1] is not None]
             outcomes = iter(
-                BoscoService.negotiate_many(
-                    self._mechanism,
-                    [u_left / scale for _, _, u_left, _, scale in negotiable],
-                    [u_right / scale for _, _, _, u_right, scale in negotiable],
+                decide_mixed_cohort(
+                    self._mechanisms,
+                    [
+                        CohortEntry(key=width, utility_x=r_left / scale, utility_y=r_right / scale)
+                        for _, _, _, _, r_left, r_right, scale, width in negotiable
+                    ],
                 )
             )
             # Second pass, in request order: record traces and act — the
             # same record/schedule sequence the per-pair events produced.
-            for pair, agreement, u_left, u_right, scale in evaluations:
+            for pair, agreement, u_left, u_right, _, _, scale, width in evaluations:
                 left, right = pair
                 if agreement is None:
                     engine.trace.record(
@@ -210,6 +278,23 @@ class AgreementLifecycleManager(Process):
                     self._request_negotiation(pair, self.retry_delay)
                     continue
                 outcome = next(outcomes)
+                transfer = outcome.transfer_x_to_y * scale
+                vetoed = False
+                payer = left if transfer > 0.0 else right if transfer < 0.0 else None
+                if outcome.concluded and self.population is not None and payer is not None:
+                    state = self._states[payer]
+                    if abs(transfer) > self.population.behavior_for(payer).max_spend(state):
+                        vetoed = True
+                        state.vetoed += 1
+                extra: dict[str, object] = {}
+                if self.population is not None:
+                    extra = {
+                        "profile_x": self._states[left].profile,
+                        "profile_y": self._states[right].profile,
+                        "width": width,
+                    }
+                    if vetoed:
+                        extra["vetoed"] = True
                 engine.trace.record(
                     engine.now,
                     "negotiation",
@@ -217,10 +302,18 @@ class AgreementLifecycleManager(Process):
                     utility_x=u_left,
                     utility_y=u_right,
                     concluded=outcome.concluded,
-                    transfer_x_to_y=outcome.transfer_x_to_y * scale,
+                    transfer_x_to_y=transfer,
+                    **extra,
                 )
-                if outcome.concluded:
-                    self._activate(agreement, outcome.transfer_x_to_y * scale)
+                if outcome.concluded and not vetoed:
+                    if self.population is not None:
+                        for party in pair:
+                            self._states[party].concluded += 1
+                        if payer is not None:
+                            self.population.behavior_for(payer).commit_spend(
+                                abs(transfer), self._states[payer]
+                            )
+                    self._activate(agreement, transfer)
                 else:
                     self._request_negotiation(pair, self.retry_delay)
 
@@ -323,23 +416,34 @@ class AgreementLifecycleManager(Process):
     # ------------------------------------------------------------------
     # 4.–5. Billing, expiry, renegotiation
     # ------------------------------------------------------------------
+    def _unit_price_for(self, party: int, now: float) -> float:
+        """The unit price a party bills at (behavior + price-war scaled)."""
+        if self.population is None:
+            return self.unit_price
+        state = self._states[party]
+        price = self.unit_price * self.population.behavior_for(party).price_multiplier(state)
+        for war in self.price_wars:
+            price *= war.multiplier_at(now, state.region)
+        return price
+
     def _expire(self, pair: tuple[int, int], active: ActiveAgreement):
         def expire() -> None:
             engine = self._engine
             assert engine is not None
-            pricing = PerUsagePricing(self.unit_price)
             x, y = active.agreement.parties
+            pricing_x = PerUsagePricing(self._unit_price_for(x, engine.now))
+            pricing_y = PerUsagePricing(self._unit_price_for(y, engine.now))
             billed = {
                 party: billed_volume(active.samples[party], self.billing_rule)
                 for party in (x, y)
             }
             # Each party bills the counterparty for the traffic it carried
-            # on the counterparty's behalf; the negotiated cash
-            # compensation settles the remaining asymmetry.
-            revenue_x = pricing(billed[y]) - active.transfer_x_to_y
-            revenue_y = pricing(billed[x]) + active.transfer_x_to_y
-            utility_x = revenue_x - pricing(billed[x])
-            utility_y = revenue_y - pricing(billed[y])
+            # on the counterparty's behalf, at its own unit price; the
+            # negotiated cash compensation settles the remaining asymmetry.
+            revenue_x = pricing_x(billed[y]) - active.transfer_x_to_y
+            revenue_y = pricing_y(billed[x]) + active.transfer_x_to_y
+            utility_x = revenue_x - pricing_y(billed[x])
+            utility_y = revenue_y - pricing_x(billed[y])
             self.billed_terms += 1
             engine.trace.record(
                 engine.now,
@@ -359,11 +463,65 @@ class AgreementLifecycleManager(Process):
             engine.trace.record(
                 engine.now, "agreement_expired", pair=list(pair)
             )
+            if self.population is not None:
+                for party, utility in ((x, utility_x), (y, utility_y)):
+                    state = self._states[party]
+                    state.billed_terms += 1
+                    state.utility_total += utility
+                    if utility < 0.0:
+                        state.defaulted_terms += 1
+                    self.population.behavior_for(party).on_billing(utility, state)
             self._active.pop(pair, None)
             # Renegotiate immediately: the marketplace keeps turning.
             self._request_negotiation(pair, 0.0)
 
         return expire
+
+    # ------------------------------------------------------------------
+    # Per-profile metrics
+    # ------------------------------------------------------------------
+    def record_population_metrics(self) -> None:
+        """Emit one ``profile_metrics`` trace record per behavior profile.
+
+        Scenario runs schedule this at the horizon (priority 50, after
+        every same-instant lifecycle event), so the trace closes with
+        uptake, realized utility, Price of Dishonesty, and default-rate
+        summaries per profile.
+        """
+        engine = self._engine
+        if engine is None or self.population is None:
+            return
+        per_profile: dict[str, list[AgentState]] = {}
+        for asn in sorted(self._states):
+            state = self._states[asn]
+            per_profile.setdefault(state.profile, []).append(state)
+        for profile in sorted(per_profile):
+            states = per_profile[profile]
+            negotiations = sum(s.negotiations for s in states)
+            concluded = sum(s.concluded for s in states)
+            billed = sum(s.billed_terms for s in states)
+            defaulted = sum(s.defaulted_terms for s in states)
+            engine.trace.record(
+                engine.now,
+                "profile_metrics",
+                profile=profile,
+                agents=len(states),
+                negotiations=negotiations,
+                uptake=concluded / negotiations if negotiations else 0.0,
+                vetoed=sum(s.vetoed for s in states),
+                billed_terms=billed,
+                default_rate=defaulted / billed if billed else 0.0,
+                mean_utility=sum(s.utility_total for s in states) / billed if billed else 0.0,
+                mean_pod=(
+                    sum(s.pod_total for s in states) / negotiations if negotiations else 0.0
+                ),
+                mean_misreport=(
+                    sum(s.misreport_total for s in states) / negotiations
+                    if negotiations
+                    else 0.0
+                ),
+                spend=sum(s.spend_total for s in states),
+            )
 
     # ------------------------------------------------------------------
     # Introspection

@@ -11,6 +11,9 @@ Three scenarios exercise the engine end-to-end:
   demand, billed at expiry, and renegotiated (§III–§V over time).
 - ``flash-crowd`` — a demand spike hits the paper's Fig. 1 agreement
   between D and E mid-term and shows up in the 95th-percentile bill.
+- ``marketplace-heterogeneous`` — the marketplace over a mixed-profile
+  agent population (honest/dishonest/adaptive/budget/regional, see
+  :mod:`repro.agents`) with a regional partition and a price war.
 
 Each scenario is reproducible: the same seed yields a byte-identical
 metrics trace (:meth:`ScenarioResult.trace_text`).
@@ -25,8 +28,14 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from repro.agents.population import (
+    PopulationSpec,
+    assign_regions,
+    default_population_spec,
+)
 from repro.economics.timeseries import BillingRule
 from repro.envelope import envelope, expect_envelope, require_keys
+from repro.errors import ValidationError
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.failures import FailureInjector, StochasticFailureModel
 from repro.simulation.lifecycle import AgreementLifecycleManager
@@ -37,6 +46,7 @@ from repro.simulation.routing import (
     BGPRoutingService,
     PANRoutingService,
 )
+from repro.simulation.shocks import PriceWar, RegionalPartition
 from repro.simulation.traffic import FlashCrowd
 from repro.topology.fixtures import AS_D, AS_E, figure1_topology
 from repro.topology.generator import generate_topology
@@ -367,12 +377,177 @@ class FlashCrowdScenario(SimulationScenario):
         )
 
 
+@dataclass
+class HeterogeneousMarketplaceScenario(SimulationScenario):
+    """A mixed-profile agreement marketplace with regional shocks.
+
+    The population-scale version of the marketplace: every AS carries a
+    behavior profile from a declarative population spec (``population``
+    — a JSON file path, or the built-in five-profile mix when empty),
+    pairs negotiate in mixed sub-batched cohorts, a regional partition
+    cuts one region off mid-run, and a price war scales a region's
+    billing prices for a window.  Per-profile uptake/utility/PoD/
+    default-rate metrics close the trace.
+    """
+
+    seed: int = 2021
+    duration: float = 24.0 * 14.0
+    num_tier1: int = 3
+    num_tier2: int = 8
+    num_tier3: int = 14
+    num_stubs: int = 20
+    num_pairs: int = 10
+    term_duration: float = 24.0 * 7.0
+    metering_interval: float = 1.0
+    mean_demand: float = 10.0
+    #: Path of a population spec JSON ("" = the built-in mixed spec).
+    population: str = ""
+    partition_region: int = 2
+    partition_start: float = 24.0 * 5.0
+    partition_duration: float = 48.0
+    price_war_region: int = 0
+    price_war_start: float = 24.0 * 8.0
+    price_war_duration: float = 96.0
+    price_war_multiplier: float = 0.5
+    name: str = field(default="marketplace-heterogeneous", init=False)
+    description: str = field(
+        default="a mixed-profile agreement marketplace with regional shocks",
+        init=False,
+    )
+
+    def topology(self) -> ASGraph:
+        return generate_topology(
+            num_tier1=self.num_tier1,
+            num_tier2=self.num_tier2,
+            num_tier3=self.num_tier3,
+            num_stubs=self.num_stubs,
+            seed=self.seed,
+        ).graph
+
+    def population_spec(self) -> PopulationSpec:
+        """The population document this run resolves (file or built-in)."""
+        if self.population:
+            return PopulationSpec.load(self.population)
+        return default_population_spec(seed=self.seed)
+
+    def _peering_pairs(self, graph: ASGraph) -> tuple[tuple[int, int], ...]:
+        """The first few peering links below the tier-1 clique."""
+        tier1 = graph.tier1_ases()
+        pairs = [
+            (link.first, link.second)
+            for link in graph.links
+            if link.relationship is Relationship.PEER_TO_PEER
+            and link.first not in tier1
+            and link.second not in tier1
+        ]
+        return tuple(sorted(pairs))[: self.num_pairs]
+
+    def build(self, engine: SimulationEngine, network: DynamicNetwork) -> None:
+        graph = network.base_graph
+        regions = assign_regions(graph, seed=self.seed)
+        population = self.population_spec().resolve(graph, regions)
+        price_wars: tuple[PriceWar, ...] = ()
+        if self.price_war_multiplier != 1.0:
+            price_wars = (
+                PriceWar(
+                    start=self.price_war_start,
+                    duration=self.price_war_duration,
+                    multiplier=self.price_war_multiplier,
+                    region=self.price_war_region,
+                ),
+            )
+        if self.partition_region >= 0 and self.partition_start <= self.duration:
+            partition = RegionalPartition(
+                region=self.partition_region,
+                start=self.partition_start,
+                duration=self.partition_duration,
+            )
+            engine.add_process(
+                FailureInjector(
+                    network=network,
+                    schedule=partition.failure_schedule(graph, regions),
+                    horizon=self.duration,
+                )
+            )
+        lifecycle = AgreementLifecycleManager(
+            network=network,
+            pairs=self._peering_pairs(graph),
+            term_duration=self.term_duration,
+            metering_interval=self.metering_interval,
+            mean_demand=self.mean_demand,
+            seed=self.seed,
+            population=population,
+            price_wars=price_wars,
+        )
+        engine.add_process(lifecycle)
+        # Priority 50: the per-profile summary closes the trace, after
+        # every same-instant billing/negotiation event has settled.
+        engine.schedule_at(
+            self.duration,
+            lifecycle.record_population_metrics,
+            priority=50,
+            name="profile-metrics",
+        )
+
+    def headline(self, trace: MetricsTrace) -> tuple[str, ...]:
+        negotiations = trace.of_kind("negotiation")
+        concluded = sum(1 for r in negotiations if r.data["concluded"])
+        vetoed = sum(1 for r in negotiations if r.data.get("vetoed"))
+        billings = trace.of_kind("billing")
+        lines = [
+            f"negotiations: {len(negotiations)} "
+            f"(concluded: {concluded}, vetoed: {vetoed})",
+            f"billed agreement terms: {len(billings)}",
+        ]
+        for record in trace.of_kind("profile_metrics"):
+            data = record.data
+            lines.append(
+                f"profile {data['profile']}: agents {data['agents']}, "
+                f"uptake {data['uptake']:.2f}, "
+                f"mean utility {data['mean_utility']:.2f}, "
+                f"default rate {data['default_rate']:.2f}"
+            )
+        return tuple(lines)
+
+
 #: Registry of canned scenarios, keyed by CLI name.
 SCENARIOS: dict[str, type[SimulationScenario]] = {
     "failure-churn": FailureChurnScenario,
     "marketplace": AgreementMarketplaceScenario,
     "flash-crowd": FlashCrowdScenario,
+    "marketplace-heterogeneous": HeterogeneousMarketplaceScenario,
 }
+
+
+def scenario_catalog() -> tuple[dict[str, Any], ...]:
+    """JSON-safe listing of every canned scenario and its knobs.
+
+    Each entry carries the scenario's name, description, and sweepable
+    fields (name, type, default) — what ``repro simulate
+    --list-scenarios`` prints.
+    """
+    catalog = []
+    for name in sorted(SCENARIOS):
+        scenario_cls = SCENARIOS[name]
+        fields = []
+        for spec in dataclasses.fields(scenario_cls):
+            if not spec.init:
+                continue
+            fields.append(
+                {
+                    "name": spec.name,
+                    "type": spec.type if isinstance(spec.type, str) else spec.type.__name__,
+                    "default": spec.default,
+                }
+            )
+        catalog.append(
+            {
+                "name": name,
+                "description": scenario_cls.description,
+                "fields": fields,
+            }
+        )
+    return tuple(catalog)
 
 
 def scenario_field_names(name: str) -> frozenset[str]:
@@ -396,7 +571,7 @@ def run_scenario(
     *,
     seed: int | None = None,
     duration: float | None = None,
-    **overrides: float,
+    **overrides: Any,
 ) -> ScenarioResult:
     """Run a canned scenario by name with optional overrides.
 
@@ -412,8 +587,12 @@ def run_scenario(
     allowed = scenario_field_names(name)
     unknown = set(overrides) - allowed
     if unknown:
-        raise TypeError(
-            f"scenario {name!r} has no field(s) {sorted(unknown)}; "
+        # ValidationError (exit 2 / HTTP 400), naming both the invalid
+        # key(s) and the full valid field list — so a sweep spec typo is
+        # diagnosable without reading scenario source.
+        raise ValidationError(
+            f"scenario {name!r} has no field(s) "
+            f"{', '.join(sorted(repr(key) for key in unknown))}; "
             f"available: {', '.join(sorted(allowed))}"
         )
     scenario = SCENARIOS[name]()

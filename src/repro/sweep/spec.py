@@ -119,10 +119,12 @@ class ScenarioSpec:
                     f"scenario {self.scenario!r} has no sweepable field {key!r}; "
                     f"available: {', '.join(sorted(allowed))}"
                 )
-            if not isinstance(value, (int, float, bool)):
+            # Strings are sweepable too: population spec paths make
+            # agent populations a sweep axis.
+            if not isinstance(value, (int, float, bool, str)):
                 raise SweepSpecError(
-                    f"scenario override {key!r} must be a number or bool, "
-                    f"got {value!r}"
+                    f"scenario override {key!r} must be a number, bool, "
+                    f"or string, got {value!r}"
                 )
 
     def as_dict(self) -> dict[str, Any]:

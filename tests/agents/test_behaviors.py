@@ -1,0 +1,107 @@
+"""Behavior profiles: parameter validation and per-hook semantics."""
+
+import math
+
+import pytest
+
+from repro.agents import (
+    NUM_REGIONS,
+    REGION_PRICE_TIERS,
+    AdaptiveBehavior,
+    AgentBehavior,
+    BudgetBehavior,
+    DishonestBehavior,
+    RegionalBehavior,
+)
+from repro.errors import ValidationError
+
+
+def state_for(behavior, asn=1, region=0):
+    return behavior.new_state(asn, region)
+
+
+class TestHonest:
+    def test_reports_true_utility_and_never_vetoes(self):
+        behavior = AgentBehavior()
+        state = state_for(behavior)
+        assert behavior.reported_utility(-3.5, state) == -3.5
+        assert behavior.max_spend(state) == math.inf
+        assert behavior.price_multiplier(state) == 1.0
+
+    def test_num_choices_must_be_non_negative(self):
+        with pytest.raises(ValidationError, match="num_choices"):
+            AgentBehavior(num_choices=-1)
+
+
+class TestDishonest:
+    def test_shades_the_report_toward_less_favourable(self):
+        behavior = DishonestBehavior(shade=0.25)
+        state = state_for(behavior)
+        assert behavior.reported_utility(4.0, state) == 4.0 - 0.25 * 4.0
+        assert behavior.reported_utility(-4.0, state) == -4.0 - 0.25 * 4.0
+
+    def test_shade_bounds(self):
+        with pytest.raises(ValidationError, match="shade"):
+            DishonestBehavior(shade=1.5)
+        with pytest.raises(ValidationError, match="shade"):
+            DishonestBehavior(shade=-0.1)
+
+
+class TestAdaptive:
+    def test_caution_rises_on_losses_and_relaxes_on_profits(self):
+        behavior = AdaptiveBehavior(learning_rate=0.2, initial_caution=0.0)
+        state = state_for(behavior)
+        behavior.on_billing(-1.0, state)
+        assert state.caution == pytest.approx(0.2)
+        behavior.on_billing(5.0, state)
+        assert state.caution == pytest.approx(0.1)
+
+    def test_caution_is_clamped_to_max(self):
+        behavior = AdaptiveBehavior(learning_rate=0.5, max_caution=0.6)
+        state = state_for(behavior)
+        for _ in range(5):
+            behavior.on_billing(-1.0, state)
+        assert state.caution == pytest.approx(0.6)
+
+    def test_report_is_shaded_by_current_caution(self):
+        behavior = AdaptiveBehavior(initial_caution=0.3)
+        state = state_for(behavior)
+        assert behavior.reported_utility(2.0, state) == pytest.approx(2.0 - 0.3 * 2.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError, match="learning_rate"):
+            AdaptiveBehavior(learning_rate=0.0)
+        with pytest.raises(ValidationError, match="initial_caution"):
+            AdaptiveBehavior(initial_caution=2.0)
+
+
+class TestBudget:
+    def test_spend_is_capped_and_deducted(self):
+        behavior = BudgetBehavior(budget=10.0)
+        state = state_for(behavior)
+        assert behavior.max_spend(state) == 10.0
+        behavior.commit_spend(4.0, state)
+        assert state.budget_remaining == pytest.approx(6.0)
+        assert behavior.max_spend(state) == pytest.approx(6.0)
+        assert state.spend_total == pytest.approx(4.0)
+
+    def test_budget_must_be_non_negative_and_finite(self):
+        with pytest.raises(ValidationError, match="budget"):
+            BudgetBehavior(budget=-1.0)
+        with pytest.raises(ValidationError, match="budget"):
+            BudgetBehavior(budget=math.inf)
+
+
+class TestRegional:
+    def test_multiplier_interpolates_the_region_tier(self):
+        for region in range(NUM_REGIONS):
+            full = RegionalBehavior(intensity=1.0)
+            flat = RegionalBehavior(intensity=0.0)
+            assert full.price_multiplier(state_for(full, region=region)) == (
+                pytest.approx(REGION_PRICE_TIERS[region])
+            )
+            assert flat.price_multiplier(state_for(flat, region=region)) == 1.0
+
+    def test_intensity_bounds(self):
+        with pytest.raises(ValidationError, match="intensity"):
+            RegionalBehavior(intensity=-0.5)

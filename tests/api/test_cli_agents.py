@@ -1,0 +1,128 @@
+"""``repro agents list``, ``--list-scenarios``, and ``--population`` paths."""
+
+import json
+
+import pytest
+
+from repro.api import SCHEMA_VERSION, AgentsListResult, ScenarioListResult, SimulateResult
+from repro.cli import main
+
+
+def run_ok(capsys, argv):
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+class TestAgentsList:
+    def test_text_lists_every_builtin_profile(self, capsys):
+        out = run_ok(capsys, ["agents", "list"])
+        for profile in ("honest", "dishonest", "adaptive", "budget", "regional"):
+            assert profile in out
+        assert "num_choices" in out  # parameter schemas are printed
+
+    def test_json_round_trips(self, capsys):
+        out = run_ok(capsys, ["agents", "list", "--format", "json"])
+        data = json.loads(out)
+        assert data["schema_version"] == SCHEMA_VERSION
+        result = AgentsListResult.from_json_dict(data)
+        assert {entry["profile"] for entry in result.profiles} >= {"honest", "budget"}
+
+    def test_unknown_action_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["agents", "frolic"])
+
+
+class TestListScenarios:
+    def test_text_lists_every_scenario_with_fields(self, capsys):
+        out = run_ok(capsys, ["simulate", "--list-scenarios"])
+        assert "marketplace-heterogeneous" in out
+        assert "failure-churn" in out
+        assert "population: str" in out
+
+    def test_json_round_trips(self, capsys):
+        out = run_ok(capsys, ["simulate", "--list-scenarios", "--format", "json"])
+        result = ScenarioListResult.from_json_dict(json.loads(out))
+        names = {entry["name"] for entry in result.scenarios}
+        assert "marketplace-heterogeneous" in names
+
+
+class TestPopulationFlag:
+    def pop_file(self, tmp_path):
+        path = tmp_path / "pop.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "cli-pop",
+                    "groups": [
+                        {"profile": "dishonest", "match": {"role": "stub"}}
+                    ],
+                }
+            ),
+            encoding="utf-8",
+        )
+        return str(path)
+
+    def test_population_reaches_the_scenario(self, tmp_path, capsys):
+        out = run_ok(
+            capsys,
+            [
+                "simulate",
+                "--scenario",
+                "marketplace-heterogeneous",
+                "--duration",
+                "96",
+                "--population",
+                self.pop_file(tmp_path),
+            ],
+        )
+        assert "profile dishonest" in out
+
+    def test_population_result_rides_the_json_envelope(self, tmp_path, capsys):
+        out = run_ok(
+            capsys,
+            [
+                "simulate",
+                "--scenario",
+                "marketplace-heterogeneous",
+                "--duration",
+                "96",
+                "--population",
+                self.pop_file(tmp_path),
+                "--format",
+                "json",
+            ],
+        )
+        result = SimulateResult.from_json_dict(json.loads(out))
+        assert result.population is not None
+        profiles = {entry["profile"] for entry in result.population.profiles}
+        assert "dishonest" in profiles
+
+    def test_population_on_wrong_scenario_is_a_validation_error(
+        self, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "simulate",
+                "--scenario",
+                "marketplace",
+                "--population",
+                self.pop_file(tmp_path),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--population is not supported" in err
+        assert "marketplace-heterogeneous" in err
+
+    def test_missing_population_file_is_a_validation_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "simulate",
+                "--scenario",
+                "marketplace-heterogeneous",
+                "--population",
+                str(tmp_path / "absent.json"),
+            ]
+        )
+        assert code == 2
+        assert "cannot read population spec" in capsys.readouterr().err

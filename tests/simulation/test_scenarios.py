@@ -86,7 +86,12 @@ class TestFlashCrowd:
 
 class TestRegistry:
     def test_all_scenarios_registered(self):
-        assert set(SCENARIOS) == {"failure-churn", "marketplace", "flash-crowd"}
+        assert set(SCENARIOS) == {
+            "failure-churn",
+            "marketplace",
+            "flash-crowd",
+            "marketplace-heterogeneous",
+        }
 
     def test_run_scenario_applies_overrides(self):
         result = run_scenario("flash-crowd", seed=3, duration=30.0)

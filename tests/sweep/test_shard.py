@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.errors import ValidationError
 from repro.simulation.scenarios import run_scenario, scenario_field_names
 from repro.sweep import SweepSpec, run_shard
 
@@ -68,8 +69,69 @@ def test_scenario_shard_applies_scale_and_overrides():
 def test_scenario_overrides_reach_run_scenario():
     short = run_scenario("failure-churn", seed=3, duration=2.0, num_stubs=10)
     assert short.duration == 2.0
-    with pytest.raises(TypeError, match="no field"):
+
+
+def test_unknown_override_is_a_validation_error_naming_the_fields():
+    # Regression: the unknown-key error must be ValidationError (exit 2
+    # taxonomy, not TypeError) and must name BOTH the invalid key and
+    # the full valid field list.
+    with pytest.raises(ValidationError) as excinfo:
         run_scenario("failure-churn", warp_factor=9)
+    message = str(excinfo.value)
+    assert "'warp_factor'" in message
+    assert "has no field(s)" in message
+    for valid in ("mean_time_to_failure", "num_stubs", "duration"):
+        assert valid in message
+
+
+def test_heterogeneous_scenario_shard_is_parallel_deterministic(tmp_path):
+    from repro.sweep import run_sweep
+
+    spec = spec_for(
+        scenarios=[
+            {
+                "scenario": "marketplace-heterogeneous",
+                "label": "het",
+                "duration": 24.0 * 8.0,
+            }
+        ]
+    )
+    sequential = run_sweep(
+        spec, jobs=1, cache_dir=tmp_path / "c1", out_dir=tmp_path / "o1"
+    )
+    parallel = run_sweep(
+        spec, jobs=2, cache_dir=tmp_path / "c2", out_dir=tmp_path / "o2"
+    )
+    assert parallel.summary_bytes() == sequential.summary_bytes()
+    (record,) = sequential.summary["shards"]
+    assert record["metrics"]["records.profile_metrics"] >= 4
+
+
+def test_population_path_is_a_sweepable_string_override(tmp_path):
+    # Population spec paths ride the scenario-override axis as strings.
+    pop = tmp_path / "pop.json"
+    pop.write_text(
+        json.dumps(
+            {
+                "name": "all-dishonest",
+                "groups": [{"profile": "dishonest", "params": {"shade": 0.4}}],
+            }
+        ),
+        encoding="utf-8",
+    )
+    spec = spec_for(
+        scenarios=[
+            {
+                "scenario": "marketplace-heterogeneous",
+                "label": "pop",
+                "duration": 24.0 * 4.0,
+                "population": str(pop),
+            }
+        ]
+    )
+    (shard,) = spec.expand()
+    record = run_shard(shard)
+    assert record["metrics"]["records.profile_metrics"] == 1  # one profile
 
 
 def test_scenario_field_names_expose_sweepable_knobs():

@@ -68,6 +68,33 @@ class TestParsing:
                 )
             )
 
+    def test_scenario_string_override_accepted(self):
+        # Population spec paths are legal sweep-axis values.
+        spec = SweepSpec.from_mapping(
+            minimal_mapping(
+                figures=[],
+                scenarios=[
+                    {
+                        "scenario": "marketplace-heterogeneous",
+                        "population": "pops/mixed.json",
+                    }
+                ],
+            )
+        )
+        (scenario,) = spec.scenarios
+        assert dict(scenario.overrides)["population"] == "pops/mixed.json"
+
+    def test_scenario_non_scalar_override_rejected(self):
+        with pytest.raises(SweepSpecError, match="must be a number, bool, or string"):
+            SweepSpec.from_mapping(
+                minimal_mapping(
+                    figures=[],
+                    scenarios=[
+                        {"scenario": "marketplace-heterogeneous", "population": [1]}
+                    ],
+                )
+            )
+
     def test_scenario_seed_override_rejected(self):
         with pytest.raises(SweepSpecError, match="cannot set 'seed'"):
             SweepSpec.from_mapping(

@@ -106,6 +106,24 @@ class TestFastGoldens:
         out = run_cli(capsys, "simulate", "--duration", "6", "--seed", "1")
         assert out == golden("simulate_failure_churn_seed1.txt")
 
+    def test_simulate_heterogeneous_summary_is_byte_identical(self, capsys):
+        out = run_cli(capsys, "simulate", "--scenario", "marketplace-heterogeneous")
+        assert out == golden("simulate_marketplace_heterogeneous_seed2021.txt")
+
+    def test_simulate_heterogeneous_trace_is_byte_identical(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        run_cli(
+            capsys,
+            "simulate",
+            "--scenario",
+            "marketplace-heterogeneous",
+            "--trace-out",
+            str(trace_path),
+        )
+        assert trace_path.read_bytes() == (
+            GOLDEN_DIR / "trace_marketplace_heterogeneous_seed2021.jsonl"
+        ).read_bytes()
+
 
 class TestExperimentsGoldens:
     """The heavyweight contract: the full seeded harness, both schedules."""
